@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks for the compression substrate and the
+//! BRISC tiers: DEFLATE throughput, Huffman construction, MTF, wire
+//! compression, BRISC compression, direct interpretation, and the
+//! translation ("JIT") rate in bytes of produced native code per second.
+
+use codecomp_bench::{subjects, Scale};
+use codecomp_brisc::interp::BriscMachine;
+use codecomp_brisc::translate::emit_x86;
+use codecomp_brisc::{compress as brisc_compress, BriscOptions};
+use codecomp_coding::huffman::HuffmanEncoder;
+use codecomp_coding::mtf::mtf_encode;
+use codecomp_flate::{deflate_compress, inflate, CompressionLevel};
+use codecomp_vm::interp::Machine;
+use codecomp_wire::{compress as wire_compress, WireOptions};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn tuned() -> Criterion {
+    // Keep the full suite under a couple of minutes.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+fn text_corpus(len: usize) -> Vec<u8> {
+    let phrase = b"the compressor scans the input program several times, generating \
+candidate instruction patterns and estimating their program size reduction; ";
+    phrase.iter().copied().cycle().take(len).collect()
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let data = text_corpus(64 * 1024);
+    let mut g = c.benchmark_group("deflate");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_64k", |b| {
+        b.iter(|| deflate_compress(&data, CompressionLevel::Best))
+    });
+    let packed = deflate_compress(&data, CompressionLevel::Best);
+    g.bench_function("inflate_64k", |b| b.iter(|| inflate(&packed).unwrap()));
+    g.finish();
+}
+
+fn bench_coding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coding");
+    let mut freqs = vec![0u64; 256];
+    for (i, f) in freqs.iter_mut().enumerate() {
+        *f = (i as u64 % 31) * (i as u64 % 7) + 1;
+    }
+    g.bench_function("huffman_build_256", |b| {
+        b.iter(|| HuffmanEncoder::from_frequencies(&freqs, 15).unwrap())
+    });
+    let stream: Vec<u32> = (0..8192u32).map(|i| (i * i) % 64).collect();
+    g.bench_function("mtf_encode_8k", |b| b.iter(|| mtf_encode(&stream)));
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let subs = subjects(Scale::CorpusOnly);
+    let big = &subs.iter().max_by_key(|s| s.ir.node_count()).unwrap().ir;
+    let mut g = c.benchmark_group("wire");
+    g.bench_function("compress_largest_corpus", |b| {
+        b.iter(|| wire_compress(big, WireOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_brisc(c: &mut Criterion) {
+    let subs = subjects(Scale::CorpusOnly);
+    let sub = subs.iter().find(|s| s.name == "sortlib").unwrap();
+    let mut g = c.benchmark_group("brisc");
+    g.bench_function("compress_sortlib", |b| {
+        b.iter(|| brisc_compress(&sub.vm, BriscOptions::default()).unwrap())
+    });
+    let report = brisc_compress(&sub.vm, BriscOptions::default()).unwrap();
+    g.bench_function("interp_sortlib", |b| {
+        b.iter(|| {
+            let mut m = BriscMachine::new(&report.image, 1 << 22, 1 << 30).unwrap();
+            m.run("main", &[]).unwrap().value
+        })
+    });
+    g.bench_function("vm_interp_sortlib", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&sub.vm, 1 << 22, 1 << 30).unwrap();
+            m.run("main", &[]).unwrap().value
+        })
+    });
+    // Translation rate: bytes of produced x86 per second.
+    let (_, bytes) = emit_x86(&report.image).unwrap();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("jit_translate_sortlib", |b| {
+        b.iter(|| emit_x86(&report.image).unwrap().1.len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets = bench_deflate, bench_coding, bench_wire, bench_brisc
+}
+criterion_main!(benches);

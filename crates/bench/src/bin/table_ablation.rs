@@ -1,0 +1,183 @@
+//! E7 — design-space ablations (paper §2).
+//!
+//! The paper's design-space section asks: byte codes vs arithmetic
+//! coding? dictionaries? move-to-front? stream separation? finite-context
+//! modeling? This binary toggles each stage of both compressors and
+//! reports total sizes over the corpus, answering those questions for
+//! this implementation.
+//!
+//! Usage: `table_ablation [--full]`.
+
+use codecomp_bench::{subjects, Scale, Table};
+use codecomp_brisc::{compress as brisc_compress, BriscOptions};
+use codecomp_core::dict::MemoryRegime;
+use codecomp_wire::{compress as wire_compress, Coder, WireOptions};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::WithSynthetic
+    } else {
+        Scale::CorpusOnly
+    };
+    let subs = subjects(scale);
+
+    println!("E7a: wire-format pipeline ablations (total bytes over the corpus)\n");
+    let variants: Vec<(&str, WireOptions)> = vec![
+        ("full pipeline (paper)", WireOptions::default()),
+        (
+            "no stream splitting",
+            WireOptions {
+                split_streams: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no MTF",
+            WireOptions {
+                mtf: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "raw indices (no entropy coder)",
+            WireOptions {
+                coder: Coder::Raw,
+                ..Default::default()
+            },
+        ),
+        (
+            "arithmetic instead of Huffman",
+            WireOptions {
+                coder: Coder::Arithmetic,
+                ..Default::default()
+            },
+        ),
+        (
+            "no final DEFLATE",
+            WireOptions {
+                deflate: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "MTF+Huffman only (no split, no DEFLATE)",
+            WireOptions {
+                split_streams: false,
+                deflate: false,
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut table = Table::new(&["wire variant", "bytes", "vs full"]);
+    let full: usize = subs
+        .iter()
+        .map(|s| {
+            wire_compress(&s.ir, WireOptions::default())
+                .expect("compress")
+                .total()
+        })
+        .sum();
+    for (name, options) in variants {
+        let total: usize = subs
+            .iter()
+            .map(|s| wire_compress(&s.ir, options).expect("compress").total())
+            .sum();
+        table.row(&[
+            name.to_string(),
+            total.to_string(),
+            format!("{:+.1}%", 100.0 * (total as f64 / full as f64 - 1.0)),
+        ]);
+    }
+    table.print();
+
+    println!("\nE7b: BRISC compressor ablations (total image bytes over the corpus)\n");
+    let variants: Vec<(&str, BriscOptions)> = vec![
+        ("full compressor (paper)", BriscOptions::default()),
+        (
+            "no operand specialization",
+            BriscOptions {
+                specialization: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no opcode combination",
+            BriscOptions {
+                combination: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no -x4 narrowing",
+            BriscOptions {
+                x4: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no epi macro",
+            BriscOptions {
+                epi: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "order-0 opcode model",
+            BriscOptions {
+                order0: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "abundant memory (B = P)",
+            BriscOptions {
+                regime: MemoryRegime::Abundant,
+                ..Default::default()
+            },
+        ),
+        (
+            "K = 5 per pass",
+            BriscOptions {
+                k: 5,
+                ..Default::default()
+            },
+        ),
+        (
+            "charge 6 B/entry for model growth",
+            BriscOptions {
+                table_charge: 6,
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut table = Table::new(&["brisc variant", "bytes", "vs full", "dict entries"]);
+    let full: usize = subs
+        .iter()
+        .map(|s| {
+            brisc_compress(&s.vm, BriscOptions::default())
+                .expect("compress")
+                .image
+                .total_bytes()
+        })
+        .sum();
+    for (name, options) in variants {
+        let mut total = 0usize;
+        let mut entries = 0usize;
+        for s in &subs {
+            let report = brisc_compress(&s.vm, options).expect("compress");
+            total += report.image.total_bytes();
+            entries += report.dictionary_entries;
+        }
+        table.row(&[
+            name.to_string(),
+            total.to_string(),
+            format!("{:+.1}%", 100.0 * (total as f64 / full as f64 - 1.0)),
+            entries.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper reference: each §2 design choice (splitting, MTF, entropy \
+         coding, specialization, combination, order-1 model) buys size."
+    );
+}

@@ -1,0 +1,60 @@
+//! E4 — regenerates the paper's §5 RISC de-tuning table.
+//!
+//! Paper: compiling lcc itself under progressively de-tuned abstract
+//! machines and BRISC-compressing the result gives compressed/native
+//! ratios RISC 0.54, −immediates 0.56, −register-displacement 0.57,
+//! −both 0.59 — "a minimal abstract machine compresses nearly as well
+//! as one with typical ad hoc features".
+//!
+//! Usage: `table_detune [--full]` (the whole corpus is compiled under
+//! each of the four ISA variants and compressed).
+
+use codecomp_bench::{subjects, Scale, Table};
+use codecomp_brisc::{compress, BriscOptions};
+use codecomp_vm::codegen::compile_module;
+use codecomp_vm::isa::IsaConfig;
+use codecomp_vm::native::x86_size;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::WithSynthetic
+    } else {
+        Scale::CorpusOnly
+    };
+    let subs = subjects(scale);
+    // The native denominator is the full-RISC x86 size: the target
+    // machine does not change when the abstract machine is de-tuned.
+    let native_total: usize = subs.iter().map(|s| x86_size(&s.vm)).sum();
+
+    println!("E4: abstract-machine de-tuning (paper §5 table)\n");
+    let mut table = Table::new(&[
+        "abstract machine",
+        "vm insts",
+        "brisc bytes",
+        "compressed/native",
+        "paper",
+    ]);
+    let paper = ["0.54", "0.56", "0.57", "0.59"];
+    for (i, (name, isa)) in IsaConfig::variants().iter().enumerate() {
+        let mut brisc_total = 0usize;
+        let mut inst_total = 0usize;
+        for s in &subs {
+            let vm = compile_module(&s.ir, *isa).expect("codegen succeeds");
+            inst_total += vm.inst_count();
+            let report = compress(&vm, BriscOptions::default()).expect("compression succeeds");
+            brisc_total += report.image.total_bytes();
+        }
+        table.row(&[
+            name.to_string(),
+            inst_total.to_string(),
+            brisc_total.to_string(),
+            format!("{:.2}", brisc_total as f64 / native_total as f64),
+            paper[i].to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper reference: the four variants fall within 0.54-0.59 — \
+         de-tuning costs only a few points of compression."
+    );
+}

@@ -1,0 +1,150 @@
+//! E6 — the introduction's delivery-time scenarios.
+//!
+//! Paper claim (§1): "it can be significantly faster to send compressed
+//! code that is then interpreted or decompressed and executed. This fact
+//! is self-evident when delivering code over 28.8 kbaud modems, but it
+//! can be true for faster networks \[and\] for paging from disk"; and "the
+//! delivery time from the network or disk can mask some or even all of
+//! the recompilation time".
+//!
+//! Measured sizes for one corpus program feed the analytical model: for
+//! each channel, total time = deliver + prepare (+ overlap) + run, for
+//! each of five delivery plans. Crossover bandwidths between the
+//! native-code plan and each compressed plan are reported.
+//!
+//! Usage: `table_scenarios [--run-seconds <s>]`.
+
+use codecomp_bench::{sizes, subjects, Scale, Table};
+use codecomp_brisc::{compress, BriscOptions};
+use codecomp_memsim::{crossover_bandwidth, total_time, Channel, CpuModel, DeliveryPlan, Overlap};
+use codecomp_wire::{compress as wire_compress, WireOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let run_seconds: f64 = args
+        .iter()
+        .position(|a| a == "--run-seconds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+
+    // Aggregate corpus sizes: one "application" made of all benchmarks.
+    let subs = subjects(Scale::CorpusOnly);
+    let mut native = 0usize;
+    let mut gzip_native = 0usize;
+    let mut wire = 0usize;
+    let mut brisc = 0usize;
+    for s in &subs {
+        let sz = sizes(&s.vm);
+        native += sz.x86_native;
+        gzip_native += sz.gzip_x86;
+        wire += wire_compress(&s.ir, WireOptions::default())
+            .expect("wire compress")
+            .total();
+        brisc += compress(&s.vm, BriscOptions::default())
+            .expect("brisc compress")
+            .image
+            .total_bytes();
+    }
+    // Scale everything up to application size (the paper's subjects are
+    // 300 KB - 1.4 MB): preserve the measured ratios.
+    let scale_to = 1_000_000.0;
+    let k = scale_to / native as f64;
+    let native = (native as f64 * k) as usize;
+    let gzip_native = (gzip_native as f64 * k) as usize;
+    let wire = (wire as f64 * k) as usize;
+    let brisc = (brisc as f64 * k) as usize;
+
+    let cpu = CpuModel::pentium_like(run_seconds);
+    let plans: Vec<(&str, DeliveryPlan)> = vec![
+        ("native", DeliveryPlan::Native { bytes: native }),
+        (
+            "gzip+native",
+            DeliveryPlan::CompressedNative {
+                compressed: gzip_native,
+                native,
+            },
+        ),
+        (
+            "wire+jit",
+            DeliveryPlan::Wire {
+                compressed: wire,
+                native,
+            },
+        ),
+        (
+            "brisc+jit",
+            DeliveryPlan::BriscJit {
+                compressed: brisc,
+                native,
+            },
+        ),
+        (
+            "brisc interp",
+            DeliveryPlan::BriscInterp { compressed: brisc },
+        ),
+    ];
+
+    println!(
+        "E6: total time to complete a {run_seconds:.1}s workload \
+         (sizes scaled to a 1 MB native app; corpus-measured ratios)\n"
+    );
+    println!("sizes: native {native} B, gzip {gzip_native} B, wire {wire} B, brisc {brisc} B\n");
+    let channels: Vec<(&str, Channel)> = vec![
+        ("28.8k modem", Channel::modem_28k8()),
+        ("128k ISDN", Channel::from_bits_per_sec(128_000.0)),
+        ("1 Mbit", Channel::from_bits_per_sec(1_000_000.0)),
+        ("10 Mbit LAN", Channel::lan_10mbit()),
+        ("disk", Channel::disk()),
+    ];
+    let mut table = Table::new(&[
+        "plan",
+        "28.8k modem",
+        "128k ISDN",
+        "1 Mbit",
+        "10 Mbit LAN",
+        "disk",
+    ]);
+    for (name, plan) in &plans {
+        let mut cells = vec![name.to_string()];
+        for (_, ch) in &channels {
+            cells.push(format!(
+                "{:.1}s",
+                total_time(plan, ch, &cpu, Overlap::Pipelined)
+            ));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    println!("\ncrossover bandwidths vs shipping native code (pipelined):");
+    for (name, plan) in plans.iter().skip(1) {
+        match crossover_bandwidth(&plans[0].1, plan, &cpu, Overlap::Pipelined, 1_000.0, 1e12) {
+            Some(bits) => println!("  {name:>12}: {:.2} Mbit/s", bits / 1e6),
+            None => println!("  {name:>12}: none in range (always on one side)"),
+        }
+    }
+    println!(
+        "\npaper reference: compressed delivery wins below the crossover; \
+         transfer masks recompilation (pipelined BRISC)."
+    );
+
+    if args.iter().any(|a| a == "--sweep") {
+        println!("\nbandwidth sweep (CSV: bits/s then total seconds per plan):");
+        print!("bits_per_sec");
+        for (name, _) in &plans {
+            print!(",{name}");
+        }
+        println!();
+        let mut bits = 10_000.0f64;
+        while bits <= 1e9 {
+            print!("{bits:.0}");
+            let ch = Channel::from_bits_per_sec(bits);
+            for (_, plan) in &plans {
+                print!(",{:.3}", total_time(plan, &ch, &cpu, Overlap::Pipelined));
+            }
+            println!();
+            bits *= 1.4678; // ~30 log-spaced points per 5 decades
+        }
+    }
+}

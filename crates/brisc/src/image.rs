@@ -1,0 +1,940 @@
+//! The serialized BRISC program image.
+//!
+//! "Once the compressor has created a dictionary, it outputs the
+//! dictionary followed by the modified input program" (§4). The image
+//! holds the dictionary, the order-1 Markov opcode tables, globals, a
+//! function table (with the frame metadata `epi` needs and the
+//! extra-leader offsets that keep fall-through labels decodable), and
+//! the byte-aligned compressed code. Branch targets are local byte
+//! offsets, so the code is randomly addressable at basic-block
+//! granularity — the property that makes in-place interpretation work.
+
+use crate::entry::{DictEntry, FieldKind, ImmEnc, InstPattern, PatternField};
+use crate::markov::{MarkovTables, BLOCK_START};
+use crate::BriscError;
+use codecomp_coding::bits::{BitReader, BitWriter};
+use codecomp_vm::encode::{BaseOp, Field};
+use codecomp_vm::isa::Inst;
+use codecomp_vm::program::VmGlobal;
+use codecomp_vm::reg::Reg;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Function-reference indices at or above this denote host functions.
+pub const HOST_FUNC_BASE: u16 = 0xFF00;
+
+/// One rewritten program element: a dictionary entry plus its wildcard
+/// field values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// Dictionary entry index.
+    pub entry: u32,
+    /// Wildcard values in pattern order (concatenated across components).
+    pub values: Vec<Field>,
+}
+
+/// A function's items ready for assembly.
+#[derive(Debug, Clone)]
+pub struct FuncItems {
+    /// Function name.
+    pub name: String,
+    /// Parameter count.
+    pub param_count: usize,
+    /// Frame size.
+    pub frame_size: u32,
+    /// Callee-saved registers in spill order.
+    pub saved_regs: Vec<Reg>,
+    /// Items in program order. `Field::Target` values hold *item indices*
+    /// within this function; assembly patches them to byte offsets.
+    pub items: Vec<Item>,
+    /// Per-item basic-block-leader flags.
+    pub leaders: Vec<bool>,
+}
+
+/// Function metadata in the image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BriscFunction {
+    /// Name.
+    pub name: String,
+    /// Parameter count.
+    pub param_count: usize,
+    /// Frame size (used by `epi`).
+    pub frame_size: u32,
+    /// Callee-saved registers (used by `epi`).
+    pub saved_regs: Vec<Reg>,
+    /// Start offset in the code blob.
+    pub start: u32,
+    /// Code length in bytes.
+    pub len: u32,
+    /// Sorted local byte offsets of leaders that are *not* implied by the
+    /// previous item ending a block.
+    pub extra_leaders: Vec<u32>,
+}
+
+/// A complete BRISC program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BriscImage {
+    /// The instruction-pattern dictionary.
+    pub dictionary: Vec<DictEntry>,
+    /// Order-1 opcode tables.
+    pub markov: MarkovTables,
+    /// Ablation mode: a single (block-start) context instead of order-1.
+    pub order0: bool,
+    /// Global data.
+    pub globals: Vec<VmGlobal>,
+    /// Functions, in code order.
+    pub functions: Vec<BriscFunction>,
+    /// The compressed code blob.
+    pub code: Vec<u8>,
+}
+
+/// One decoded program element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedItem {
+    /// Dictionary entry index.
+    pub entry: u32,
+    /// The expanded instructions; branch targets are local byte offsets.
+    pub insts: Vec<Inst>,
+    /// Encoded size in bytes.
+    pub size: usize,
+}
+
+impl BriscImage {
+    /// The context actually used at decode time (collapses to the
+    /// block-start context under the order-0 ablation).
+    pub fn effective_ctx(&self, ctx: u32) -> u32 {
+        if self.order0 {
+            BLOCK_START
+        } else {
+            ctx
+        }
+    }
+
+    /// The function whose code contains global offset `pos`.
+    pub fn function_at(&self, pos: usize) -> Option<usize> {
+        self.functions
+            .iter()
+            .position(|f| pos >= f.start as usize && pos < (f.start + f.len) as usize)
+    }
+
+    /// Finds a function index by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Whether `local` is an extra (fall-through-reachable) leader of
+    /// function `func`.
+    pub fn is_extra_leader(&self, func: usize, local: u32) -> bool {
+        self.functions[func]
+            .extra_leaders
+            .binary_search(&local)
+            .is_ok()
+    }
+
+    /// Size of the code blob alone.
+    pub fn code_size(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Full serialized image size.
+    pub fn total_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Decodes the item at global offset `pos` in Markov context `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`BriscError::Corrupt`] on invalid opcodes or truncation.
+    pub fn decode_at(&self, pos: usize, ctx: u32) -> Result<DecodedItem, BriscError> {
+        let mut cursor = pos;
+        let ctx = self.effective_ctx(ctx);
+        let entry_id = self.markov.decode_opcode(ctx, &self.code, &mut cursor)?;
+        let entry = self
+            .dictionary
+            .get(entry_id as usize)
+            .ok_or_else(|| BriscError::Corrupt(format!("bad entry id {entry_id}")))?;
+        let operand_bytes = (entry.wildcard_bits() as usize).div_ceil(8);
+        let operand_slice = self
+            .code
+            .get(cursor..cursor + operand_bytes)
+            .ok_or_else(|| BriscError::Corrupt("operands past end of code".into()))?;
+        let mut bits = BitReader::new(operand_slice);
+        let mut values = Vec::new();
+        for p in &entry.patterns {
+            for f in &p.fields {
+                if let PatternField::Wildcard(kind) = f {
+                    values.push(self.read_field(*kind, &mut bits)?);
+                }
+            }
+        }
+        let mut iter = values.into_iter();
+        let mut insts = Vec::with_capacity(entry.patterns.len());
+        for p in &entry.patterns {
+            insts.push(p.instantiate(&mut iter)?);
+        }
+        Ok(DecodedItem {
+            entry: entry_id,
+            insts,
+            size: cursor - pos + operand_bytes,
+        })
+    }
+
+    fn read_field(&self, kind: FieldKind, bits: &mut BitReader<'_>) -> Result<Field, BriscError> {
+        let eof = |_| BriscError::Corrupt("operand bits truncated".into());
+        Ok(match kind {
+            FieldKind::Reg => Field::Reg(Reg::new(bits.read_bits(4).map_err(eof)? as u8)),
+            FieldKind::Imm(ImmEnc::X4) => Field::Imm(bits.read_bits(4).map_err(eof)? as i32 * 4),
+            FieldKind::Imm(ImmEnc::I8) => {
+                Field::Imm(i32::from(bits.read_bits(8).map_err(eof)? as u8 as i8))
+            }
+            FieldKind::Imm(ImmEnc::I16) => {
+                Field::Imm(i32::from(bits.read_bits(16).map_err(eof)? as u16 as i16))
+            }
+            FieldKind::Imm(ImmEnc::I32) => Field::Imm(bits.read_bits(32).map_err(eof)? as i32),
+            FieldKind::Target => Field::Target(bits.read_bits(16).map_err(eof)? as u32),
+            FieldKind::Func => {
+                let idx = bits.read_bits(16).map_err(eof)? as u16;
+                let name = if idx >= HOST_FUNC_BASE {
+                    codecomp_ir::eval::HOST_FUNCTIONS
+                        .get(usize::from(idx - HOST_FUNC_BASE))
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| BriscError::Corrupt("bad host index".into()))?
+                } else {
+                    self.functions
+                        .get(usize::from(idx))
+                        .map(|f| f.name.clone())
+                        .ok_or_else(|| BriscError::Corrupt("bad function index".into()))?
+                };
+                Field::Func(name)
+            }
+        })
+    }
+}
+
+// ---- assembly -----------------------------------------------------------------
+
+/// Assembles per-function items into a complete image: builds the Markov
+/// model, lays out byte offsets, patches branch targets, and encodes.
+///
+/// # Errors
+///
+/// [`BriscError::Compress`] on layout problems (targets not at item
+/// starts, offsets exceeding 16 bits, …).
+pub fn assemble(
+    dictionary: Vec<DictEntry>,
+    funcs: Vec<FuncItems>,
+    globals: Vec<VmGlobal>,
+) -> Result<BriscImage, BriscError> {
+    assemble_with(dictionary, funcs, globals, false)
+}
+
+/// [`assemble`] with the order-0 Markov ablation knob.
+///
+/// # Errors
+///
+/// As [`assemble`].
+pub fn assemble_with(
+    dictionary: Vec<DictEntry>,
+    funcs: Vec<FuncItems>,
+    globals: Vec<VmGlobal>,
+    order0: bool,
+) -> Result<BriscImage, BriscError> {
+    // Function name resolution table for Func fields.
+    let func_index: HashMap<&str, u16> = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i as u16))
+        .collect();
+
+    // Contexts per item: BLOCK_START at leaders, else previous entry.
+    let item_ctx = |f: &FuncItems, i: usize| -> u32 {
+        if order0 || f.leaders[i] {
+            BLOCK_START
+        } else {
+            f.items[i - 1].entry
+        }
+    };
+    let mut transitions = Vec::new();
+    for f in &funcs {
+        for (i, item) in f.items.iter().enumerate() {
+            transitions.push((item_ctx(f, i), item.entry));
+        }
+    }
+    let markov = MarkovTables::build(transitions);
+
+    // Layout: item sizes are context-dependent (escape opcodes) but not
+    // offset-dependent, so one pass suffices.
+    let mut code = Vec::new();
+    let mut functions = Vec::new();
+    for f in &funcs {
+        let start = code.len() as u32;
+        let mut offsets = Vec::with_capacity(f.items.len());
+        let mut local = 0u32;
+        for (i, item) in f.items.iter().enumerate() {
+            offsets.push(local);
+            let ctx = item_ctx(f, i);
+            let entry = &dictionary[item.entry as usize];
+            let size =
+                markov.opcode_len(ctx, item.entry) + (entry.wildcard_bits() as usize).div_ceil(8);
+            local += size as u32;
+        }
+        if local > u32::from(u16::MAX) {
+            return Err(BriscError::Compress(format!(
+                "function {} exceeds the 16-bit branch-offset space",
+                f.name
+            )));
+        }
+
+        // Extra leaders: leader items whose predecessor falls through.
+        let mut extra_leaders = Vec::new();
+        for (i, item_is_leader) in f.leaders.iter().enumerate() {
+            if !item_is_leader || i == 0 {
+                continue;
+            }
+            let prev_entry = &dictionary[f.items[i - 1].entry as usize];
+            let prev_last = prev_entry.patterns.last().expect("entries are nonempty");
+            let prev_ends = prev_last.canonical().ends_block();
+            if !prev_ends {
+                extra_leaders.push(offsets[i]);
+            }
+        }
+
+        // Encode, patching targets from item indices to byte offsets.
+        for (i, item) in f.items.iter().enumerate() {
+            let ctx = item_ctx(f, i);
+            markov.encode_opcode(ctx, item.entry, &mut code)?;
+            let entry = &dictionary[item.entry as usize];
+            let mut bits = BitWriter::new();
+            let mut values = item.values.iter();
+            for p in &entry.patterns {
+                for pf in &p.fields {
+                    if let PatternField::Wildcard(kind) = pf {
+                        let v = values
+                            .next()
+                            .ok_or_else(|| BriscError::Compress("item value underflow".into()))?;
+                        write_field(*kind, v, &offsets, &func_index, &mut bits)?;
+                    }
+                }
+            }
+            if values.next().is_some() {
+                return Err(BriscError::Compress("item value overflow".into()));
+            }
+            code.extend_from_slice(&bits.finish());
+        }
+        functions.push(BriscFunction {
+            name: f.name.clone(),
+            param_count: f.param_count,
+            frame_size: f.frame_size,
+            saved_regs: f.saved_regs.clone(),
+            start,
+            len: code.len() as u32 - start,
+            extra_leaders,
+        });
+    }
+    Ok(BriscImage {
+        dictionary,
+        markov,
+        order0,
+        globals,
+        functions,
+        code,
+    })
+}
+
+fn write_field(
+    kind: FieldKind,
+    value: &Field,
+    offsets: &[u32],
+    func_index: &HashMap<&str, u16>,
+    bits: &mut BitWriter,
+) -> Result<(), BriscError> {
+    match (kind, value) {
+        (FieldKind::Reg, Field::Reg(r)) => bits.write_bits(u64::from(r.number()), 4),
+        (FieldKind::Imm(ImmEnc::X4), Field::Imm(v)) => {
+            if !ImmEnc::X4.fits(*v) {
+                return Err(BriscError::Compress(format!("{v} does not fit x4 field")));
+            }
+            bits.write_bits(u64::from(*v as u32 / 4), 4);
+        }
+        (FieldKind::Imm(ImmEnc::I8), Field::Imm(v)) => bits.write_bits(u64::from(*v as u8), 8),
+        (FieldKind::Imm(ImmEnc::I16), Field::Imm(v)) => bits.write_bits(u64::from(*v as u16), 16),
+        (FieldKind::Imm(ImmEnc::I32), Field::Imm(v)) => bits.write_bits(u64::from(*v as u32), 32),
+        (FieldKind::Target, Field::Target(item_idx)) => {
+            let off = *offsets.get(*item_idx as usize).ok_or_else(|| {
+                BriscError::Compress(format!("branch target item {item_idx} out of range"))
+            })?;
+            bits.write_bits(u64::from(off), 16);
+        }
+        (FieldKind::Func, Field::Func(name)) => {
+            let idx = match func_index.get(name.as_str()) {
+                Some(&i) => i,
+                None => {
+                    let host = codecomp_ir::eval::HOST_FUNCTIONS
+                        .iter()
+                        .position(|&h| h == name)
+                        .ok_or_else(|| {
+                            BriscError::Compress(format!("undefined call target {name}"))
+                        })?;
+                    HOST_FUNC_BASE + host as u16
+                }
+            };
+            bits.write_bits(u64::from(idx), 16);
+        }
+        (k, v) => {
+            return Err(BriscError::Compress(format!(
+                "field kind {k:?} got value {v:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---- byte-level serialization ----------------------------------------------------
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Rd<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn u8(&mut self) -> Result<u8, BriscError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| BriscError::Corrupt("unexpected end of image".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BriscError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| BriscError::Corrupt("unexpected end of image".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn uvarint(&mut self) -> Result<u64, BriscError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 63 && b > 1 {
+                return Err(BriscError::Corrupt("varint overflow".into()));
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn ivarint(&mut self) -> Result<i64, BriscError> {
+        let u = self.uvarint()?;
+        Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+    }
+
+    fn string(&mut self) -> Result<String, BriscError> {
+        let len = self.uvarint()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| BriscError::Corrupt("string is not UTF-8".into()))
+    }
+}
+
+fn base_op_index() -> &'static (Vec<BaseOp>, HashMap<BaseOp, u8>) {
+    static TABLE: OnceLock<(Vec<BaseOp>, HashMap<BaseOp, u8>)> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let all = BaseOp::all();
+        assert!(all.len() <= 256);
+        let index = all.iter().enumerate().map(|(i, &b)| (b, i as u8)).collect();
+        (all, index)
+    })
+}
+
+/// Serializes one dictionary entry (also defines its `P`-cost size).
+pub fn serialize_entry(entry: &DictEntry) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, entry.patterns.len() as u64);
+    for p in &entry.patterns {
+        out.push(base_op_index().1[&p.base]);
+        for f in &p.fields {
+            match f {
+                PatternField::Wildcard(FieldKind::Reg) => out.push(0x00),
+                PatternField::Wildcard(FieldKind::Imm(ImmEnc::X4)) => out.push(0x01),
+                PatternField::Wildcard(FieldKind::Imm(ImmEnc::I8)) => out.push(0x02),
+                PatternField::Wildcard(FieldKind::Imm(ImmEnc::I16)) => out.push(0x03),
+                PatternField::Wildcard(FieldKind::Imm(ImmEnc::I32)) => out.push(0x04),
+                PatternField::Wildcard(FieldKind::Target) => out.push(0x05),
+                PatternField::Wildcard(FieldKind::Func) => out.push(0x06),
+                PatternField::Burned(Field::Reg(r)) => out.push(0x10 | r.number()),
+                PatternField::Burned(Field::Imm(v)) => {
+                    out.push(0x20);
+                    put_ivarint(&mut out, i64::from(*v));
+                }
+                PatternField::Burned(other) => {
+                    // Targets and function refs are never burned; encode
+                    // defensively as an impossible tag.
+                    debug_assert!(false, "unexpected burned field {other:?}");
+                    out.push(0x7F);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn deserialize_entry(r: &mut Rd<'_>) -> Result<DictEntry, BriscError> {
+    let n = r.uvarint()? as usize;
+    if n == 0 || n > 16 {
+        return Err(BriscError::Corrupt(format!("bad pattern count {n}")));
+    }
+    let mut patterns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let base_byte = r.u8()?;
+        let base = *base_op_index()
+            .0
+            .get(usize::from(base_byte))
+            .ok_or_else(|| BriscError::Corrupt(format!("bad base op {base_byte}")))?;
+        let arity =
+            codecomp_vm::encode::fields(&codecomp_vm::encode::canonical_instance(base)).len();
+        let mut fields = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let tag = r.u8()?;
+            fields.push(match tag {
+                0x00 => PatternField::Wildcard(FieldKind::Reg),
+                0x01 => PatternField::Wildcard(FieldKind::Imm(ImmEnc::X4)),
+                0x02 => PatternField::Wildcard(FieldKind::Imm(ImmEnc::I8)),
+                0x03 => PatternField::Wildcard(FieldKind::Imm(ImmEnc::I16)),
+                0x04 => PatternField::Wildcard(FieldKind::Imm(ImmEnc::I32)),
+                0x05 => PatternField::Wildcard(FieldKind::Target),
+                0x06 => PatternField::Wildcard(FieldKind::Func),
+                t if t & 0xF0 == 0x10 => PatternField::Burned(Field::Reg(Reg::new(t & 0x0F))),
+                0x20 => PatternField::Burned(Field::Imm(
+                    i32::try_from(r.ivarint()?)
+                        .map_err(|_| BriscError::Corrupt("burned imm out of range".into()))?,
+                )),
+                other => return Err(BriscError::Corrupt(format!("bad field tag {other}"))),
+            });
+        }
+        patterns.push(InstPattern { base, fields });
+    }
+    Ok(DictEntry { patterns })
+}
+
+/// Serializes the Markov tables (defines their charged size).
+pub fn serialize_markov(markov: &MarkovTables) -> Vec<u8> {
+    let mut out = Vec::new();
+    let lists = markov.iter_sorted();
+    put_uvarint(&mut out, lists.len() as u64);
+    for (ctx, succ) in lists {
+        put_uvarint(&mut out, u64::from(ctx));
+        put_uvarint(&mut out, succ.len() as u64);
+        for &e in succ {
+            put_uvarint(&mut out, u64::from(e));
+        }
+    }
+    out
+}
+
+fn deserialize_markov(r: &mut Rd<'_>) -> Result<MarkovTables, BriscError> {
+    let n = r.uvarint()? as usize;
+    let mut lists = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ctx = r.uvarint()? as u32;
+        let m = r.uvarint()? as usize;
+        let mut succ = Vec::with_capacity(m);
+        for _ in 0..m {
+            succ.push(r.uvarint()? as u32);
+        }
+        lists.push((ctx, succ));
+    }
+    Ok(MarkovTables::from_lists(lists))
+}
+
+impl BriscImage {
+    /// Serializes the image.
+    ///
+    /// The header (dictionary, Markov tables, globals, function table) is
+    /// load-time metadata the decompressor expands once, so the container
+    /// DEFLATEs it; the *code* stream is stored raw — it must remain
+    /// byte-addressable for in-place interpretation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut header = Vec::new();
+        put_uvarint(&mut header, self.dictionary.len() as u64);
+        for e in &self.dictionary {
+            header.extend_from_slice(&serialize_entry(e));
+        }
+        header.extend_from_slice(&serialize_markov(&self.markov));
+        put_uvarint(&mut header, self.globals.len() as u64);
+        for g in &self.globals {
+            put_string(&mut header, &g.name);
+            put_uvarint(&mut header, u64::from(g.size));
+            put_uvarint(&mut header, g.init.len() as u64);
+            header.extend_from_slice(&g.init);
+        }
+        put_uvarint(&mut header, self.functions.len() as u64);
+        for f in &self.functions {
+            put_string(&mut header, &f.name);
+            put_uvarint(&mut header, f.param_count as u64);
+            put_uvarint(&mut header, u64::from(f.frame_size));
+            put_uvarint(&mut header, f.saved_regs.len() as u64);
+            for r in &f.saved_regs {
+                header.push(r.number());
+            }
+            put_uvarint(&mut header, u64::from(f.start));
+            put_uvarint(&mut header, u64::from(f.len));
+            put_uvarint(&mut header, f.extra_leaders.len() as u64);
+            let mut prev = 0u32;
+            for &l in &f.extra_leaders {
+                put_uvarint(&mut header, u64::from(l - prev));
+                prev = l;
+            }
+        }
+        let packed_header =
+            codecomp_flate::deflate_compress(&header, codecomp_flate::CompressionLevel::Best);
+        let mut out = Vec::new();
+        out.extend_from_slice(b"CCBR");
+        out.push(u8::from(self.order0));
+        put_uvarint(&mut out, packed_header.len() as u64);
+        out.extend_from_slice(&packed_header);
+        put_uvarint(&mut out, self.code.len() as u64);
+        out.extend_from_slice(&self.code);
+        out
+    }
+
+    /// Deserializes an image.
+    ///
+    /// # Errors
+    ///
+    /// [`BriscError::Corrupt`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<BriscImage, BriscError> {
+        let mut outer = Rd { bytes, pos: 0 };
+        if outer.take(4)? != b"CCBR" {
+            return Err(BriscError::Corrupt("bad magic".into()));
+        }
+        let order0 = outer.u8()? != 0;
+        let header_len = outer.uvarint()? as usize;
+        let packed_header = outer.take(header_len)?;
+        let header = codecomp_flate::inflate(packed_header)
+            .map_err(|e| BriscError::Corrupt(format!("header: {e}")))?;
+        let mut r = Rd {
+            bytes: &header,
+            pos: 0,
+        };
+        let ndict = r.uvarint()? as usize;
+        let mut dictionary = Vec::with_capacity(ndict);
+        for _ in 0..ndict {
+            dictionary.push(deserialize_entry(&mut r)?);
+        }
+        let markov = deserialize_markov(&mut r)?;
+        let nglobals = r.uvarint()? as usize;
+        let mut globals = Vec::with_capacity(nglobals);
+        for _ in 0..nglobals {
+            let name = r.string()?;
+            let size = r.uvarint()? as u32;
+            let init_len = r.uvarint()? as usize;
+            globals.push(VmGlobal {
+                name,
+                size,
+                init: r.take(init_len)?.to_vec(),
+            });
+        }
+        let nfuncs = r.uvarint()? as usize;
+        let mut functions = Vec::with_capacity(nfuncs);
+        for _ in 0..nfuncs {
+            let name = r.string()?;
+            let param_count = r.uvarint()? as usize;
+            let frame_size = r.uvarint()? as u32;
+            let nsaved = r.uvarint()? as usize;
+            let mut saved_regs = Vec::with_capacity(nsaved);
+            for _ in 0..nsaved {
+                let n = r.u8()?;
+                if n >= Reg::COUNT {
+                    return Err(BriscError::Corrupt("bad saved register".into()));
+                }
+                saved_regs.push(Reg::new(n));
+            }
+            let start = r.uvarint()? as u32;
+            let len = r.uvarint()? as u32;
+            let nleaders = r.uvarint()? as usize;
+            let mut extra_leaders = Vec::with_capacity(nleaders);
+            let mut prev = 0u32;
+            for _ in 0..nleaders {
+                prev += r.uvarint()? as u32;
+                extra_leaders.push(prev);
+            }
+            functions.push(BriscFunction {
+                name,
+                param_count,
+                frame_size,
+                saved_regs,
+                start,
+                len,
+                extra_leaders,
+            });
+        }
+        if r.pos != header.len() {
+            return Err(BriscError::Corrupt("trailing header bytes".into()));
+        }
+        let code_len = outer.uvarint()? as usize;
+        let code = outer.take(code_len)?.to_vec();
+        if outer.pos != bytes.len() {
+            return Err(BriscError::Corrupt("trailing bytes".into()));
+        }
+        Ok(BriscImage {
+            dictionary,
+            markov,
+            order0,
+            globals,
+            functions,
+            code,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::InstPattern;
+    use codecomp_vm::asm::parse_inst;
+
+    fn base_entry(s: &str) -> DictEntry {
+        DictEntry::single(InstPattern::base_of(&parse_inst(s, 1).unwrap()))
+    }
+
+    #[test]
+    fn entry_serialization_roundtrip() {
+        let samples = [
+            base_entry("mov.i n4,n0"),
+            base_entry("ld.iw n0,4(sp)"),
+            base_entry("enter sp,sp,24"),
+            base_entry("ble.i n4,0,$L5"),
+            base_entry("call pepper"),
+            base_entry("epi"),
+            DictEntry::combined(&base_entry("mov.i n4,n0"), &base_entry("mov.i n2,n1")),
+        ];
+        for e in &samples {
+            let bytes = serialize_entry(e);
+            let mut r = Rd {
+                bytes: &bytes,
+                pos: 0,
+            };
+            let back = deserialize_entry(&mut r).unwrap();
+            assert_eq!(&back, e, "roundtrip failed for {e}");
+            assert_eq!(r.pos, bytes.len());
+        }
+    }
+
+    #[test]
+    fn burned_fields_roundtrip() {
+        let mut p = InstPattern::base_of(&parse_inst("ld.iw n0,4(sp)", 1).unwrap());
+        p.fields[0] = PatternField::Burned(Field::Reg(Reg::new(0)));
+        p.fields[1] = PatternField::Burned(Field::Imm(-300));
+        let e = DictEntry::single(p);
+        let bytes = serialize_entry(&e);
+        let mut r = Rd {
+            bytes: &bytes,
+            pos: 0,
+        };
+        assert_eq!(deserialize_entry(&mut r).unwrap(), e);
+    }
+
+    /// A tiny hand-built program exercising assemble + decode_at.
+    fn tiny_image() -> BriscImage {
+        // Dictionary: [li *,*i8] = 0, [add.i *,*,*] = 1, [rjr *] = 2,
+        // [j *] = 3.
+        let dict = vec![
+            base_entry("li n0,1"),
+            base_entry("add.i n0,n1,n2"),
+            base_entry("rjr ra"),
+            base_entry("j $L0"),
+        ];
+        // Function: li n0,5; li n1,6; add n0,n0,n1; rjr ra.
+        let items = vec![
+            Item {
+                entry: 0,
+                values: vec![Field::Reg(Reg::new(0)), Field::Imm(5)],
+            },
+            Item {
+                entry: 0,
+                values: vec![Field::Reg(Reg::new(1)), Field::Imm(6)],
+            },
+            Item {
+                entry: 1,
+                values: vec![
+                    Field::Reg(Reg::new(0)),
+                    Field::Reg(Reg::new(0)),
+                    Field::Reg(Reg::new(1)),
+                ],
+            },
+            Item {
+                entry: 2,
+                values: vec![Field::Reg(Reg::RA)],
+            },
+        ];
+        let f = FuncItems {
+            name: "main".into(),
+            param_count: 0,
+            frame_size: 0,
+            saved_regs: vec![],
+            leaders: vec![true, false, false, false],
+            items,
+        };
+        assemble(dict, vec![f], vec![]).unwrap()
+    }
+
+    #[test]
+    fn assemble_and_decode() {
+        let img = tiny_image();
+        assert_eq!(img.functions.len(), 1);
+        let mut pos = img.functions[0].start as usize;
+        let mut ctx = BLOCK_START;
+        let mut decoded = Vec::new();
+        while pos < (img.functions[0].start + img.functions[0].len) as usize {
+            let item = img.decode_at(pos, ctx).unwrap();
+            ctx = item.entry;
+            pos += item.size;
+            decoded.extend(item.insts);
+        }
+        let expect: Vec<Inst> = ["li n0,5", "li n1,6", "add.i n0,n0,n1", "rjr ra"]
+            .iter()
+            .map(|s| parse_inst(s, 1).unwrap())
+            .collect();
+        assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn image_bytes_roundtrip() {
+        let img = tiny_image();
+        let bytes = img.to_bytes();
+        let back = BriscImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn corrupt_image_rejected() {
+        let img = tiny_image();
+        let bytes = img.to_bytes();
+        assert!(BriscImage::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(BriscImage::from_bytes(b"XXXX").is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'Y';
+        assert!(BriscImage::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn branch_targets_patch_to_byte_offsets() {
+        // f: L0: li n0,1; j L0 — jump target must be byte offset 0.
+        let dict = vec![base_entry("li n0,1"), base_entry("j $L0")];
+        let items = vec![
+            Item {
+                entry: 0,
+                values: vec![Field::Reg(Reg::new(0)), Field::Imm(1)],
+            },
+            Item {
+                entry: 1,
+                values: vec![Field::Target(0)],
+            }, // item index 0
+        ];
+        let f = FuncItems {
+            name: "f".into(),
+            param_count: 0,
+            frame_size: 0,
+            saved_regs: vec![],
+            leaders: vec![true, false],
+            items,
+        };
+        let img = assemble(dict, vec![f], vec![]).unwrap();
+        let first = img.decode_at(0, BLOCK_START).unwrap();
+        let second = img.decode_at(first.size, first.entry).unwrap();
+        assert_eq!(second.insts[0], Inst::Jump { target: 0 });
+    }
+
+    #[test]
+    fn extra_leaders_recorded_for_fallthrough_labels() {
+        // li; li (leader: branch target); rjr — the middle item is a
+        // leader but its predecessor falls through.
+        let dict = vec![base_entry("li n0,1"), base_entry("rjr ra")];
+        let items = vec![
+            Item {
+                entry: 0,
+                values: vec![Field::Reg(Reg::new(0)), Field::Imm(1)],
+            },
+            Item {
+                entry: 0,
+                values: vec![Field::Reg(Reg::new(1)), Field::Imm(2)],
+            },
+            Item {
+                entry: 1,
+                values: vec![Field::Reg(Reg::RA)],
+            },
+        ];
+        let f = FuncItems {
+            name: "f".into(),
+            param_count: 0,
+            frame_size: 0,
+            saved_regs: vec![],
+            leaders: vec![true, true, false],
+            items,
+        };
+        let img = assemble(dict, vec![f], vec![]).unwrap();
+        assert_eq!(img.functions[0].extra_leaders.len(), 1);
+        let leader_off = img.functions[0].extra_leaders[0];
+        assert!(img.is_extra_leader(0, leader_off));
+        // The item there decodes in BLOCK_START context.
+        let item = img.decode_at(leader_off as usize, BLOCK_START).unwrap();
+        assert_eq!(item.insts[0], parse_inst("li n1,2", 1).unwrap());
+    }
+
+    #[test]
+    fn host_function_references() {
+        let dict = vec![base_entry("call print_int"), base_entry("rjr ra")];
+        let items = vec![
+            Item {
+                entry: 0,
+                values: vec![Field::Func("print_int".into())],
+            },
+            Item {
+                entry: 1,
+                values: vec![Field::Reg(Reg::RA)],
+            },
+        ];
+        let f = FuncItems {
+            name: "f".into(),
+            param_count: 0,
+            frame_size: 0,
+            saved_regs: vec![],
+            leaders: vec![true, true], // after-call is a leader
+            items,
+        };
+        let img = assemble(dict, vec![f], vec![]).unwrap();
+        let item = img.decode_at(0, BLOCK_START).unwrap();
+        assert_eq!(item.insts[0], parse_inst("call print_int", 1).unwrap());
+    }
+}

@@ -1,0 +1,657 @@
+//! Direct interpretation of compressed BRISC code.
+//!
+//! "Some applications, such as … working set reduction through direct
+//! interpretation of compressed code, require a randomly addressable,
+//! compact program representation" (§4). [`BriscMachine`] executes the
+//! image *in place*: each step decodes the dictionary item at the
+//! current byte offset (in its Markov context) and executes its
+//! expansion; no decompressed copy of the program is ever built. The
+//! per-item decode work is exactly the interpretation overhead the
+//! paper's "~12×" figure measures, and the byte-range touch map feeds
+//! the working-set experiment.
+
+use crate::image::BriscImage;
+use crate::markov::BLOCK_START;
+use crate::BriscError;
+use codecomp_vm::interp::{alu_eval, cond_eval, DONE, FUNC_BASE, GLOBAL_BASE, HOST_BASE, RA_BASE};
+use codecomp_vm::isa::{FuncRef, Inst, MemWidth};
+use codecomp_vm::reg::Reg;
+
+/// The result of a BRISC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BriscOutcome {
+    /// The entry function's return value (`n0`).
+    pub value: i64,
+    /// Host-function output bytes.
+    pub output: Vec<u8>,
+    /// Instructions executed (after expansion).
+    pub instructions: u64,
+    /// Dictionary items decoded (each is one in-place decode operation).
+    pub items_decoded: u64,
+    /// Calls performed.
+    pub calls: u64,
+}
+
+/// An interpreter over a compressed image.
+#[derive(Debug)]
+pub struct BriscMachine<'a> {
+    image: &'a BriscImage,
+    mem: Vec<u8>,
+    regs: [i64; 16],
+    output: Vec<u8>,
+    fuel: u64,
+    instructions: u64,
+    items_decoded: u64,
+    calls: u64,
+    /// Per-code-byte touch map for working-set measurement.
+    pub code_touched: Vec<bool>,
+}
+
+impl<'a> BriscMachine<'a> {
+    /// Prepares memory and global layout (identical to the VM machine's).
+    ///
+    /// # Errors
+    ///
+    /// [`BriscError::Exec`] if globals do not fit.
+    pub fn new(image: &'a BriscImage, mem_size: u32, fuel: u64) -> Result<Self, BriscError> {
+        let mut mem = vec![0u8; mem_size as usize];
+        let mut next = GLOBAL_BASE;
+        for g in &image.globals {
+            let aligned = next.div_ceil(4) * 4;
+            if u64::from(aligned) + u64::from(g.size) > u64::from(mem_size) {
+                return Err(BriscError::Exec(format!("global {} does not fit", g.name)));
+            }
+            let start = aligned as usize;
+            let n = g.init.len().min(g.size as usize);
+            mem[start..start + n].copy_from_slice(&g.init[..n]);
+            next = aligned + g.size;
+        }
+        Ok(Self {
+            code_touched: vec![false; image.code.len()],
+            image,
+            mem,
+            regs: [0; 16],
+            output: Vec::new(),
+            fuel,
+            instructions: 0,
+            items_decoded: 0,
+            calls: 0,
+        })
+    }
+
+    /// Runs `entry` with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`BriscError::Exec`] on faults or fuel exhaustion;
+    /// [`BriscError::Corrupt`] if decoding fails mid-run.
+    pub fn run(&mut self, entry: &str, args: &[i64]) -> Result<BriscOutcome, BriscError> {
+        let entry_idx = self
+            .image
+            .function_index(entry)
+            .ok_or_else(|| BriscError::Exec(format!("undefined entry function {entry}")))?;
+        let staging = (args.len().max(1) as u32) * 4;
+        let top = (self.mem.len() as u32 & !3) - staging;
+        self.set_reg(Reg::SP, i64::from(top));
+        for (i, &a) in args.iter().enumerate() {
+            self.store(top + 4 * i as u32, MemWidth::Word, a)?;
+        }
+        for (i, &a) in args.iter().take(4).enumerate() {
+            self.regs[i] = a;
+        }
+        self.set_reg(Reg::RA, i64::from(RA_BASE + DONE));
+        self.calls += 1;
+
+        let mut pc = self.image.functions[entry_idx].start as usize;
+        let mut ctx = BLOCK_START;
+        loop {
+            if self.fuel == 0 {
+                return Err(BriscError::Exec("fuel exhausted".into()));
+            }
+            self.fuel -= 1;
+            let item = self.image.decode_at(pc, ctx)?;
+            self.items_decoded += 1;
+            for b in &mut self.code_touched[pc..pc + item.size] {
+                *b = true;
+            }
+            let func = self
+                .image
+                .function_at(pc)
+                .ok_or_else(|| BriscError::Exec(format!("pc {pc} outside all functions")))?;
+            let func_start = self.image.functions[func].start as usize;
+
+            let mut transfer: Option<(usize, u32)> = None; // (new pc, new ctx)
+            let mut done = false;
+            for inst in &item.insts {
+                self.instructions += 1;
+                match self.step(inst, func, func_start, pc + item.size)? {
+                    Flow::Continue => {}
+                    Flow::Goto(new_pc) => {
+                        transfer = Some((new_pc, BLOCK_START));
+                        break;
+                    }
+                    Flow::Done => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            if done {
+                return Ok(BriscOutcome {
+                    value: self.regs[0],
+                    output: std::mem::take(&mut self.output),
+                    instructions: self.instructions,
+                    items_decoded: self.items_decoded,
+                    calls: self.calls,
+                });
+            }
+            match transfer {
+                Some((new_pc, new_ctx)) => {
+                    pc = new_pc;
+                    ctx = new_ctx;
+                }
+                None => {
+                    let next = pc + item.size;
+                    let last = item.insts.last().expect("items are nonempty");
+                    let next_local = (next - func_start) as u32;
+                    ctx = if last.ends_block() || self.image.is_extra_leader(func, next_local) {
+                        BLOCK_START
+                    } else {
+                        item.entry
+                    };
+                    pc = next;
+                }
+            }
+        }
+    }
+
+    fn reg(&self, r: Reg) -> i64 {
+        self.regs[usize::from(r.number())]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: i64) {
+        self.regs[usize::from(r.number())] = i64::from(v as i32);
+    }
+
+    fn step(
+        &mut self,
+        inst: &Inst,
+        func: usize,
+        func_start: usize,
+        return_to: usize,
+    ) -> Result<Flow, BriscError> {
+        match inst {
+            Inst::Li { rd, imm } => {
+                self.set_reg(*rd, i64::from(*imm));
+                Ok(Flow::Continue)
+            }
+            Inst::Mov { rd, rs } => {
+                self.set_reg(*rd, self.reg(*rs));
+                Ok(Flow::Continue)
+            }
+            Inst::Alu { op, rd, rs, rt } => {
+                let v = alu_eval(*op, self.reg(*rs), self.reg(*rt))
+                    .map_err(|e| BriscError::Exec(e.to_string()))?;
+                self.set_reg(*rd, v);
+                Ok(Flow::Continue)
+            }
+            Inst::AluImm { op, rd, rs, imm } => {
+                let v = alu_eval(*op, self.reg(*rs), i64::from(*imm))
+                    .map_err(|e| BriscError::Exec(e.to_string()))?;
+                self.set_reg(*rd, v);
+                Ok(Flow::Continue)
+            }
+            Inst::Neg { rd, rs } => {
+                self.set_reg(*rd, -self.reg(*rs));
+                Ok(Flow::Continue)
+            }
+            Inst::Not { rd, rs } => {
+                self.set_reg(*rd, !self.reg(*rs));
+                Ok(Flow::Continue)
+            }
+            Inst::Sext { width, rd, rs } => {
+                let v = self.reg(*rs);
+                let v = match width {
+                    MemWidth::Byte => i64::from(v as i8),
+                    MemWidth::Short => i64::from(v as i16),
+                    MemWidth::Word => i64::from(v as i32),
+                };
+                self.set_reg(*rd, v);
+                Ok(Flow::Continue)
+            }
+            Inst::Load {
+                width,
+                rd,
+                off,
+                base,
+            } => {
+                let addr = (self.reg(*base) as u32).wrapping_add(*off as u32);
+                let v = self.load(addr, *width)?;
+                self.set_reg(*rd, v);
+                Ok(Flow::Continue)
+            }
+            Inst::Store {
+                width,
+                rs,
+                off,
+                base,
+            } => {
+                let addr = (self.reg(*base) as u32).wrapping_add(*off as u32);
+                self.store(addr, *width, self.reg(*rs))?;
+                Ok(Flow::Continue)
+            }
+            Inst::Spill { rs, off } => {
+                let addr = (self.reg(Reg::SP) as u32).wrapping_add(*off as u32);
+                self.store(addr, MemWidth::Word, self.reg(*rs))?;
+                Ok(Flow::Continue)
+            }
+            Inst::Reload { rd, off } => {
+                let addr = (self.reg(Reg::SP) as u32).wrapping_add(*off as u32);
+                let v = self.load(addr, MemWidth::Word)?;
+                self.set_reg(*rd, v);
+                Ok(Flow::Continue)
+            }
+            Inst::Enter { amount } => {
+                self.set_reg(Reg::SP, self.reg(Reg::SP) - i64::from(*amount));
+                Ok(Flow::Continue)
+            }
+            Inst::Exit { amount } => {
+                self.set_reg(Reg::SP, self.reg(Reg::SP) + i64::from(*amount));
+                Ok(Flow::Continue)
+            }
+            Inst::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => {
+                if cond_eval(*cond, self.reg(*rs), self.reg(*rt)) {
+                    Ok(Flow::Goto(func_start + *target as usize))
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+            Inst::BranchImm {
+                cond,
+                rs,
+                imm,
+                target,
+            } => {
+                if cond_eval(*cond, self.reg(*rs), i64::from(*imm)) {
+                    Ok(Flow::Goto(func_start + *target as usize))
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+            Inst::Jump { target } => Ok(Flow::Goto(func_start + *target as usize)),
+            Inst::Call {
+                target: FuncRef::Symbol(name),
+            } => self.call_name(name, return_to),
+            Inst::CallR { rs } => {
+                let addr = self.reg(*rs) as u32;
+                self.call_addr(addr, return_to)
+            }
+            Inst::Rjr { rs } => self.return_to(self.reg(*rs) as u32),
+            Inst::Epi => {
+                let f = &self.image.functions[func];
+                let sp = self.reg(Reg::SP) as u32;
+                let slots: Vec<(Reg, i32)> = f
+                    .saved_regs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| (r, f.frame_size as i32 - 8 - 4 * i as i32))
+                    .collect();
+                let ra_slot = f.frame_size as i32 - 4;
+                let frame = f.frame_size;
+                for (r, slot) in slots {
+                    let v = self.load(sp.wrapping_add(slot as u32), MemWidth::Word)?;
+                    self.set_reg(r, v);
+                }
+                let ra = self.load(sp.wrapping_add(ra_slot as u32), MemWidth::Word)?;
+                self.set_reg(Reg::RA, ra);
+                self.set_reg(Reg::SP, i64::from(sp) + i64::from(frame));
+                self.return_to(ra as u32)
+            }
+            Inst::Bcopy { rd, rs, rn } => {
+                let dst = self.reg(*rd) as u32;
+                let src = self.reg(*rs) as u32;
+                let n = self.reg(*rn) as u32;
+                for i in 0..n {
+                    let b = self.load(src.wrapping_add(i), MemWidth::Byte)?;
+                    self.store(dst.wrapping_add(i), MemWidth::Byte, b)?;
+                }
+                Ok(Flow::Continue)
+            }
+            Inst::Bzero { rd, rn } => {
+                let dst = self.reg(*rd) as u32;
+                let n = self.reg(*rn) as u32;
+                for i in 0..n {
+                    self.store(dst.wrapping_add(i), MemWidth::Byte, 0)?;
+                }
+                Ok(Flow::Continue)
+            }
+            Inst::Nop => Ok(Flow::Continue),
+            Inst::Label(_) => Err(BriscError::Exec("label in decoded stream".into())),
+        }
+    }
+
+    fn call_name(&mut self, name: &str, return_to: usize) -> Result<Flow, BriscError> {
+        self.calls += 1;
+        if let Some(idx) = self.image.function_index(name) {
+            self.set_reg(Reg::RA, i64::from(RA_BASE) + return_to as i64);
+            return Ok(Flow::Goto(self.image.functions[idx].start as usize));
+        }
+        self.host_call(name)?;
+        Ok(Flow::Continue)
+    }
+
+    fn call_addr(&mut self, addr: u32, return_to: usize) -> Result<Flow, BriscError> {
+        self.calls += 1;
+        if (HOST_BASE..RA_BASE).contains(&addr) {
+            let idx = (addr - HOST_BASE) as usize;
+            let name = codecomp_ir::eval::HOST_FUNCTIONS
+                .get(idx)
+                .ok_or_else(|| BriscError::Exec("bad host address".into()))?;
+            self.host_call(name)?;
+            return Ok(Flow::Continue);
+        }
+        if (FUNC_BASE..HOST_BASE).contains(&addr) {
+            let idx = (addr - FUNC_BASE) as usize;
+            let f = self
+                .image
+                .functions
+                .get(idx)
+                .ok_or_else(|| BriscError::Exec(format!("bad function address {addr:#x}")))?;
+            self.set_reg(Reg::RA, i64::from(RA_BASE) + return_to as i64);
+            return Ok(Flow::Goto(f.start as usize));
+        }
+        Err(BriscError::Exec(format!(
+            "call to non-function address {addr:#x}"
+        )))
+    }
+
+    fn return_to(&mut self, addr: u32) -> Result<Flow, BriscError> {
+        if addr == RA_BASE + DONE {
+            return Ok(Flow::Done);
+        }
+        if addr >= RA_BASE {
+            return Ok(Flow::Goto((addr - RA_BASE) as usize));
+        }
+        Err(BriscError::Exec(format!(
+            "jump to non-code address {addr:#x}"
+        )))
+    }
+
+    fn host_call(&mut self, name: &str) -> Result<(), BriscError> {
+        match name {
+            "print_int" => {
+                let v = self.regs[0] as i32;
+                self.output.extend_from_slice(v.to_string().as_bytes());
+                self.output.push(b'\n');
+                self.regs[0] = 0;
+                Ok(())
+            }
+            "print_char" => {
+                self.output.push(self.regs[0] as u8);
+                self.regs[0] = 0;
+                Ok(())
+            }
+            other => Err(BriscError::Exec(format!("unknown host function {other}"))),
+        }
+    }
+
+    fn load(&self, addr: u32, width: MemWidth) -> Result<i64, BriscError> {
+        let a = addr as usize;
+        let size = width.bytes() as usize;
+        if a == 0 || a + size > self.mem.len() {
+            return Err(BriscError::Exec(format!(
+                "bad load of {size} bytes at {addr:#x}"
+            )));
+        }
+        Ok(match width {
+            MemWidth::Byte => i64::from(self.mem[a] as i8),
+            MemWidth::Short => i64::from(i16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
+            MemWidth::Word => i64::from(i32::from_le_bytes([
+                self.mem[a],
+                self.mem[a + 1],
+                self.mem[a + 2],
+                self.mem[a + 3],
+            ])),
+        })
+    }
+
+    fn store(&mut self, addr: u32, width: MemWidth, value: i64) -> Result<(), BriscError> {
+        let a = addr as usize;
+        let size = width.bytes() as usize;
+        if a == 0 || a + size > self.mem.len() {
+            return Err(BriscError::Exec(format!(
+                "bad store of {size} bytes at {addr:#x}"
+            )));
+        }
+        match width {
+            MemWidth::Byte => self.mem[a] = value as u8,
+            MemWidth::Short => self.mem[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            MemWidth::Word => self.mem[a..a + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    /// Bytes of compressed code touched so far.
+    pub fn touched_code_bytes(&self) -> usize {
+        self.code_touched.iter().filter(|&&t| t).count()
+    }
+
+    /// The touched byte offsets as `(offset, len)` runs, for paging
+    /// simulation.
+    pub fn touched_runs(&self) -> Vec<(u32, u32)> {
+        let mut runs = Vec::new();
+        let mut start = None;
+        for (i, &t) in self.code_touched.iter().enumerate() {
+            match (t, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    runs.push((s as u32, (i - s) as u32));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            runs.push((s as u32, (self.code_touched.len() - s) as u32));
+        }
+        runs
+    }
+}
+
+enum Flow {
+    Continue,
+    Goto(usize),
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{compress, BriscOptions};
+    use codecomp_front::compile;
+    use codecomp_vm::codegen::compile_module;
+    use codecomp_vm::interp::Machine;
+    use codecomp_vm::isa::IsaConfig;
+
+    /// Front end → VM interpreter and front end → BRISC interpreter must
+    /// agree on value and output, under several compressor option sets.
+    fn differential(src: &str, args: &[i64]) {
+        let ir = compile(src).unwrap();
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let expect = Machine::new(&vm, 1 << 20, 1 << 26)
+            .unwrap()
+            .run("main", args)
+            .unwrap();
+        let variants = [
+            ("default", BriscOptions::default()),
+            (
+                "no-combination",
+                BriscOptions {
+                    combination: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "no-specialization",
+                BriscOptions {
+                    specialization: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "no-epi",
+                BriscOptions {
+                    epi: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "order0",
+                BriscOptions {
+                    order0: true,
+                    ..Default::default()
+                },
+            ),
+            (
+                "abundant",
+                BriscOptions {
+                    regime: codecomp_core::dict::MemoryRegime::Abundant,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (name, options) in variants {
+            let report = compress(&vm, options).unwrap();
+            let mut m = BriscMachine::new(&report.image, 1 << 20, 1 << 26).unwrap();
+            let got = m.run("main", args).unwrap();
+            assert_eq!(got.value, expect.value, "value mismatch under {name}");
+            assert_eq!(got.output, expect.output, "output mismatch under {name}");
+            assert!(m.touched_code_bytes() > 0, "touch map empty under {name}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_locals() {
+        differential(
+            "int main() { int x = 7; int y = x * 6; return y - (x % 3); }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        differential(
+            "int main() {
+                 int s = 0; int i;
+                 for (i = 0; i < 25; i++) { if (i % 3 == 0) continue; s += i; }
+                 return s;
+             }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        differential(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int main() { return fib(11); }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn the_paper_example_runs_compressed() {
+        differential(
+            "int pepper(int a, int b) { return a + b; }
+             int salt(int j, int i) { if (j > 0) { pepper(i, j); j--; } return j; }
+             int main() { return salt(3, 9) * 10 + salt(0, 4); }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn arrays_strings_output() {
+        differential(
+            "char msg[6] = \"hello\";
+             int main() {
+                 int n = 0;
+                 char *s = msg;
+                 while (*s) { print_char(*s); s++; n++; }
+                 print_int(n);
+                 return n;
+             }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn many_arguments() {
+        differential(
+            "int sum6(int a, int b, int c, int d, int e, int f) {
+                 return a + b + c + d + e + f;
+             }
+             int main() { return sum6(1, 2, 3, 4, 5, 6); }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn entry_arguments_forwarded() {
+        let ir = compile("int main(int a, int b) { return a * b + 1; }").unwrap();
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let report = compress(&vm, BriscOptions::default()).unwrap();
+        let mut m = BriscMachine::new(&report.image, 1 << 20, 1 << 24).unwrap();
+        assert_eq!(m.run("main", &[6, 7]).unwrap().value, 43);
+    }
+
+    #[test]
+    fn faults_surface_as_errors() {
+        let ir = compile("int main() { int x = 0; return 5 / x; }").unwrap();
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let report = compress(&vm, BriscOptions::default()).unwrap();
+        let mut m = BriscMachine::new(&report.image, 1 << 20, 1 << 24).unwrap();
+        assert!(m.run("main", &[]).is_err());
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let ir = compile("int main() { while (1) ; return 0; }").unwrap();
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let report = compress(&vm, BriscOptions::default()).unwrap();
+        let mut m = BriscMachine::new(&report.image, 1 << 20, 1000).unwrap();
+        assert!(matches!(m.run("main", &[]), Err(BriscError::Exec(_))));
+    }
+
+    #[test]
+    fn working_set_smaller_than_whole_program_for_partial_execution() {
+        // Only main and f are executed; g/h are dead weight.
+        let src = "
+            int f(int x) { return x + 1; }
+            int g(int x) { int i; int s = 0; for (i = 0; i < x; i++) s += i * i; return s; }
+            int h(int x) { return g(x) * g(x + 1) - f(x); }
+            int main() { return f(41); }
+        ";
+        let ir = compile(src).unwrap();
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let report = compress(&vm, BriscOptions::default()).unwrap();
+        let mut m = BriscMachine::new(&report.image, 1 << 20, 1 << 24).unwrap();
+        m.run("main", &[]).unwrap();
+        let touched = m.touched_code_bytes();
+        assert!(touched > 0);
+        assert!(
+            touched < report.image.code_size() / 2,
+            "touched {} of {} bytes",
+            touched,
+            report.image.code_size()
+        );
+        let runs = m.touched_runs();
+        assert!(!runs.is_empty());
+        let run_total: u32 = runs.iter().map(|&(_, l)| l).sum();
+        assert_eq!(run_total as usize, touched);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: BRISC images survive serialization, corrupt images
+//! never panic, and random generated programs execute identically in
+//! compressed form.
+
+use codecomp_brisc::compress::{compress, BriscOptions};
+use codecomp_brisc::interp::BriscMachine;
+use codecomp_brisc::translate::translate;
+use codecomp_brisc::BriscImage;
+use codecomp_corpus::{synthetic, SynthConfig};
+use codecomp_front::compile;
+use codecomp_vm::codegen::compile_module;
+use codecomp_vm::interp::Machine;
+use codecomp_vm::isa::IsaConfig;
+use proptest::prelude::*;
+
+const MEM: u32 = 1 << 22;
+const FUEL: u64 = 1 << 26;
+
+fn compressed_image(seed: u64) -> BriscImage {
+    let src = synthetic(
+        seed,
+        SynthConfig {
+            functions: 6,
+            statements_per_function: 5,
+            globals: 3,
+        },
+    );
+    let ir = compile(&src).expect("generated programs compile");
+    let vm = compile_module(&ir, IsaConfig::full()).expect("codegen succeeds");
+    compress(&vm, BriscOptions::default())
+        .expect("compression succeeds")
+        .image
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn image_serialization_roundtrip(seed in 0u64..500) {
+        let image = compressed_image(seed);
+        let bytes = image.to_bytes();
+        prop_assert_eq!(BriscImage::from_bytes(&bytes).unwrap(), image);
+    }
+
+    #[test]
+    fn corrupt_images_never_panic(seed in 0u64..100, flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
+        let image = compressed_image(seed);
+        let mut bytes = image.to_bytes();
+        for (idx, mask) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= mask;
+        }
+        // Deserialization may fail; if it succeeds, decode/translate and
+        // even execution must fail cleanly rather than panic.
+        if let Ok(broken) = BriscImage::from_bytes(&bytes) {
+            let _ = translate(&broken);
+            if let Ok(mut m) = BriscMachine::new(&broken, MEM, 10_000) {
+                let _ = m.run("main", &[]);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_execution_matches_vm(seed in 0u64..500, k in 1usize..25) {
+        let src = synthetic(
+            seed,
+            SynthConfig { functions: 5, statements_per_function: 4, globals: 2 },
+        );
+        let ir = compile(&src).expect("generated programs compile");
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let expect = Machine::new(&vm, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+        // Random K stresses the pass loop's stopping rule.
+        let report = compress(&vm, BriscOptions { k, ..Default::default() }).unwrap();
+        let got =
+            BriscMachine::new(&report.image, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+        prop_assert_eq!(got.value, expect.value);
+        prop_assert_eq!(got.output, expect.output);
+    }
+}

@@ -1,0 +1,389 @@
+//! Bit-granular readers and writers.
+//!
+//! Two bit orders are provided because the two consumers in this
+//! workspace disagree: canonical Huffman streams in the wire format are
+//! written MSB-first ([`BitWriter`]/[`BitReader`]), while DEFLATE
+//! mandates LSB-first packing ([`LsbBitWriter`]/[`LsbBitReader`]).
+
+use crate::CodingError;
+
+/// Writes bits into a byte buffer, most-significant bit first.
+///
+/// # Examples
+///
+/// ```
+/// use codecomp_coding::bits::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bit(true);
+/// let bytes = w.finish();
+/// assert_eq!(bytes, vec![0b1011_0000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits accumulated in `acc`, aligned to the high end.
+    acc: u8,
+    used: u8,
+    total_bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc = (self.acc << 1) | u8::from(bit);
+        self.used += 1;
+        self.total_bits += 1;
+        if self.used == 8 {
+            self.bytes.push(self.acc);
+            self.acc = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u8) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Pads the final partial byte with zero bits and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.acc <<= 8 - self.used;
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits from a byte slice, most-significant bit first.
+///
+/// # Examples
+///
+/// ```
+/// use codecomp_coding::bits::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1011_0000]);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert!(r.read_bit()?);
+/// # Ok::<(), codecomp_coding::CodingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit index within `bytes`.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] when the stream is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool, CodingError> {
+        let byte = self
+            .bytes
+            .get((self.pos / 8) as usize)
+            .ok_or(CodingError::UnexpectedEof)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits, most significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] when fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u8) -> Result<u64, CodingError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut value = 0u64;
+        for _ in 0..count {
+            value = (value << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(value)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits remaining in the underlying slice (including padding bits).
+    pub fn remaining_bits(&self) -> u64 {
+        (self.bytes.len() as u64 * 8).saturating_sub(self.pos)
+    }
+}
+
+/// Writes bits LSB-first within each byte, as required by DEFLATE.
+///
+/// Multi-bit values are written least-significant bit first, matching
+/// RFC 1951's packing of "non-Huffman" fields; Huffman codes must be fed
+/// to [`LsbBitWriter::write_huffman_code`] which reverses them.
+#[derive(Debug, Clone, Default)]
+pub struct LsbBitWriter {
+    bytes: Vec<u8>,
+    acc: u32,
+    used: u8,
+}
+
+impl LsbBitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `count` bits of `value`, least significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 24`.
+    pub fn write_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 24, "cannot write more than 24 bits at once");
+        if count == 0 {
+            return;
+        }
+        self.acc |= (value & ((1u32 << count) - 1)) << self.used;
+        self.used += count;
+        while self.used >= 8 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.used -= 8;
+        }
+    }
+
+    /// Appends a Huffman code of `len` bits: DEFLATE stores Huffman codes
+    /// with their first (most significant) bit in the lowest position, so
+    /// the code is bit-reversed before packing.
+    pub fn write_huffman_code(&mut self, code: u32, len: u8) {
+        let mut reversed = 0u32;
+        for i in 0..len {
+            if (code >> i) & 1 == 1 {
+                reversed |= 1 << (len - 1 - i);
+            }
+        }
+        self.write_bits(reversed, len);
+    }
+
+    /// Pads to a byte boundary with zero bits.
+    pub fn align_to_byte(&mut self) {
+        if self.used > 0 {
+            self.bytes.push((self.acc & 0xFF) as u8);
+            self.acc = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Appends a whole byte (the stream must currently be byte-aligned
+    /// only if exact layout matters; bits are packed continuously).
+    pub fn write_aligned_bytes(&mut self, data: &[u8]) {
+        self.align_to_byte();
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Pads the final byte with zeros and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_to_byte();
+        self.bytes
+    }
+}
+
+/// Reads bits LSB-first within each byte, as required by DEFLATE.
+#[derive(Debug, Clone)]
+pub struct LsbBitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> LsbBitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] when the stream is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool, CodingError> {
+        let byte = self
+            .bytes
+            .get((self.pos / 8) as usize)
+            .ok_or(CodingError::UnexpectedEof)?;
+        let bit = (byte >> (self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits, least significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] when fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn read_bits(&mut self, count: u8) -> Result<u32, CodingError> {
+        assert!(count <= 32, "cannot read more than 32 bits at once");
+        let mut value = 0u32;
+        for i in 0..count {
+            value |= u32::from(self.read_bit()?) << i;
+        }
+        Ok(value)
+    }
+
+    /// Skips forward to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Reads `len` whole bytes after aligning to a byte boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::UnexpectedEof`] when fewer than `len` bytes remain.
+    pub fn read_aligned_bytes(&mut self, len: usize) -> Result<&'a [u8], CodingError> {
+        self.align_to_byte();
+        let start = (self.pos / 8) as usize;
+        let end = start.checked_add(len).ok_or(CodingError::UnexpectedEof)?;
+        if end > self.bytes.len() {
+            return Err(CodingError::UnexpectedEof);
+        }
+        self.pos += len as u64 * 8;
+        Ok(&self.bytes[start..end])
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msb_roundtrip_various_widths() {
+        let mut w = BitWriter::new();
+        let values = [
+            (0b1u64, 1u8),
+            (0b1010, 4),
+            (0xDEAD, 16),
+            (0x1F2F3F4F5u64, 33),
+            (0, 7),
+        ];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn msb_eof_detected() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.read_bit(), Err(CodingError::UnexpectedEof));
+    }
+
+    #[test]
+    fn msb_bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 3);
+        w.write_bits(1, 9);
+        assert_eq!(w.bit_len(), 12);
+        assert_eq!(w.finish().len(), 2);
+    }
+
+    #[test]
+    fn lsb_roundtrip_various_widths() {
+        let mut w = LsbBitWriter::new();
+        let values = [
+            (0b1u32, 1u8),
+            (0b1010, 4),
+            (0xDEAD, 16),
+            (0x3F4F5, 20),
+            (0, 7),
+        ];
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = LsbBitReader::new(&bytes);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn lsb_bit_order_matches_deflate_convention() {
+        // Writing 0b1 as one bit must set the lowest bit of the first byte.
+        let mut w = LsbBitWriter::new();
+        w.write_bits(1, 1);
+        assert_eq!(w.finish(), vec![0x01]);
+    }
+
+    #[test]
+    fn lsb_huffman_code_is_reversed() {
+        // A 3-bit Huffman code 0b110 must appear reversed: 0b011.
+        let mut w = LsbBitWriter::new();
+        w.write_huffman_code(0b110, 3);
+        assert_eq!(w.finish(), vec![0b011]);
+    }
+
+    #[test]
+    fn lsb_aligned_bytes_roundtrip() {
+        let mut w = LsbBitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_aligned_bytes(b"hi");
+        let bytes = w.finish();
+        let mut r = LsbBitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_aligned_bytes(2).unwrap(), b"hi");
+    }
+
+    #[test]
+    fn lsb_align_is_idempotent() {
+        let mut r = LsbBitReader::new(&[0xAA, 0xBB]);
+        r.read_bits(2).unwrap();
+        r.align_to_byte();
+        let p = r.bit_pos();
+        r.align_to_byte();
+        assert_eq!(r.bit_pos(), p);
+        assert_eq!(r.read_bits(8).unwrap(), 0xBB);
+    }
+}

@@ -1,0 +1,559 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! The wire format Huffman-codes move-to-front indices (paper §3 step 4),
+//! and DEFLATE needs length-limited canonical codes for its literal,
+//! distance, and code-length alphabets. Both uses are served here:
+//! [`build_code_lengths`] computes optimal code lengths under a maximum
+//! length (heap-based Huffman with Kraft-sum repair), canonical codes are
+//! assigned in the standard (length, symbol-order) fashion, and
+//! [`HuffmanDecoder`] decodes with a canonical first-code table rather
+//! than a pointer tree.
+
+use crate::bits::{BitReader, BitWriter};
+use crate::CodingError;
+use std::collections::BinaryHeap;
+
+/// Computes optimal code lengths for `freqs`, limited to `max_len` bits.
+///
+/// Symbols with zero frequency receive length 0 (no code). If exactly one
+/// symbol has nonzero frequency it receives length 1, matching DEFLATE's
+/// convention that a code always consumes at least one bit.
+///
+/// The construction is ordinary heap-based Huffman; if the resulting tree
+/// exceeds `max_len`, lengths are clamped and the Kraft sum repaired by
+/// the standard "demote the deepest leaves" adjustment, which preserves
+/// prefix-freeness at a negligible cost in optimality.
+///
+/// # Errors
+///
+/// Returns [`CodingError::LimitTooSmall`] when `2^max_len` is smaller
+/// than the number of used symbols.
+#[allow(clippy::needless_range_loop)] // index walks two parallel arrays
+pub fn build_code_lengths(freqs: &[u64], max_len: u8) -> Result<Vec<u8>, CodingError> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return Ok(lengths),
+        1 => {
+            lengths[used[0]] = 1;
+            return Ok(lengths);
+        }
+        n => {
+            // A limit of 64+ bits can always host the alphabet.
+            if (max_len as u32) < 64 && (1u64 << max_len) < n as u64 {
+                return Err(CodingError::LimitTooSmall {
+                    limit: max_len,
+                    symbols: n,
+                });
+            }
+        }
+    }
+
+    // Heap node: (weight, tie-break id, node index).
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        id: u32,
+        index: usize,
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for min-heap; tie-break on id for determinism.
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    // parent[i] for internal tree; leaves first, internals appended.
+    let mut parent: Vec<usize> = vec![usize::MAX; used.len()];
+    let mut heap = BinaryHeap::new();
+    for (i, &sym) in used.iter().enumerate() {
+        heap.push(Node {
+            weight: freqs[sym],
+            id: i as u32,
+            index: i,
+        });
+    }
+    let mut next_id = used.len() as u32;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap has >1 element");
+        let b = heap.pop().expect("heap has >1 element");
+        let idx = parent.len();
+        parent.push(usize::MAX);
+        parent[a.index] = idx;
+        parent[b.index] = idx;
+        heap.push(Node {
+            weight: a.weight.saturating_add(b.weight),
+            id: next_id,
+            index: idx,
+        });
+        next_id += 1;
+    }
+
+    // Depth of each leaf = chain length to the root.
+    let mut depth = vec![0u8; used.len()];
+    for i in 0..used.len() {
+        let mut d = 0u16;
+        let mut n = i;
+        while parent[n] != usize::MAX {
+            n = parent[n];
+            d += 1;
+        }
+        depth[i] = d.min(255) as u8;
+    }
+
+    // Clamp to max_len and repair the Kraft sum.
+    let mut counts = vec![0u64; max_len as usize + 1];
+    for d in depth.iter_mut() {
+        if *d > max_len {
+            *d = max_len;
+        }
+        counts[*d as usize] += 1;
+    }
+    // Kraft sum measured in units of 2^-max_len.
+    let unit = |len: u8| 1u64 << (max_len - len);
+    let mut kraft: u64 = depth.iter().map(|&d| unit(d)).sum();
+    let budget = 1u64 << max_len;
+    // Over-subscribed: push some max-length leaves' siblings deeper by
+    // shortening... the standard fix: repeatedly find a leaf at depth
+    // < max_len with the greatest depth, and move one max-depth leaf to
+    // depth+1 by pairing. Equivalent repair: while kraft > budget, take a
+    // leaf with the smallest unit>1 contribution... Implement the classic
+    // zlib-style repair on the counts histogram.
+    if kraft > budget {
+        // Demote: move nodes from max_len-1.. upward until it fits.
+        while kraft > budget {
+            // Find the deepest non-max level with at least one code and
+            // demote one code from it to max (reduces kraft).
+            let mut level = max_len - 1;
+            while counts[level as usize] == 0 {
+                level -= 1;
+            }
+            counts[level as usize] -= 1;
+            counts[level as usize + 1] += 1;
+            kraft -= unit(level) - unit(level + 1);
+        }
+        // Re-assign depths from the histogram: longest codes to the
+        // rarest symbols. Sort used leaves by frequency descending.
+        let mut order: Vec<usize> = (0..used.len()).collect();
+        order.sort_by(|&a, &b| {
+            freqs[used[b]]
+                .cmp(&freqs[used[a]])
+                .then(used[a].cmp(&used[b]))
+        });
+        let mut assign = Vec::with_capacity(used.len());
+        for (len, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                assign.push(len as u8);
+            }
+        }
+        assign.sort_unstable();
+        for (leaf_rank, &leaf) in order.iter().enumerate() {
+            depth[leaf] = assign[leaf_rank];
+        }
+    }
+
+    for (i, &sym) in used.iter().enumerate() {
+        lengths[sym] = depth[i];
+    }
+    Ok(lengths)
+}
+
+/// Assigns canonical codes for a code-length vector.
+///
+/// Returns `codes[sym]` valid when `lengths[sym] > 0`. Canonical order:
+/// shorter codes first, and within a length, smaller symbols first.
+///
+/// # Errors
+///
+/// Returns [`CodingError::InvalidCodeTable`] if the lengths oversubscribe
+/// the code space.
+#[allow(clippy::needless_range_loop)] // Kraft accumulation is index-keyed
+pub fn canonical_codes(lengths: &[u8]) -> Result<Vec<u32>, CodingError> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    if max_len == 0 {
+        return Ok(vec![0; lengths.len()]);
+    }
+    if max_len > 32 {
+        return Err(CodingError::InvalidCodeTable(
+            "code length exceeds 32".into(),
+        ));
+    }
+    let mut count = vec![0u32; max_len as usize + 1];
+    for &l in lengths {
+        count[l as usize] += 1;
+    }
+    count[0] = 0;
+    let mut code = 0u64;
+    let mut next = vec![0u64; max_len as usize + 1];
+    for len in 1..=max_len as usize {
+        code = (code + u64::from(count[len - 1])) << 1;
+        next[len] = code;
+    }
+    // Kraft check: the last code of the longest length must fit.
+    let mut kraft = 0u64;
+    for len in 1..=max_len as usize {
+        kraft += u64::from(count[len]) << (max_len as usize - len);
+    }
+    if kraft > 1u64 << max_len {
+        return Err(CodingError::InvalidCodeTable(
+            "oversubscribed lengths".into(),
+        ));
+    }
+    let mut codes = vec![0u32; lengths.len()];
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next[l as usize] as u32;
+            next[l as usize] += 1;
+        }
+    }
+    Ok(codes)
+}
+
+/// A canonical Huffman encoder over symbols `0..alphabet`.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    lengths: Vec<u8>,
+    codes: Vec<u32>,
+}
+
+impl HuffmanEncoder {
+    /// Builds an encoder from symbol frequencies with codes at most
+    /// `max_len` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`build_code_lengths`].
+    pub fn from_frequencies(freqs: &[u64], max_len: u8) -> Result<Self, CodingError> {
+        let lengths = build_code_lengths(freqs, max_len)?;
+        Self::from_lengths(&lengths)
+    }
+
+    /// Builds an encoder from explicit code lengths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`canonical_codes`].
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodingError> {
+        let codes = canonical_codes(lengths)?;
+        Ok(Self {
+            lengths: lengths.to_vec(),
+            codes,
+        })
+    }
+
+    /// The code length per symbol (0 = symbol has no code).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// The canonical code per symbol.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Encoded length in bits of `symbol`, if it has a code.
+    pub fn bit_len(&self, symbol: usize) -> Option<u8> {
+        match self.lengths.get(symbol) {
+            Some(&l) if l > 0 => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Appends the code for `symbol` to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::SymbolOutOfRange`] if `symbol` has no code.
+    pub fn encode_into(&self, symbol: usize, w: &mut BitWriter) -> Result<(), CodingError> {
+        match self.bit_len(symbol) {
+            Some(len) => {
+                w.write_bits(u64::from(self.codes[symbol]), len);
+                Ok(())
+            }
+            None => Err(CodingError::SymbolOutOfRange {
+                symbol,
+                alphabet: self.lengths.len(),
+            }),
+        }
+    }
+
+    /// Encodes a symbol sequence into a fresh MSB-first bit buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::SymbolOutOfRange`] for any symbol lacking a code.
+    pub fn encode_symbols<I>(&self, symbols: I) -> Result<Vec<u8>, CodingError>
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut w = BitWriter::new();
+        for s in symbols {
+            self.encode_into(s, &mut w)?;
+        }
+        Ok(w.finish())
+    }
+}
+
+/// A canonical Huffman decoder driven by first-code/first-index tables.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    max_len: u8,
+    /// `first_code[len]`: canonical code value of the first code of `len` bits.
+    first_code: Vec<u64>,
+    /// `first_index[len]`: index into `sorted_symbols` of that first code.
+    first_index: Vec<u32>,
+    count: Vec<u32>,
+    sorted_symbols: Vec<u32>,
+}
+
+impl HuffmanDecoder {
+    /// Builds a decoder from the same code lengths used by the encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::InvalidCodeTable`] for oversubscribed lengths.
+    #[allow(clippy::needless_range_loop)] // Kraft accumulation is index-keyed
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodingError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len > 32 {
+            return Err(CodingError::InvalidCodeTable(
+                "code length exceeds 32".into(),
+            ));
+        }
+        let mut count = vec![0u32; max_len as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut kraft = 0u64;
+        for len in 1..=max_len as usize {
+            kraft += u64::from(count[len]) << (max_len as usize - len);
+        }
+        if max_len > 0 && kraft > 1u64 << max_len {
+            return Err(CodingError::InvalidCodeTable(
+                "oversubscribed lengths".into(),
+            ));
+        }
+        let mut first_code = vec![0u64; max_len as usize + 2];
+        let mut first_index = vec![0u32; max_len as usize + 2];
+        let mut code = 0u64;
+        let mut index = 0u32;
+        for len in 1..=max_len as usize {
+            code = (code + u64::from(count[len - 1])) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            index += count[len];
+        }
+        // Symbols sorted by (length, symbol).
+        let mut sorted_symbols = Vec::with_capacity(index as usize);
+        for len in 1..=max_len {
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == len {
+                    sorted_symbols.push(sym as u32);
+                }
+            }
+        }
+        Ok(Self {
+            max_len,
+            first_code,
+            first_index,
+            count,
+            sorted_symbols,
+        })
+    }
+
+    /// Decodes one symbol from `r`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::UnexpectedEof`] if the stream ends mid-code;
+    /// [`CodingError::InvalidCode`] if no symbol matches.
+    pub fn decode_one(&self, r: &mut BitReader<'_>) -> Result<usize, CodingError> {
+        let mut code = 0u64;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | u64::from(r.read_bit()?);
+            let c = u64::from(self.count[len]);
+            if c > 0 && code >= self.first_code[len] && code < self.first_code[len] + c {
+                let idx = self.first_index[len] as u64 + (code - self.first_code[len]);
+                return Ok(self.sorted_symbols[idx as usize] as usize);
+            }
+        }
+        Err(CodingError::InvalidCode)
+    }
+
+    /// Decodes exactly `n` symbols from a byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::decode_one`] errors.
+    pub fn decode_exact(&self, bytes: &[u8], n: usize) -> Result<Vec<usize>, CodingError> {
+        let mut r = BitReader::new(bytes);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.decode_one(&mut r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Total encoded size in bits of `freqs` under an optimal `max_len`-limited code.
+///
+/// Convenience for compressors estimating stream sizes without encoding.
+///
+/// # Errors
+///
+/// Propagates errors from [`build_code_lengths`].
+pub fn encoded_size_bits(freqs: &[u64], max_len: u8) -> Result<u64, CodingError> {
+    let lengths = build_code_lengths(freqs, max_len)?;
+    Ok(freqs
+        .iter()
+        .zip(&lengths)
+        .map(|(&f, &l)| f * u64::from(l))
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[usize], alphabet: usize) {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in data {
+            freqs[s] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs, 15).unwrap();
+        let bits = enc.encode_symbols(data.iter().copied()).unwrap();
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        assert_eq!(dec.decode_exact(&bits, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(&[0, 1, 2, 0, 0, 1, 3, 0, 0, 0], 4);
+    }
+
+    #[test]
+    fn roundtrip_single_symbol() {
+        roundtrip(&[5; 100], 8);
+    }
+
+    #[test]
+    fn roundtrip_uniform() {
+        let data: Vec<usize> = (0..256).cycle().take(4096).collect();
+        roundtrip(&data, 256);
+    }
+
+    #[test]
+    fn empty_frequencies_yield_empty_code() {
+        let lengths = build_code_lengths(&[0, 0, 0], 15).unwrap();
+        assert_eq!(lengths, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn skewed_distribution_gives_short_code_to_common_symbol() {
+        let mut freqs = vec![1u64; 8];
+        freqs[3] = 10_000;
+        let lengths = build_code_lengths(&freqs, 15).unwrap();
+        assert_eq!(
+            *lengths.iter().filter(|&&l| l > 0).min().unwrap(),
+            lengths[3]
+        );
+    }
+
+    #[test]
+    fn length_limit_is_respected() {
+        // Fibonacci-ish frequencies force deep trees without a limit.
+        let freqs: Vec<u64> = {
+            let mut v = vec![1u64, 1];
+            for i in 2..30 {
+                let next = v[i - 1] + v[i - 2];
+                v.push(next);
+            }
+            v
+        };
+        let lengths = build_code_lengths(&freqs, 10).unwrap();
+        assert!(lengths.iter().all(|&l| l <= 10));
+        // Still decodable.
+        let enc = HuffmanEncoder::from_lengths(&lengths).unwrap();
+        let data: Vec<usize> = (0..freqs.len()).collect();
+        let bits = enc.encode_symbols(data.iter().copied()).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+        assert_eq!(dec.decode_exact(&bits, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn limit_too_small_is_error() {
+        let freqs = vec![1u64; 9];
+        assert_eq!(
+            build_code_lengths(&freqs, 3),
+            Err(CodingError::LimitTooSmall {
+                limit: 3,
+                symbols: 9
+            })
+        );
+    }
+
+    #[test]
+    fn oversubscribed_lengths_rejected() {
+        // Three codes of length 1 is impossible.
+        assert!(matches!(
+            HuffmanDecoder::from_lengths(&[1, 1, 1]),
+            Err(CodingError::InvalidCodeTable(_))
+        ));
+        assert!(matches!(
+            canonical_codes(&[1, 1, 1]),
+            Err(CodingError::InvalidCodeTable(_))
+        ));
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free_and_ordered() {
+        let lengths = [2u8, 1, 3, 3];
+        let codes = canonical_codes(&lengths).unwrap();
+        // length-1 symbol gets 0; length-2 gets 10; length-3 get 110, 111.
+        assert_eq!(codes[1], 0b0);
+        assert_eq!(codes[0], 0b10);
+        assert_eq!(codes[2], 0b110);
+        assert_eq!(codes[3], 0b111);
+    }
+
+    #[test]
+    fn encode_unknown_symbol_is_error() {
+        let enc = HuffmanEncoder::from_frequencies(&[5, 5, 0], 15).unwrap();
+        assert!(matches!(
+            enc.encode_symbols([2usize]),
+            Err(CodingError::SymbolOutOfRange { symbol: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn encoded_size_matches_actual_encoding() {
+        let data: Vec<usize> = b"the quick brown fox jumps over the lazy dog"
+            .iter()
+            .map(|&b| b as usize)
+            .collect();
+        let mut freqs = vec![0u64; 256];
+        for &s in &data {
+            freqs[s] += 1;
+        }
+        let bits = encoded_size_bits(&freqs, 15).unwrap();
+        let enc = HuffmanEncoder::from_frequencies(&freqs, 15).unwrap();
+        let buf = enc.encode_symbols(data.iter().copied()).unwrap();
+        assert_eq!(buf.len() as u64, bits.div_ceil(8));
+    }
+
+    #[test]
+    fn huffman_beats_fixed_width_on_skewed_input() {
+        let mut freqs = vec![1u64; 16];
+        freqs[0] = 1000;
+        let bits = encoded_size_bits(&freqs, 15).unwrap();
+        let total: u64 = freqs.iter().sum();
+        assert!(bits < total * 4, "huffman {bits} >= fixed {}", total * 4);
+    }
+}

@@ -1,0 +1,383 @@
+//! Frequency tables and finite-context (Markov) models.
+//!
+//! The paper's design space (§2) asks whether the coder should use
+//! "finite-context or Markov modeling, which uses the last few symbols to
+//! predict the next symbol more precisely". [`ContextModel`] implements
+//! an order-N semi-static model: trained in one pass, then queried for
+//! per-context frequency tables that feed Huffman or arithmetic coders.
+//! BRISC's order-1 opcode model (§4) is the `order = 1` instance, with
+//! the paper's dedicated basic-block-entry context provided by reserving
+//! a context symbol.
+
+use std::collections::HashMap;
+
+/// A cumulative frequency table over symbols `0..n`, for arithmetic coding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyTable {
+    freqs: Vec<u32>,
+    cumulative: Vec<u32>,
+    total: u32,
+}
+
+impl FrequencyTable {
+    /// Builds a table from raw counts; zero counts are bumped to one so
+    /// every symbol stays codable (Laplace smoothing).
+    pub fn with_smoothing(counts: &[u64]) -> Self {
+        let freqs: Vec<u32> = counts
+            .iter()
+            .map(|&c| u32::try_from(c.max(1)).unwrap_or(u32::MAX / counts.len().max(1) as u32))
+            .collect();
+        Self::from_freqs(freqs)
+    }
+
+    /// Builds a uniform table over `n` symbols.
+    pub fn uniform(n: usize) -> Self {
+        Self::from_freqs(vec![1; n])
+    }
+
+    fn from_freqs(mut freqs: Vec<u32>) -> Self {
+        // Rescale so the total stays comfortably below the range coder's
+        // precision bound (2^16).
+        let mut total: u64 = freqs.iter().map(|&f| u64::from(f)).sum();
+        while total > (1 << 16) {
+            for f in &mut freqs {
+                *f = (*f / 2).max(1);
+            }
+            total = freqs.iter().map(|&f| u64::from(f)).sum();
+        }
+        let mut cumulative = Vec::with_capacity(freqs.len() + 1);
+        let mut acc = 0u32;
+        cumulative.push(0);
+        for &f in &freqs {
+            acc += f;
+            cumulative.push(acc);
+        }
+        Self {
+            freqs,
+            total: acc,
+            cumulative,
+        }
+    }
+
+    /// Number of symbols in the alphabet.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Total of all frequencies.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// `(low, high)` cumulative bounds of `symbol`.
+    pub fn bounds(&self, symbol: usize) -> (u32, u32) {
+        (self.cumulative[symbol], self.cumulative[symbol + 1])
+    }
+
+    /// The symbol whose cumulative interval contains `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= self.total()`.
+    pub fn symbol_for(&self, point: u32) -> usize {
+        assert!(point < self.total, "point beyond cumulative total");
+        // Binary search over the cumulative bounds.
+        match self.cumulative.binary_search(&point) {
+            Ok(mut i) => {
+                // `point` equals a boundary; skip zero-width intervals.
+                while self.cumulative[i + 1] == self.cumulative[i] {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Increments `symbol` by `delta`, rebuilding the cumulative table.
+    ///
+    /// This is O(n); adaptive coders that update per symbol should prefer
+    /// [`AdaptiveModel`].
+    pub fn bump(&mut self, symbol: usize, delta: u32) {
+        self.freqs[symbol] += delta;
+        *self = Self::from_freqs(std::mem::take(&mut self.freqs));
+    }
+}
+
+/// An adaptive frequency model with per-symbol updates, for adaptive
+/// arithmetic coding.
+#[derive(Debug, Clone)]
+pub struct AdaptiveModel {
+    freqs: Vec<u32>,
+    total: u32,
+    increment: u32,
+    max_total: u32,
+}
+
+impl AdaptiveModel {
+    /// Creates a model over `n` symbols, all starting at frequency 1.
+    pub fn new(n: usize) -> Self {
+        Self {
+            freqs: vec![1; n],
+            total: n as u32,
+            increment: 32,
+            max_total: 1 << 16,
+        }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Total frequency mass.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// `(low, high)` cumulative bounds of `symbol` (computed by scan).
+    pub fn bounds(&self, symbol: usize) -> (u32, u32) {
+        let low: u32 = self.freqs[..symbol].iter().sum();
+        (low, low + self.freqs[symbol])
+    }
+
+    /// The symbol whose interval contains `point`, with its bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= self.total()`.
+    pub fn locate(&self, point: u32) -> (usize, u32, u32) {
+        assert!(point < self.total, "point beyond cumulative total");
+        let mut low = 0u32;
+        for (sym, &f) in self.freqs.iter().enumerate() {
+            if point < low + f {
+                return (sym, low, low + f);
+            }
+            low += f;
+        }
+        unreachable!("point < total guarantees a containing interval")
+    }
+
+    /// Records an occurrence of `symbol`, halving all counts when the
+    /// total would exceed the coder's precision bound.
+    pub fn update(&mut self, symbol: usize) {
+        self.freqs[symbol] += self.increment;
+        self.total += self.increment;
+        if self.total > self.max_total {
+            self.total = 0;
+            for f in &mut self.freqs {
+                *f = (*f / 2).max(1);
+                self.total += *f;
+            }
+        }
+    }
+}
+
+/// An order-N semi-static finite-context model.
+///
+/// Contexts are the previous `order` symbols; unseen contexts fall back
+/// to the order-0 table. Train with [`ContextModel::train`], then query
+/// [`ContextModel::table`] per context.
+#[derive(Debug, Clone)]
+pub struct ContextModel {
+    order: usize,
+    alphabet: usize,
+    order0: Vec<u64>,
+    contexts: HashMap<Vec<u32>, Vec<u64>>,
+}
+
+impl ContextModel {
+    /// Creates an untrained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet == 0`.
+    pub fn new(order: usize, alphabet: usize) -> Self {
+        assert!(alphabet > 0, "alphabet must be nonempty");
+        Self {
+            order,
+            alphabet,
+            order0: vec![0; alphabet],
+            contexts: HashMap::new(),
+        }
+    }
+
+    /// The model order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.alphabet
+    }
+
+    /// Accumulates counts from `stream` (symbols must be `< alphabet`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol is out of range.
+    pub fn train(&mut self, stream: &[u32]) {
+        for (i, &sym) in stream.iter().enumerate() {
+            assert!((sym as usize) < self.alphabet, "symbol out of range");
+            self.order0[sym as usize] += 1;
+            if self.order > 0 && i >= self.order {
+                let ctx = stream[i - self.order..i].to_vec();
+                self.contexts
+                    .entry(ctx)
+                    .or_insert_with(|| vec![0; self.alphabet])[sym as usize] += 1;
+            }
+        }
+    }
+
+    /// Raw order-0 counts.
+    pub fn order0_counts(&self) -> &[u64] {
+        &self.order0
+    }
+
+    /// Counts for `context`, falling back to order-0 when unseen or when
+    /// the context is shorter than the model order.
+    pub fn counts_for(&self, context: &[u32]) -> &[u64] {
+        if self.order == 0 || context.len() < self.order {
+            return &self.order0;
+        }
+        self.contexts
+            .get(&context[context.len() - self.order..])
+            .map(Vec::as_slice)
+            .unwrap_or(&self.order0)
+    }
+
+    /// A smoothed [`FrequencyTable`] for `context`.
+    pub fn table(&self, context: &[u32]) -> FrequencyTable {
+        FrequencyTable::with_smoothing(self.counts_for(context))
+    }
+
+    /// Number of distinct contexts observed.
+    pub fn context_count(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Static entropy estimate in bits of coding `stream` with this model
+    /// (useful for ablations comparing model orders).
+    pub fn estimate_bits(&self, stream: &[u32]) -> f64 {
+        let mut bits = 0.0;
+        for (i, &sym) in stream.iter().enumerate() {
+            let ctx_start = i.saturating_sub(self.order);
+            let counts = self.counts_for(&stream[ctx_start..i]);
+            let total: u64 = counts.iter().map(|&c| c.max(1)).sum();
+            let c = counts[sym as usize].max(1);
+            bits += (total as f64 / c as f64).log2();
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_table_bounds_partition_the_range() {
+        let t = FrequencyTable::with_smoothing(&[3, 0, 5]);
+        assert_eq!(t.total(), 9); // 3 + 1 (smoothed) + 5
+        assert_eq!(t.bounds(0), (0, 3));
+        assert_eq!(t.bounds(1), (3, 4));
+        assert_eq!(t.bounds(2), (4, 9));
+    }
+
+    #[test]
+    fn symbol_for_inverts_bounds() {
+        let t = FrequencyTable::with_smoothing(&[3, 1, 5, 2]);
+        for sym in 0..4 {
+            let (lo, hi) = t.bounds(sym);
+            for p in lo..hi {
+                assert_eq!(t.symbol_for(p), sym);
+            }
+        }
+    }
+
+    #[test]
+    fn table_rescales_when_total_too_large() {
+        let t = FrequencyTable::with_smoothing(&[u64::from(u32::MAX), 1]);
+        assert!(t.total() <= 1 << 16);
+        assert!(
+            t.bounds(1).1 > t.bounds(1).0,
+            "rare symbol keeps nonzero width"
+        );
+    }
+
+    #[test]
+    fn adaptive_model_update_shifts_mass() {
+        let mut m = AdaptiveModel::new(4);
+        let before = m.bounds(2);
+        for _ in 0..10 {
+            m.update(2);
+        }
+        let after = m.bounds(2);
+        assert!(after.1 - after.0 > before.1 - before.0);
+        // locate() agrees with bounds().
+        let (sym, lo, hi) = m.locate(after.0);
+        assert_eq!((sym, lo, hi), (2, after.0, after.1));
+    }
+
+    #[test]
+    fn adaptive_model_rescale_keeps_all_symbols_codable() {
+        let mut m = AdaptiveModel::new(3);
+        for _ in 0..10_000 {
+            m.update(0);
+        }
+        assert!(m.total() <= 1 << 16);
+        for s in 0..3 {
+            let (lo, hi) = m.bounds(s);
+            assert!(hi > lo);
+        }
+    }
+
+    #[test]
+    fn context_model_order1_predicts_successor() {
+        // Alternating stream: after 0 always comes 1 and vice versa.
+        let stream: Vec<u32> = (0..100).map(|i| i % 2).collect();
+        let mut m = ContextModel::new(1, 2);
+        m.train(&stream);
+        let after0 = m.counts_for(&[0]);
+        assert!(after0[1] > 0 && after0[0] == 0);
+        let after1 = m.counts_for(&[1]);
+        assert!(after1[0] > 0 && after1[1] == 0);
+    }
+
+    #[test]
+    fn context_model_falls_back_to_order0() {
+        let mut m = ContextModel::new(2, 4);
+        m.train(&[0, 1, 2, 3]);
+        // Context never observed: falls back to order-0 counts.
+        assert_eq!(m.counts_for(&[3, 3]), m.order0_counts());
+        // Context shorter than order: same.
+        assert_eq!(m.counts_for(&[1]), m.order0_counts());
+    }
+
+    #[test]
+    fn higher_order_model_estimates_fewer_bits_on_structured_input() {
+        let stream: Vec<u32> = (0..400).map(|i| (i % 4) as u32).collect();
+        let mut m0 = ContextModel::new(0, 4);
+        m0.train(&stream);
+        let mut m1 = ContextModel::new(1, 4);
+        m1.train(&stream);
+        assert!(m1.estimate_bits(&stream) < m0.estimate_bits(&stream));
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol out of range")]
+    fn train_panics_on_out_of_range() {
+        ContextModel::new(1, 2).train(&[5]);
+    }
+}

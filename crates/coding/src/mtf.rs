@@ -1,0 +1,216 @@
+//! Move-to-front coding.
+//!
+//! The wire format (paper §3 step 3) MTF-codes each literal stream in
+//! isolation, with the convention that **index 0 denotes a symbol not
+//! seen previously**; the first occurrence of a symbol is therefore
+//! emitted as `0` followed by the symbol itself in a side table, and
+//! subsequent occurrences are emitted as their 1-based position in the
+//! recency list. This is the paper's exact example: the `ADDRLP8` stream
+//! `[72 72 68 72 68 68 68 68]` codes to `[0 1 0 2 2 1 1 1]`.
+//!
+//! A classic MTF transform over a fixed alphabet ([`mtf_encode_classic`])
+//! is also provided for ablation experiments.
+
+/// Output of [`mtf_encode`]: recency indices plus the first-occurrence table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MtfEncoded<T> {
+    /// One index per input symbol; `0` means "new symbol", `k > 0` means
+    /// "the symbol at 1-based recency position `k`".
+    pub indices: Vec<u32>,
+    /// Symbols in order of first occurrence (consumed by the decoder each
+    /// time it reads a `0` index).
+    pub table: Vec<T>,
+}
+
+/// MTF-encodes a stream with the paper's "0 = unseen" convention.
+///
+/// # Examples
+///
+/// ```
+/// use codecomp_coding::mtf::mtf_encode;
+///
+/// // The paper's ADDRLP8 example.
+/// let stream = [72u32, 72, 68, 72, 68, 68, 68, 68];
+/// let enc = mtf_encode(&stream);
+/// assert_eq!(enc.indices, vec![0, 1, 0, 2, 2, 1, 1, 1]);
+/// assert_eq!(enc.table, vec![72, 68]);
+/// ```
+pub fn mtf_encode<T: Clone + PartialEq>(stream: &[T]) -> MtfEncoded<T> {
+    let mut recency: Vec<T> = Vec::new();
+    let mut indices = Vec::with_capacity(stream.len());
+    let mut table = Vec::new();
+    for sym in stream {
+        match recency.iter().position(|s| s == sym) {
+            Some(pos) => {
+                indices.push(pos as u32 + 1);
+                let s = recency.remove(pos);
+                recency.insert(0, s);
+            }
+            None => {
+                indices.push(0);
+                table.push(sym.clone());
+                recency.insert(0, sym.clone());
+            }
+        }
+    }
+    MtfEncoded { indices, table }
+}
+
+/// Inverts [`mtf_encode`].
+///
+/// Returns `None` if the indices reference recency positions that do not
+/// exist or the table is shorter than the number of `0` indices.
+pub fn mtf_decode<T: Clone + PartialEq>(encoded: &MtfEncoded<T>) -> Option<Vec<T>> {
+    let mut recency: Vec<T> = Vec::new();
+    let mut table_iter = encoded.table.iter();
+    let mut out = Vec::with_capacity(encoded.indices.len());
+    for &idx in &encoded.indices {
+        if idx == 0 {
+            let sym = table_iter.next()?.clone();
+            // A "new" symbol that is already in the recency list means the
+            // encoding is corrupt.
+            if recency.contains(&sym) {
+                return None;
+            }
+            recency.insert(0, sym.clone());
+            out.push(sym);
+        } else {
+            let pos = idx as usize - 1;
+            if pos >= recency.len() {
+                return None;
+            }
+            let sym = recency.remove(pos);
+            recency.insert(0, sym.clone());
+            out.push(sym);
+        }
+    }
+    Some(out)
+}
+
+/// Classic MTF transform over the alphabet `0..alphabet`.
+///
+/// The recency list is initialized to the identity permutation, so no
+/// side table is needed. Returns `None` if any symbol is `>= alphabet`.
+pub fn mtf_encode_classic(stream: &[u32], alphabet: u32) -> Option<Vec<u32>> {
+    let mut recency: Vec<u32> = (0..alphabet).collect();
+    let mut out = Vec::with_capacity(stream.len());
+    for &sym in stream {
+        let pos = recency.iter().position(|&s| s == sym)?;
+        out.push(pos as u32);
+        recency.remove(pos);
+        recency.insert(0, sym);
+    }
+    Some(out)
+}
+
+/// Inverts [`mtf_encode_classic`].
+///
+/// Returns `None` if any index is `>= alphabet`.
+pub fn mtf_decode_classic(indices: &[u32], alphabet: u32) -> Option<Vec<u32>> {
+    let mut recency: Vec<u32> = (0..alphabet).collect();
+    let mut out = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        if idx >= alphabet {
+            return None;
+        }
+        let sym = recency.remove(idx as usize);
+        recency.insert(0, sym);
+        out.push(sym);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_addrlp8_example() {
+        let stream = [72u32, 72, 68, 72, 68, 68, 68, 68];
+        let enc = mtf_encode(&stream);
+        assert_eq!(enc.indices, vec![0, 1, 0, 2, 2, 1, 1, 1]);
+        assert_eq!(enc.table, vec![72, 68]);
+        assert_eq!(mtf_decode(&enc).unwrap(), stream);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = mtf_encode::<u32>(&[]);
+        assert!(enc.indices.is_empty());
+        assert!(enc.table.is_empty());
+        assert_eq!(mtf_decode(&enc).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn all_distinct_symbols_code_to_zeroes() {
+        let stream = [1u32, 2, 3, 4, 5];
+        let enc = mtf_encode(&stream);
+        assert_eq!(enc.indices, vec![0; 5]);
+        assert_eq!(enc.table, stream.to_vec());
+    }
+
+    #[test]
+    fn repeated_symbol_codes_to_ones() {
+        let stream = [9u32; 6];
+        let enc = mtf_encode(&stream);
+        assert_eq!(enc.indices, vec![0, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn works_with_string_symbols() {
+        let stream: Vec<String> = ["a", "b", "a", "c", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let enc = mtf_encode(&stream);
+        assert_eq!(mtf_decode(&enc).unwrap(), stream);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_table() {
+        let stream = [1u32, 2, 3];
+        let mut enc = mtf_encode(&stream);
+        enc.table.pop();
+        assert!(mtf_decode(&enc).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_index() {
+        let enc = MtfEncoded {
+            indices: vec![0, 5],
+            table: vec![7u32],
+        };
+        assert!(mtf_decode(&enc).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_new_symbol() {
+        let enc = MtfEncoded {
+            indices: vec![0, 0],
+            table: vec![7u32, 7],
+        };
+        assert!(mtf_decode(&enc).is_none());
+    }
+
+    #[test]
+    fn classic_roundtrip() {
+        let stream = [3u32, 3, 1, 0, 1, 3, 2, 2, 2];
+        let enc = mtf_encode_classic(&stream, 4).unwrap();
+        assert_eq!(mtf_decode_classic(&enc, 4).unwrap(), stream);
+    }
+
+    #[test]
+    fn classic_locality_yields_small_indices() {
+        let stream = [5u32, 5, 5, 5, 6, 6, 6, 6];
+        let enc = mtf_encode_classic(&stream, 16).unwrap();
+        // After the first access, repeated symbols index 0.
+        assert_eq!(&enc[1..4], &[0, 0, 0]);
+        assert_eq!(&enc[5..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn classic_rejects_out_of_alphabet() {
+        assert!(mtf_encode_classic(&[4], 4).is_none());
+        assert!(mtf_decode_classic(&[4], 4).is_none());
+    }
+}

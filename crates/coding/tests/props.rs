@@ -1,0 +1,105 @@
+//! Property-based tests for the entropy-coding substrate.
+
+use codecomp_coding::arith::{compress_bytes_adaptive, decompress_bytes_adaptive};
+use codecomp_coding::bits::{BitReader, BitWriter, LsbBitReader, LsbBitWriter};
+use codecomp_coding::huffman::{HuffmanDecoder, HuffmanEncoder};
+use codecomp_coding::model::ContextModel;
+use codecomp_coding::mtf::{mtf_decode, mtf_decode_classic, mtf_encode, mtf_encode_classic};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn msb_bits_roundtrip(chunks in prop::collection::vec((any::<u64>(), 1u8..=64), 0..64)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &chunks {
+            w.write_bits(v & (u64::MAX >> (64 - n)), n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &chunks {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & (u64::MAX >> (64 - n)));
+        }
+    }
+
+    #[test]
+    fn lsb_bits_roundtrip(chunks in prop::collection::vec((any::<u32>(), 0u8..=24), 0..64)) {
+        let mut w = LsbBitWriter::new();
+        for &(v, n) in &chunks {
+            w.write_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = LsbBitReader::new(&bytes);
+        for &(v, n) in &chunks {
+            let mask = if n == 0 { 0 } else { u32::MAX >> (32 - n) };
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+        }
+    }
+
+    #[test]
+    fn huffman_roundtrip(data in prop::collection::vec(0usize..64, 1..512)) {
+        let mut freqs = vec![0u64; 64];
+        for &s in &data {
+            freqs[s] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs, 15).unwrap();
+        let bits = enc.encode_symbols(data.iter().copied()).unwrap();
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        prop_assert_eq!(dec.decode_exact(&bits, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn huffman_length_limited_roundtrip(data in prop::collection::vec(0usize..200, 1..512)) {
+        let mut freqs = vec![0u64; 200];
+        for &s in &data {
+            freqs[s] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs, 9).unwrap();
+        prop_assert!(enc.lengths().iter().all(|&l| l <= 9));
+        let bits = enc.encode_symbols(data.iter().copied()).unwrap();
+        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+        prop_assert_eq!(dec.decode_exact(&bits, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn mtf_paper_variant_roundtrip(data in prop::collection::vec(0u32..32, 0..256)) {
+        let enc = mtf_encode(&data);
+        prop_assert_eq!(mtf_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn mtf_classic_roundtrip(data in prop::collection::vec(0u32..32, 0..256)) {
+        let enc = mtf_encode_classic(&data, 32).unwrap();
+        prop_assert_eq!(mtf_decode_classic(&enc, 32).unwrap(), data);
+    }
+
+    #[test]
+    fn mtf_table_len_equals_distinct_symbols(data in prop::collection::vec(0u32..16, 0..256)) {
+        let enc = mtf_encode(&data);
+        let distinct = {
+            let mut v = data.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        prop_assert_eq!(enc.table.len(), distinct);
+        prop_assert_eq!(enc.indices.iter().filter(|&&i| i == 0).count(), distinct);
+    }
+
+    #[test]
+    fn arith_adaptive_roundtrip(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let packed = compress_bytes_adaptive(&data);
+        prop_assert_eq!(decompress_bytes_adaptive(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn context_model_estimate_is_finite_and_positive(
+        data in prop::collection::vec(0u32..8, 1..256),
+        order in 0usize..3,
+    ) {
+        let mut m = ContextModel::new(order, 8);
+        m.train(&data);
+        let bits = m.estimate_bits(&data);
+        prop_assert!(bits.is_finite());
+        prop_assert!(bits >= 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Greedy benefit-driven dictionary construction.
+//!
+//! §4: "The compressor maintains a heap of candidate instructions,
+//! sorted by B. After each pass over the input program, the compressor
+//! removes the K best candidates from the heap and adds them to the
+//! dictionary. … The compressor ceases to hunt for useful patterns
+//! after a pass that doesn't yield at least K patterns for which B is
+//! positive." The candidate generation is compressor-specific; the
+//! selection discipline lives here.
+
+use std::collections::BinaryHeap;
+
+/// A scored candidate: `benefit = size_reduction - table_cost`
+/// (`B = P − W` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Benefit {
+    /// Program-size reduction in bytes, *including* the dictionary-entry
+    /// transmission cost (`P`).
+    pub size_reduction: i64,
+    /// Decompressor working-set cost in bytes (`W`).
+    pub table_cost: i64,
+}
+
+impl Benefit {
+    /// `B = P − W`.
+    pub fn value(self) -> i64 {
+        self.size_reduction - self.table_cost
+    }
+
+    /// The abundant-memory variant the paper mentions: "of course, in
+    /// abundant memory situations we can set B equal to P".
+    pub fn value_ignoring_memory(self) -> i64 {
+        self.size_reduction
+    }
+}
+
+/// The memory regime the benefit metric runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryRegime {
+    /// `B = P − W` (the paper's default).
+    #[default]
+    Constrained,
+    /// `B = P` (abundant memory).
+    Abundant,
+}
+
+impl MemoryRegime {
+    /// Scores a benefit under this regime.
+    pub fn score(self, b: Benefit) -> i64 {
+        match self {
+            MemoryRegime::Constrained => b.value(),
+            MemoryRegime::Abundant => b.value_ignoring_memory(),
+        }
+    }
+}
+
+/// Selects the top-`k` positive-benefit candidates from one pass.
+///
+/// Returns at most `k` items ordered best-first; ties break on the
+/// supplied sequence number so selection is deterministic.
+pub fn select_top_k<T>(
+    candidates: Vec<(T, Benefit)>,
+    k: usize,
+    regime: MemoryRegime,
+) -> Vec<(T, Benefit)> {
+    struct Entry<T> {
+        score: i64,
+        seq: usize,
+        item: T,
+        benefit: Benefit,
+    }
+    impl<T> PartialEq for Entry<T> {
+        fn eq(&self, other: &Self) -> bool {
+            self.score == other.score && self.seq == other.seq
+        }
+    }
+    impl<T> Eq for Entry<T> {}
+    impl<T> PartialOrd for Entry<T> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<T> Ord for Entry<T> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.score.cmp(&other.score).then(other.seq.cmp(&self.seq))
+        }
+    }
+
+    let mut heap: BinaryHeap<Entry<T>> = candidates
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (_, b))| regime.score(*b) > 0)
+        .map(|(seq, (item, benefit))| Entry {
+            score: regime.score(benefit),
+            seq,
+            item,
+            benefit,
+        })
+        .collect();
+    let mut out = Vec::with_capacity(k.min(heap.len()));
+    for _ in 0..k {
+        match heap.pop() {
+            Some(e) => out.push((e.item, e.benefit)),
+            None => break,
+        }
+    }
+    out
+}
+
+/// Pass-loop bookkeeping: the construction stops "after a pass that
+/// doesn't yield at least K patterns for which B is positive".
+#[derive(Debug, Clone, Copy)]
+pub struct PassPolicy {
+    /// Candidates adopted per pass.
+    pub k: usize,
+    /// Hard cap on passes (a safety net the paper does not need).
+    pub max_passes: usize,
+    /// Memory regime for scoring.
+    pub regime: MemoryRegime,
+}
+
+impl Default for PassPolicy {
+    fn default() -> Self {
+        // K=20 is the value the paper's results table uses.
+        Self {
+            k: 20,
+            max_passes: 64,
+            regime: MemoryRegime::Constrained,
+        }
+    }
+}
+
+impl PassPolicy {
+    /// Whether another pass should run after one that adopted `adopted`
+    /// candidates.
+    pub fn continue_after(&self, adopted: usize, passes_done: usize) -> bool {
+        adopted >= self.k && passes_done < self.max_passes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benefit_matches_paper_example() {
+        // §4: [enter sp,*,*] saves 1 byte, costs 2 bytes of dictionary
+        // entry, and W = 25 (mean of 17 Pentium + 28 PowerPC, rounded
+        // as the paper rounds): B = P − W = −26, so it is not adopted.
+        let b = Benefit {
+            size_reduction: 1 - 2,
+            table_cost: 25,
+        };
+        assert_eq!(b.value(), -26);
+        assert!(select_top_k(vec![((), b)], 20, MemoryRegime::Constrained).is_empty());
+        // In abundant memory, still negative (P = −1).
+        assert!(select_top_k(vec![((), b)], 20, MemoryRegime::Abundant).is_empty());
+    }
+
+    #[test]
+    fn top_k_orders_by_benefit() {
+        let cands = vec![
+            (
+                "a",
+                Benefit {
+                    size_reduction: 10,
+                    table_cost: 2,
+                },
+            ),
+            (
+                "b",
+                Benefit {
+                    size_reduction: 50,
+                    table_cost: 20,
+                },
+            ),
+            (
+                "c",
+                Benefit {
+                    size_reduction: 5,
+                    table_cost: 10,
+                },
+            ), // negative
+            (
+                "d",
+                Benefit {
+                    size_reduction: 9,
+                    table_cost: 0,
+                },
+            ),
+        ];
+        let picked = select_top_k(cands, 2, MemoryRegime::Constrained);
+        let names: Vec<&str> = picked.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn abundant_memory_ignores_table_cost() {
+        let cands = vec![
+            (
+                "heavy",
+                Benefit {
+                    size_reduction: 30,
+                    table_cost: 100,
+                },
+            ),
+            (
+                "light",
+                Benefit {
+                    size_reduction: 10,
+                    table_cost: 0,
+                },
+            ),
+        ];
+        let constrained = select_top_k(cands.clone(), 2, MemoryRegime::Constrained);
+        assert_eq!(constrained.len(), 1);
+        assert_eq!(constrained[0].0, "light");
+        let abundant = select_top_k(cands, 2, MemoryRegime::Abundant);
+        assert_eq!(abundant[0].0, "heavy");
+        assert_eq!(abundant.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let cands = vec![
+            (
+                "first",
+                Benefit {
+                    size_reduction: 5,
+                    table_cost: 0,
+                },
+            ),
+            (
+                "second",
+                Benefit {
+                    size_reduction: 5,
+                    table_cost: 0,
+                },
+            ),
+        ];
+        let picked = select_top_k(cands, 1, MemoryRegime::Constrained);
+        assert_eq!(picked[0].0, "first");
+    }
+
+    #[test]
+    fn pass_policy_stops_on_thin_pass() {
+        let p = PassPolicy {
+            k: 20,
+            max_passes: 10,
+            regime: MemoryRegime::Constrained,
+        };
+        assert!(p.continue_after(20, 1));
+        assert!(p.continue_after(25, 1));
+        assert!(!p.continue_after(19, 1));
+        assert!(!p.continue_after(20, 10));
+    }
+}

@@ -1,0 +1,122 @@
+//! Size and entropy helpers for the ablation experiments.
+
+/// Shannon entropy in bits per symbol of a byte sequence.
+pub fn byte_entropy(data: &[u8]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in data {
+        counts[b as usize] += 1;
+    }
+    let n = data.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Shannon entropy of an arbitrary symbol sequence.
+pub fn symbol_entropy(symbols: &[u32]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for &s in symbols {
+        *counts.entry(s).or_insert(0u64) += 1;
+    }
+    let n = symbols.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The ideal entropy-coded size in whole bytes of a symbol sequence.
+pub fn entropy_size_bytes(symbols: &[u32]) -> usize {
+    ((symbol_entropy(symbols) * symbols.len() as f64) / 8.0).ceil() as usize
+}
+
+/// A compression ratio, rendered the way the paper's tables render them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ratio {
+    /// Compressed size in bytes.
+    pub compressed: usize,
+    /// Reference size in bytes.
+    pub original: usize,
+}
+
+impl Ratio {
+    /// `compressed / original`, the paper's "compressed size / native size".
+    pub fn fraction(self) -> f64 {
+        if self.original == 0 {
+            return 0.0;
+        }
+        self.compressed as f64 / self.original as f64
+    }
+
+    /// `original / compressed`, the "divides the input size by" factor.
+    pub fn factor(self) -> f64 {
+        if self.compressed == 0 {
+            return 0.0;
+        }
+        self.original as f64 / self.compressed as f64
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}", self.fraction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_bytes_is_eight_bits() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert!((byte_entropy(&data) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        assert_eq!(byte_entropy(&[7; 100]), 0.0);
+        assert_eq!(byte_entropy(&[]), 0.0);
+        assert_eq!(symbol_entropy(&[3; 50]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_fair_coin_is_one_bit() {
+        let symbols: Vec<u32> = (0..1000).map(|i| i % 2).collect();
+        assert!((symbol_entropy(&symbols) - 1.0).abs() < 1e-9);
+        assert_eq!(entropy_size_bytes(&symbols), 125);
+    }
+
+    #[test]
+    fn ratio_directions() {
+        let r = Ratio {
+            compressed: 25,
+            original: 100,
+        };
+        assert!((r.fraction() - 0.25).abs() < 1e-12);
+        assert!((r.factor() - 4.0).abs() < 1e-12);
+        assert_eq!(r.to_string(), "0.25");
+        assert_eq!(
+            Ratio {
+                compressed: 0,
+                original: 0
+            }
+            .fraction(),
+            0.0
+        );
+    }
+}

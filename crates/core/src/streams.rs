@@ -1,0 +1,190 @@
+//! Stream separation and reassembly.
+//!
+//! §3 step 2: "form one stream holding the nested operator patterns and
+//! one for each type of operator that takes a literal operand". The
+//! splitter turns a sequence of statement trees into a pattern-symbol
+//! stream (over an interned pattern table) plus one literal stream per
+//! operator class; the joiner inverts it exactly.
+
+use crate::treepat::TreePattern;
+use crate::CoreError;
+use codecomp_ir::op::Literal;
+use codecomp_ir::tree::Tree;
+use std::collections::BTreeMap;
+
+/// A literal-stream key (the operator mnemonic with width flag).
+pub type StreamKey = String;
+
+/// The split representation of a tree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitStreams {
+    /// Interned pattern table, indexed by the symbols in `pattern_stream`.
+    pub patterns: Vec<TreePattern>,
+    /// One symbol per statement tree.
+    pub pattern_stream: Vec<u32>,
+    /// Literal streams, keyed by operator class, each in program order.
+    pub literals: BTreeMap<StreamKey, Vec<Literal>>,
+}
+
+impl SplitStreams {
+    /// Splits statement trees into streams.
+    pub fn split(trees: &[Tree]) -> SplitStreams {
+        let mut patterns: Vec<TreePattern> = Vec::new();
+        let mut index: BTreeMap<TreePattern, u32> = BTreeMap::new();
+        let mut pattern_stream = Vec::with_capacity(trees.len());
+        let mut literals: BTreeMap<StreamKey, Vec<Literal>> = BTreeMap::new();
+        for tree in trees {
+            let pat = TreePattern::of(tree);
+            let sym = *index.entry(pat.clone()).or_insert_with(|| {
+                patterns.push(pat.clone());
+                patterns.len() as u32 - 1
+            });
+            pattern_stream.push(sym);
+            collect_literals(tree, &mut literals);
+        }
+        SplitStreams {
+            patterns,
+            pattern_stream,
+            literals,
+        }
+    }
+
+    /// Reassembles the original tree sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] if a stream underflows or a symbol is out of range.
+    pub fn join(&self) -> Result<Vec<Tree>, CoreError> {
+        let mut cursors: BTreeMap<String, usize> = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.pattern_stream.len());
+        for &sym in &self.pattern_stream {
+            let pat = self
+                .patterns
+                .get(sym as usize)
+                .ok_or_else(|| CoreError::Mismatch(format!("bad pattern symbol {sym}")))?;
+            let tree = pat.rebuild(&mut |key| {
+                let stream = self
+                    .literals
+                    .get(key)
+                    .ok_or_else(|| CoreError::StreamUnderflow(format!("no stream {key}")))?;
+                let cursor = cursors.entry(key.to_string()).or_insert(0);
+                let lit = stream
+                    .get(*cursor)
+                    .ok_or_else(|| CoreError::StreamUnderflow(format!("stream {key} empty")))?
+                    .clone();
+                *cursor += 1;
+                Ok(lit)
+            })?;
+            out.push(tree);
+        }
+        Ok(out)
+    }
+
+    /// Total number of literals across all streams.
+    pub fn literal_count(&self) -> usize {
+        self.literals.values().map(Vec::len).sum()
+    }
+}
+
+fn collect_literals(tree: &Tree, streams: &mut BTreeMap<StreamKey, Vec<Literal>>) {
+    if let Some(lit) = tree.literal() {
+        let key = crate::treepat::stream_key_of(tree.op(), tree.width());
+        streams.entry(key).or_default().push(lit.clone());
+    }
+    for k in tree.kids() {
+        collect_literals(k, streams);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codecomp_ir::op::Literal;
+    use codecomp_ir::parse::parse_tree;
+
+    fn salt_trees() -> Vec<Tree> {
+        [
+            "ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))",
+            "LEI[1](INDIRI(ADDRLP8[68]),CNSTC[0])",
+            "ARGI(INDIRI(ADDRLP8[72]))",
+            "ARGI(INDIRI(ADDRLP8[68]))",
+            "CALLI(ADDRGP[pepper])",
+            "ASGNI(ADDRLP8[68],SUBI(INDIRI(ADDRLP8[68]),CNSTC[1]))",
+            "LABELV[1]",
+            "RETI(INDIRI(ADDRLP8[68]))",
+        ]
+        .iter()
+        .map(|s| parse_tree(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn paper_addrlp8_stream() {
+        // §3: "The ADDRLP8 stream is [72 72 68 72 68 68 68 68]".
+        let split = SplitStreams::split(&salt_trees());
+        let addrlp8: Vec<i64> = split.literals["ADDRLP8"]
+            .iter()
+            .map(|l| match l {
+                Literal::Offset(v) => i64::from(*v),
+                other => panic!("unexpected literal {other:?}"),
+            })
+            .collect();
+        assert_eq!(addrlp8, vec![72, 72, 68, 72, 68, 68, 68, 68]);
+    }
+
+    #[test]
+    fn pattern_stream_shares_repeated_shapes() {
+        let split = SplitStreams::split(&salt_trees());
+        // The two ASGNI statements and the two ARGI statements share
+        // patterns: 8 statements, 6 distinct patterns.
+        assert_eq!(split.pattern_stream.len(), 8);
+        assert_eq!(split.patterns.len(), 6);
+        assert_eq!(split.pattern_stream[0], split.pattern_stream[5]);
+        assert_eq!(split.pattern_stream[2], split.pattern_stream[3]);
+    }
+
+    #[test]
+    fn join_inverts_split() {
+        let trees = salt_trees();
+        let split = SplitStreams::split(&trees);
+        assert_eq!(split.join().unwrap(), trees);
+    }
+
+    #[test]
+    fn streams_are_per_operator_class() {
+        let split = SplitStreams::split(&salt_trees());
+        assert!(split.literals.contains_key("ADDRLP8"));
+        assert!(split.literals.contains_key("CNSTC"));
+        assert!(split.literals.contains_key("ADDRGP"));
+        assert!(split.literals.contains_key("LEI"));
+        assert!(split.literals.contains_key("LABELV"));
+        assert_eq!(
+            split.literals["ADDRGP"],
+            vec![Literal::Symbol("pepper".into())]
+        );
+    }
+
+    #[test]
+    fn join_detects_truncated_stream() {
+        let trees = salt_trees();
+        let mut split = SplitStreams::split(&trees);
+        split.literals.get_mut("CNSTC").unwrap().pop();
+        assert!(split.join().is_err());
+    }
+
+    #[test]
+    fn join_detects_bad_symbol() {
+        let trees = salt_trees();
+        let mut split = SplitStreams::split(&trees);
+        split.pattern_stream[0] = 999;
+        assert!(split.join().is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let split = SplitStreams::split(&[]);
+        assert!(split.patterns.is_empty());
+        assert_eq!(split.join().unwrap(), Vec::<Tree>::new());
+        assert_eq!(split.literal_count(), 0);
+    }
+}

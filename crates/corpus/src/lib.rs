@@ -1,0 +1,150 @@
+//! The benchmark corpus.
+//!
+//! The paper measures lcc, gcc-2.6.3, wcp, and Word97 — binaries we
+//! cannot ship. This crate substitutes a corpus with the same *shape*:
+//! [`benchmarks`] returns a suite of realistic mini-C programs (an
+//! interpreter, DSP kernels, a compressor, sorting/searching, a parser,
+//! cellular automata, hashing, and a backtracking search), each with a
+//! deterministic entry point so every execution tier can be compared;
+//! [`synthetic`] generates seeded random programs of arbitrary size for
+//! gcc-scale experiments.
+
+pub mod programs;
+pub mod synth;
+
+pub use synth::{synthetic, SynthConfig};
+
+use codecomp_front::{compile, FrontError};
+use codecomp_ir::Module;
+
+/// One corpus program.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name (used in experiment tables).
+    pub name: &'static str,
+    /// What the program exercises.
+    pub description: &'static str,
+    /// Mini-C source text.
+    pub source: &'static str,
+}
+
+impl Benchmark {
+    /// Compiles the benchmark to IR.
+    ///
+    /// # Errors
+    ///
+    /// Propagates front-end diagnostics (the suite is tested to compile).
+    pub fn compile(&self) -> Result<Module, FrontError> {
+        compile(self.source)
+    }
+}
+
+/// The bundled benchmark suite.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "vmsim",
+            description: "stack-machine interpreter running bytecode programs",
+            source: programs::VMSIM,
+        },
+        Benchmark {
+            name: "dsp",
+            description: "FIR filter, matrix multiply, and dot-product kernels",
+            source: programs::DSP,
+        },
+        Benchmark {
+            name: "pack",
+            description: "run-length compressor and decompressor with verification",
+            source: programs::PACK,
+        },
+        Benchmark {
+            name: "sortlib",
+            description: "insertion sort, heapsort, and binary search over arrays",
+            source: programs::SORTLIB,
+        },
+        Benchmark {
+            name: "calc",
+            description: "recursive-descent expression parser and evaluator",
+            source: programs::CALC,
+        },
+        Benchmark {
+            name: "life",
+            description: "cellular automaton generations on a toroidal grid",
+            source: programs::LIFE,
+        },
+        Benchmark {
+            name: "hash",
+            description: "string hashing, PRNG streams, and checksum chains",
+            source: programs::HASH,
+        },
+        Benchmark {
+            name: "regex",
+            description: "backtracking regular-expression matcher over text buffers",
+            source: programs::REGEX,
+        },
+        Benchmark {
+            name: "bignum",
+            description: "fixed-precision big-number factorials and Fibonacci",
+            source: programs::BIGNUM,
+        },
+        Benchmark {
+            name: "queens",
+            description: "recursive backtracking N-queens counter",
+            source: programs::QUEENS,
+        },
+    ]
+}
+
+/// Finds a benchmark by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codecomp_ir::eval::Evaluator;
+
+    #[test]
+    fn all_benchmarks_compile() {
+        for b in benchmarks() {
+            let m = b
+                .compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name));
+            assert!(!m.functions.is_empty(), "{} has no functions", b.name);
+            assert!(m.function("main").is_some(), "{} has no main", b.name);
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_run_deterministically() {
+        for b in benchmarks() {
+            let m = b.compile().unwrap();
+            let a = Evaluator::new(&m, 1 << 22, 1 << 26)
+                .unwrap()
+                .run("main", &[])
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", b.name));
+            let c = Evaluator::new(&m, 1 << 22, 1 << 26)
+                .unwrap()
+                .run("main", &[])
+                .unwrap();
+            assert_eq!(a.value, c.value, "{} is nondeterministic", b.name);
+            assert!(a.stats.statements > 100, "{} does too little work", b.name);
+        }
+    }
+
+    #[test]
+    fn benchmark_lookup() {
+        assert!(benchmark("dsp").is_some());
+        assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn corpus_is_nontrivial_in_size() {
+        let total: usize = benchmarks()
+            .iter()
+            .map(|b| b.compile().unwrap().node_count())
+            .sum();
+        assert!(total > 3000, "corpus too small: {total} IR nodes");
+    }
+}

@@ -1,0 +1,839 @@
+//! The bundled mini-C benchmark sources.
+//!
+//! Each program ends with a `main` that runs a fixed workload and
+//! returns a checksum, so all execution tiers can be compared exactly.
+
+/// A stack-machine interpreter running small bytecode programs — the
+/// "interpreter" shape (lcc's role in the paper's corpus).
+pub const VMSIM: &str = r#"
+/* A tiny stack VM: opcodes over a byte-coded program. */
+int stack[64];
+int sp;
+int prog[128];
+int pc;
+
+void push(int v) { stack[sp] = v; sp++; }
+int pop() { sp--; return stack[sp]; }
+
+/* opcodes: 0 halt, 1 push imm, 2 add, 3 sub, 4 mul, 5 dup,
+   6 swap, 7 jnz offset, 8 dec, 9 mod imm */
+int run(int entry) {
+    pc = entry;
+    int steps = 0;
+    while (steps < 10000) {
+        int op = prog[pc];
+        pc++;
+        steps++;
+        if (op == 0) {
+            return pop();
+        } else if (op == 1) {
+            push(prog[pc]);
+            pc++;
+        } else if (op == 2) {
+            int b = pop();
+            push(pop() + b);
+        } else if (op == 3) {
+            int b = pop();
+            push(pop() - b);
+        } else if (op == 4) {
+            int b = pop();
+            push(pop() * b);
+        } else if (op == 5) {
+            int v = pop();
+            push(v);
+            push(v);
+        } else if (op == 6) {
+            int b = pop();
+            int a = pop();
+            push(b);
+            push(a);
+        } else if (op == 7) {
+            int t = prog[pc];
+            pc++;
+            if (pop() != 0) pc = t;
+        } else if (op == 8) {
+            push(pop() - 1);
+        } else if (op == 9) {
+            int m = prog[pc];
+            pc++;
+            push(pop() % m);
+        } else {
+            return -1;
+        }
+    }
+    return -2;
+}
+
+int emit(int at, int op, int arg, int has_arg) {
+    prog[at] = op;
+    at++;
+    if (has_arg) {
+        prog[at] = arg;
+        at++;
+    }
+    return at;
+}
+
+/* factorial(n) as bytecode: acc=1; while (n) { acc*=n; n--; } */
+int build_fact(int at, int n) {
+    at = emit(at, 1, 1, 1);   /* push 1 (acc) */
+    at = emit(at, 1, n, 1);   /* push n */
+    int loop = at;
+    at = emit(at, 5, 0, 0);   /* dup n */
+    int patch = at + 1;
+    at = emit(at, 7, 0, 1);   /* jnz body */
+    /* fallthrough: drop n, halt with acc */
+    at = emit(at, 3, 0, 0);   /* acc - 0? no: n==0, sub -> acc-n = acc */
+    at = emit(at, 0, 0, 0);   /* halt */
+    int body = at;
+    prog[patch] = body;
+    at = emit(at, 5, 0, 0);   /* n n */
+    at = emit(at, 1, 3, 1);   /* rotate via stack juggling: n n 3 */
+    at = emit(at, 3, 0, 0);   /* n (n-3) — arbitrary mix to vary opcodes */
+    at = emit(at, 3, 0, 0);   /* n - (n-3) = 3?  keep arithmetic lively */
+    at = emit(at, 1, 3, 1);
+    at = emit(at, 3, 0, 0);   /* 0 */
+    at = emit(at, 2, 0, 0);   /* n + 0 */
+    at = emit(at, 6, 0, 0);   /* swap acc n */
+    at = emit(at, 5, 0, 0);
+    /* stack: n acc acc ; need acc*n and n-1 */
+    at = emit(at, 6, 0, 0);
+    at = emit(at, 8, 0, 0);
+    /* stack: n' ... this toy just decrements and loops on n' */
+    at = emit(at, 6, 0, 0);
+    at = emit(at, 4, 0, 0);   /* multiply the two tops */
+    at = emit(at, 6, 0, 0);
+    at = emit(at, 7, loop, 1);
+    at = emit(at, 0, 0, 0);
+    return at;
+}
+
+int main() {
+    int sum = 0;
+    int n;
+    for (n = 1; n <= 6; n++) {
+        sp = 0;
+        build_fact(0, n);
+        sum = sum * 31 + run(0);
+    }
+    /* A second program: sum of squares mod 97 via the VM. */
+    int at = 0;
+    at = emit(at, 1, 0, 1);
+    int k;
+    for (k = 1; k <= 12; k++) {
+        at = emit(at, 1, k * k, 1);
+        at = emit(at, 2, 0, 0);
+    }
+    at = emit(at, 9, 97, 1);
+    at = emit(at, 0, 0, 0);
+    sp = 0;
+    sum = sum * 31 + run(0);
+    print_int(sum);
+    return sum;
+}
+"#;
+
+/// DSP kernels: FIR filtering, matrix multiplication, dot products.
+pub const DSP: &str = r#"
+int signal[256];
+int coeff[16];
+int output[256];
+int mata[64];
+int matb[64];
+int matc[64];
+
+void gen_signal() {
+    int i;
+    int x = 7;
+    for (i = 0; i < 256; i++) {
+        x = x * 1103515245 + 12345;
+        signal[i] = (x >> 16) % 100;
+    }
+}
+
+void gen_coeff() {
+    int i;
+    for (i = 0; i < 16; i++) coeff[i] = (i * 7 % 13) - 6;
+}
+
+void fir() {
+    int i;
+    for (i = 0; i < 256; i++) {
+        int acc = 0;
+        int j;
+        for (j = 0; j < 16; j++) {
+            if (i - j >= 0) acc += signal[i - j] * coeff[j];
+        }
+        output[i] = acc;
+    }
+}
+
+int dot(int *a, int *b, int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++) acc += a[i] * b[i];
+    return acc;
+}
+
+void matmul(int *a, int *b, int *c, int n) {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            int acc = 0;
+            for (k = 0; k < n; k++) acc += a[i * n + k] * b[k * n + j];
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+int saturate(int v, int lo, int hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+int main() {
+    gen_signal();
+    gen_coeff();
+    fir();
+    int check = 0;
+    int i;
+    for (i = 0; i < 256; i++) check = check * 17 + saturate(output[i], -5000, 5000) % 257;
+    for (i = 0; i < 64; i++) {
+        mata[i] = (i * 3 + 1) % 11;
+        matb[i] = (i * 5 + 2) % 7;
+    }
+    matmul(mata, matb, matc, 8);
+    check = check * 31 + dot(matc, mata, 64) % 10007;
+    check = check * 31 + dot(signal, output, 256) % 10007;
+    print_int(check);
+    return check;
+}
+"#;
+
+/// A run-length compressor/decompressor with verification — the "wcp"
+/// compression-utility shape.
+pub const PACK: &str = r#"
+char input[512];
+char packed[1024];
+char unpacked[512];
+
+void fill_input() {
+    int i = 0;
+    int runlen = 1;
+    char value = 'a';
+    while (i < 512) {
+        int j;
+        for (j = 0; j < runlen && i < 512; j++) {
+            input[i] = value;
+            i++;
+        }
+        value = value + 1;
+        if (value > 'f') value = 'a';
+        runlen = runlen * 2 + 1;
+        if (runlen > 40) runlen = 1;
+    }
+}
+
+/* RLE: (count, byte) pairs; count 1..255. Returns packed length. */
+int pack(char *src, int n, char *dst) {
+    int i = 0;
+    int out = 0;
+    while (i < n) {
+        int run = 1;
+        while (i + run < n && src[i + run] == src[i] && run < 255) run++;
+        dst[out] = run;
+        out++;
+        dst[out] = src[i];
+        out++;
+        i += run;
+    }
+    return out;
+}
+
+int unpack(char *src, int n, char *dst) {
+    int i = 0;
+    int out = 0;
+    while (i + 1 < n) {
+        int run = src[i];
+        if (run < 0) run += 256;
+        char v = src[i + 1];
+        int j;
+        for (j = 0; j < run; j++) {
+            dst[out] = v;
+            out++;
+        }
+        i += 2;
+    }
+    return out;
+}
+
+int verify(char *a, char *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (a[i] != b[i]) return 0;
+    }
+    return 1;
+}
+
+int checksum(char *p, int n) {
+    int h = 5381;
+    int i;
+    for (i = 0; i < n; i++) h = h * 33 + p[i];
+    return h;
+}
+
+int main() {
+    fill_input();
+    int plen = pack(input, 512, packed);
+    int ulen = unpack(packed, plen, unpacked);
+    int ok = verify(input, unpacked, 512);
+    if (ulen != 512) ok = 0;
+    int result = checksum(packed, plen) % 1000003;
+    if (!ok) result = -1;
+    print_int(plen);
+    print_int(result);
+    return result;
+}
+"#;
+
+/// Sorting and searching library routines.
+pub const SORTLIB: &str = r#"
+int data[200];
+int copy1[200];
+int copy2[200];
+
+void regen(int *dst, int n, int seed) {
+    int i;
+    int x = seed;
+    for (i = 0; i < n; i++) {
+        x = x * 1664525 + 1013904223;
+        dst[i] = (x >> 8) % 1000;
+        if (dst[i] < 0) dst[i] += 1000;
+    }
+}
+
+void insertion_sort(int *a, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        int v = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > v) {
+            a[j + 1] = a[j];
+            j--;
+        }
+        a[j + 1] = v;
+    }
+}
+
+void sift_down(int *a, int start, int end) {
+    int root = start;
+    while (root * 2 + 1 <= end) {
+        int child = root * 2 + 1;
+        if (child + 1 <= end && a[child] < a[child + 1]) child++;
+        if (a[root] < a[child]) {
+            int t = a[root];
+            a[root] = a[child];
+            a[child] = t;
+            root = child;
+        } else {
+            return;
+        }
+    }
+}
+
+void heap_sort(int *a, int n) {
+    int start = (n - 2) / 2;
+    while (start >= 0) {
+        sift_down(a, start, n - 1);
+        start--;
+    }
+    int end = n - 1;
+    while (end > 0) {
+        int t = a[end];
+        a[end] = a[0];
+        a[0] = t;
+        end--;
+        sift_down(a, 0, end);
+    }
+}
+
+int binary_search(int *a, int n, int key) {
+    int lo = 0;
+    int hi = n - 1;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        if (a[mid] == key) return mid;
+        if (a[mid] < key) lo = mid + 1;
+        else hi = mid - 1;
+    }
+    return -1;
+}
+
+int is_sorted(int *a, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        if (a[i - 1] > a[i]) return 0;
+    }
+    return 1;
+}
+
+int main() {
+    regen(data, 200, 42);
+    int i;
+    for (i = 0; i < 200; i++) {
+        copy1[i] = data[i];
+        copy2[i] = data[i];
+    }
+    insertion_sort(copy1, 200);
+    heap_sort(copy2, 200);
+    int ok = is_sorted(copy1, 200) && is_sorted(copy2, 200);
+    int agree = 1;
+    for (i = 0; i < 200; i++) {
+        if (copy1[i] != copy2[i]) agree = 0;
+    }
+    int hits = 0;
+    for (i = 0; i < 200; i++) {
+        if (binary_search(copy1, 200, data[i]) >= 0) hits++;
+    }
+    int misses = 0;
+    for (i = 0; i < 50; i++) {
+        if (binary_search(copy1, 200, 1000 + i) < 0) misses++;
+    }
+    int check = ok * 1000000 + agree * 100000 + hits * 100 + misses;
+    print_int(check);
+    return check;
+}
+"#;
+
+/// A recursive-descent expression parser and evaluator — the compiler
+/// front-end shape.
+pub const CALC: &str = r#"
+char expr[128];
+int pos;
+
+int parse_expr();
+
+int parse_num() {
+    int v = 0;
+    while (expr[pos] >= '0' && expr[pos] <= '9') {
+        v = v * 10 + (expr[pos] - '0');
+        pos++;
+    }
+    return v;
+}
+
+int parse_atom() {
+    if (expr[pos] == '(') {
+        pos++;
+        int v = parse_expr();
+        if (expr[pos] == ')') pos++;
+        return v;
+    }
+    if (expr[pos] == '-') {
+        pos++;
+        return -parse_atom();
+    }
+    return parse_num();
+}
+
+int parse_term() {
+    int v = parse_atom();
+    while (expr[pos] == '*' || expr[pos] == '/' || expr[pos] == '%') {
+        char op = expr[pos];
+        pos++;
+        int rhs = parse_atom();
+        if (op == '*') v = v * rhs;
+        else if (rhs != 0) {
+            if (op == '/') v = v / rhs;
+            else v = v % rhs;
+        }
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    while (expr[pos] == '+' || expr[pos] == '-') {
+        char op = expr[pos];
+        pos++;
+        int rhs = parse_term();
+        if (op == '+') v = v + rhs;
+        else v = v - rhs;
+    }
+    return v;
+}
+
+int put(int at, char c) {
+    expr[at] = c;
+    return at + 1;
+}
+
+int put_num(int at, int v) {
+    if (v >= 10) at = put_num(at, v / 10);
+    return put(at, '0' + v % 10);
+}
+
+/* Builds ((1*2+3)*(4%3)+...) style expressions of varying depth. */
+int build(int at, int depth, int seed) {
+    if (depth == 0) {
+        return put_num(at, seed % 90 + 1);
+    }
+    at = put(at, '(');
+    at = build(at, depth - 1, seed * 3 + 1);
+    char ops[5];
+    ops[0] = '+'; ops[1] = '-'; ops[2] = '*'; ops[3] = '/'; ops[4] = '%';
+    at = put(at, ops[seed % 5]);
+    at = build(at, depth - 1, seed * 7 + 2);
+    return put(at, ')');
+}
+
+int main() {
+    int check = 0;
+    int s;
+    for (s = 1; s <= 12; s++) {
+        int end = build(0, 3, s);
+        expr[end] = 0;
+        pos = 0;
+        int v = parse_expr();
+        check = check * 37 + v % 9973;
+    }
+    print_int(check);
+    return check;
+}
+"#;
+
+/// Conway's Game of Life on a toroidal grid.
+pub const LIFE: &str = r#"
+char grid[576];
+char next[576];
+
+int wrap(int v, int n) {
+    if (v < 0) return v + n;
+    if (v >= n) return v - n;
+    return v;
+}
+
+int at(int r, int c) {
+    return grid[wrap(r, 24) * 24 + wrap(c, 24)];
+}
+
+void step() {
+    int r;
+    int c;
+    for (r = 0; r < 24; r++) {
+        for (c = 0; c < 24; c++) {
+            int n = at(r-1,c-1) + at(r-1,c) + at(r-1,c+1)
+                  + at(r,c-1) + at(r,c+1)
+                  + at(r+1,c-1) + at(r+1,c) + at(r+1,c+1);
+            int alive = at(r, c);
+            if (alive) next[r * 24 + c] = (n == 2 || n == 3) ? 1 : 0;
+            else next[r * 24 + c] = (n == 3) ? 1 : 0;
+        }
+    }
+    int i;
+    for (i = 0; i < 576; i++) grid[i] = next[i];
+}
+
+int population() {
+    int i;
+    int p = 0;
+    for (i = 0; i < 576; i++) p += grid[i];
+    return p;
+}
+
+void seed_glider(int r, int c) {
+    grid[wrap(r, 24) * 24 + wrap(c + 1, 24)] = 1;
+    grid[wrap(r + 1, 24) * 24 + wrap(c + 2, 24)] = 1;
+    grid[wrap(r + 2, 24) * 24 + wrap(c, 24)] = 1;
+    grid[wrap(r + 2, 24) * 24 + wrap(c + 1, 24)] = 1;
+    grid[wrap(r + 2, 24) * 24 + wrap(c + 2, 24)] = 1;
+}
+
+int main() {
+    seed_glider(1, 1);
+    seed_glider(10, 5);
+    seed_glider(5, 15);
+    int check = 0;
+    int gen;
+    for (gen = 0; gen < 30; gen++) {
+        step();
+        check = check * 31 + population();
+    }
+    print_int(check);
+    return check;
+}
+"#;
+
+/// Hashing, PRNG streams, and checksum chains over byte buffers.
+pub const HASH: &str = r#"
+char buf[256];
+unsigned state;
+
+unsigned next_rand() {
+    state = state ^ (state << 13);
+    state = state ^ (state >> 17);
+    state = state ^ (state << 5);
+    return state;
+}
+
+int djb2(char *s, int n) {
+    int h = 5381;
+    int i;
+    for (i = 0; i < n; i++) h = h * 33 ^ s[i];
+    return h;
+}
+
+int fnv(char *s, int n) {
+    int h = 2166136261;
+    int i;
+    for (i = 0; i < n; i++) {
+        h = h ^ s[i];
+        h = h * 16777619;
+    }
+    return h;
+}
+
+int adler(char *s, int n) {
+    int a = 1;
+    int b = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = s[i];
+        if (v < 0) v += 256;
+        a = (a + v) % 65521;
+        b = (b + a) % 65521;
+    }
+    return b * 65536 + a;
+}
+
+int main() {
+    state = 2463534242;
+    int rounds;
+    int check = 0;
+    for (rounds = 0; rounds < 20; rounds++) {
+        int i;
+        for (i = 0; i < 256; i++) {
+            buf[i] = next_rand() % 256;
+        }
+        check ^= djb2(buf, 256);
+        check = check * 31 + fnv(buf, 128) % 100003;
+        check ^= adler(buf, 200);
+    }
+    print_int(check);
+    return check;
+}
+"#;
+
+/// N-queens backtracking — deep recursion, boolean pruning.
+pub const QUEENS: &str = r#"
+int cols[16];
+int diag1[32];
+int diag2[32];
+int n;
+
+int solve(int row) {
+    if (row == n) return 1;
+    int count = 0;
+    int c;
+    for (c = 0; c < n; c++) {
+        if (!cols[c] && !diag1[row + c] && !diag2[row - c + n]) {
+            cols[c] = 1;
+            diag1[row + c] = 1;
+            diag2[row - c + n] = 1;
+            count += solve(row + 1);
+            cols[c] = 0;
+            diag1[row + c] = 0;
+            diag2[row - c + n] = 0;
+        }
+    }
+    return count;
+}
+
+int clear() {
+    int i;
+    for (i = 0; i < 16; i++) cols[i] = 0;
+    for (i = 0; i < 32; i++) {
+        diag1[i] = 0;
+        diag2[i] = 0;
+    }
+    return 0;
+}
+
+int main() {
+    int check = 0;
+    for (n = 4; n <= 8; n++) {
+        clear();
+        check = check * 100 + solve(0);
+    }
+    print_int(check);
+    return check;
+}
+"#;
+
+/// A backtracking regular-expression matcher (literal, `.`, `*`, `^`, `$`)
+/// — the classic Pike/Kernighan matcher, a text-processing shape.
+pub const REGEX: &str = r#"
+char text[256];
+int matches;
+
+int match_here(char *re, char *s);
+
+int match_star(char c, char *re, char *s) {
+    do {
+        if (match_here(re, s)) return 1;
+    } while (*s != 0 && (*s == c || c == '.') && s++ != 0);
+    return 0;
+}
+
+int match_here(char *re, char *s) {
+    if (re[0] == 0) return 1;
+    if (re[1] == '*') return match_star(re[0], re + 2, s);
+    if (re[0] == '$' && re[1] == 0) return *s == 0;
+    if (*s != 0 && (re[0] == '.' || re[0] == *s)) return match_here(re + 1, s + 1);
+    return 0;
+}
+
+int match(char *re, char *s) {
+    if (re[0] == '^') return match_here(re + 1, s);
+    do {
+        if (match_here(re, s)) return 1;
+    } while (*s++ != 0);
+    return 0;
+}
+
+void fill_text() {
+    char *phrase = "the quick brown fox jumps over the lazy dog and the cat ";
+    int i = 0;
+    int j = 0;
+    while (i < 255) {
+        if (phrase[j] == 0) j = 0;
+        text[i] = phrase[j];
+        i++;
+        j++;
+    }
+    text[255] = 0;
+}
+
+int count_matches(char *re) {
+    int n = 0;
+    char *s = text;
+    while (*s) {
+        if (match(re, s)) n++;
+        s++;
+    }
+    return n;
+}
+
+int main() {
+    fill_text();
+    int check = 0;
+    check = check * 31 + count_matches("the");
+    check = check * 31 + count_matches("q.ick");
+    check = check * 31 + count_matches("o*g");
+    check = check * 31 + count_matches("^the");
+    check = check * 31 + count_matches("ca*t");
+    check = check * 31 + match("dog$", "lazy dog");
+    check = check * 31 + match("^f.x$", "fox");
+    check = check * 31 + match("xyz", text);
+    print_int(check);
+    return check;
+}
+"#;
+
+/// Fixed-precision big-number arithmetic (school multiplication,
+/// factorials, Fibonacci) over digit arrays — the numeric-library shape.
+pub const BIGNUM: &str = r#"
+/* Numbers are little-endian base-10000 digit arrays of length 32. */
+int scratch_a[32];
+int scratch_b[32];
+int scratch_c[32];
+
+void zero(int *x) {
+    int i;
+    for (i = 0; i < 32; i++) x[i] = 0;
+}
+
+void set_small(int *x, int v) {
+    zero(x);
+    x[0] = v % 10000;
+    x[1] = v / 10000;
+}
+
+void copy(int *dst, int *src) {
+    int i;
+    for (i = 0; i < 32; i++) dst[i] = src[i];
+}
+
+void add(int *out, int *a, int *b) {
+    int carry = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        int t = a[i] + b[i] + carry;
+        out[i] = t % 10000;
+        carry = t / 10000;
+    }
+}
+
+void mul_small(int *out, int *a, int m) {
+    int carry = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        int t = a[i] * m + carry;
+        out[i] = t % 10000;
+        carry = t / 10000;
+    }
+}
+
+int digits(int *x) {
+    int top = 31;
+    while (top > 0 && x[top] == 0) top--;
+    int head = x[top];
+    int n = top * 4;
+    while (head > 0) {
+        n++;
+        head /= 10;
+    }
+    if (n == 0) n = 1;
+    return n;
+}
+
+int fold(int *x) {
+    int h = 0;
+    int i;
+    for (i = 0; i < 32; i++) h = (h * 31 + x[i]) % 1000003;
+    return h;
+}
+
+int factorial_hash(int n) {
+    set_small(scratch_a, 1);
+    int k;
+    for (k = 2; k <= n; k++) {
+        mul_small(scratch_b, scratch_a, k);
+        copy(scratch_a, scratch_b);
+    }
+    return fold(scratch_a) * 100 + digits(scratch_a);
+}
+
+int fib_hash(int n) {
+    set_small(scratch_a, 0);
+    set_small(scratch_b, 1);
+    int k;
+    for (k = 0; k < n; k++) {
+        add(scratch_c, scratch_a, scratch_b);
+        copy(scratch_a, scratch_b);
+        copy(scratch_b, scratch_c);
+    }
+    return fold(scratch_a) * 100 + digits(scratch_a);
+}
+
+int main() {
+    int check = 0;
+    check ^= factorial_hash(20);
+    check = check * 37 + factorial_hash(40) % 99991;
+    check ^= fib_hash(90);
+    check = check * 37 + fib_hash(150) % 99991;
+    print_int(check);
+    return check;
+}
+"#;

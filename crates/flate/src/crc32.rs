@@ -1,0 +1,104 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), as used by gzip trailers.
+
+/// Table of CRC remainders for every byte value, built at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (n, entry) in t.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// A streaming CRC-32 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use codecomp_flate::crc32::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"123456789");
+/// assert_eq!(h.finalize(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Returns the final checksum.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"split across several updates";
+        let mut h = Crc32::new();
+        for chunk in data.chunks(5) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut h = Crc32::new();
+        h.update(b"xyz");
+        assert_eq!(h.finalize(), h.finalize());
+    }
+}

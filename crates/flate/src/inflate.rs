@@ -1,0 +1,293 @@
+//! DEFLATE decoding (RFC 1951).
+
+use crate::deflate::{
+    fixed_dist_lengths, fixed_litlen_lengths, CLC_ORDER, DIST_TABLE, LENGTH_TABLE,
+};
+use crate::FlateError;
+use codecomp_coding::bits::LsbBitReader;
+use codecomp_coding::huffman::canonical_codes;
+
+/// A Huffman decoding table for LSB-first DEFLATE streams.
+///
+/// Decoding walks bit by bit through the canonical code space; code
+/// lengths in DEFLATE are at most 15 so the walk is short.
+#[derive(Debug)]
+struct Decoder {
+    /// `(length, code) -> symbol`, stored as per-length sorted ranges.
+    count: [u32; 16],
+    first_code: [u32; 16],
+    first_index: [u32; 16],
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    #[allow(clippy::needless_range_loop)] // Kraft accumulation is index-keyed
+    fn from_lengths(lengths: &[u8]) -> Result<Self, FlateError> {
+        let mut count = [0u32; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(FlateError::Corrupt("code length > 15".into()));
+            }
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut kraft: u64 = 0;
+        for len in 1..16 {
+            kraft += u64::from(count[len]) << (15 - len);
+        }
+        if kraft > 1 << 15 {
+            return Err(FlateError::Corrupt("oversubscribed code lengths".into()));
+        }
+        let mut first_code = [0u32; 16];
+        let mut first_index = [0u32; 16];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..16 {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            index += count[len];
+        }
+        let mut symbols = vec![0u16; index as usize];
+        let mut next = first_index;
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[next[l as usize] as usize] = sym as u16;
+                next[l as usize] += 1;
+            }
+        }
+        Ok(Self {
+            count,
+            first_code,
+            first_index,
+            symbols,
+        })
+    }
+
+    fn decode(&self, r: &mut LsbBitReader<'_>) -> Result<usize, FlateError> {
+        let mut code = 0u32;
+        for len in 1..16 {
+            code = (code << 1) | r.read_bits(1).map_err(|_| FlateError::Truncated)?;
+            let c = self.count[len];
+            if c > 0 && code >= self.first_code[len] && code < self.first_code[len] + c {
+                let idx = self.first_index[len] + (code - self.first_code[len]);
+                return Ok(usize::from(self.symbols[idx as usize]));
+            }
+        }
+        Err(FlateError::Corrupt("invalid Huffman code".into()))
+    }
+}
+
+/// Decompresses a raw DEFLATE stream.
+///
+/// # Errors
+///
+/// Returns [`FlateError::Truncated`] or [`FlateError::Corrupt`] on
+/// malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use codecomp_flate::{deflate_compress, inflate, CompressionLevel};
+///
+/// let packed = deflate_compress(b"hello hello hello", CompressionLevel::Fast);
+/// assert_eq!(inflate(&packed)?, b"hello hello hello");
+/// # Ok::<(), codecomp_flate::FlateError>(())
+/// ```
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, FlateError> {
+    let mut r = LsbBitReader::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = r.read_bits(1).map_err(|_| FlateError::Truncated)? == 1;
+        let btype = r.read_bits(2).map_err(|_| FlateError::Truncated)?;
+        match btype {
+            0b00 => inflate_stored(&mut r, &mut out)?,
+            0b01 => {
+                let lit = Decoder::from_lengths(&fixed_litlen_lengths())?;
+                let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            0b10 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
+        }
+        if bfinal {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_stored(r: &mut LsbBitReader<'_>, out: &mut Vec<u8>) -> Result<(), FlateError> {
+    r.align_to_byte();
+    let len = r.read_bits(16).map_err(|_| FlateError::Truncated)? as u16;
+    let nlen = r.read_bits(16).map_err(|_| FlateError::Truncated)? as u16;
+    if len != !nlen {
+        return Err(FlateError::Corrupt("stored block LEN/NLEN mismatch".into()));
+    }
+    let bytes = r
+        .read_aligned_bytes(usize::from(len))
+        .map_err(|_| FlateError::Truncated)?;
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+#[allow(clippy::same_item_push)] // RLE expansion genuinely repeats values
+fn read_dynamic_tables(r: &mut LsbBitReader<'_>) -> Result<(Decoder, Decoder), FlateError> {
+    let hlit = r.read_bits(5).map_err(|_| FlateError::Truncated)? as usize + 257;
+    let hdist = r.read_bits(5).map_err(|_| FlateError::Truncated)? as usize + 1;
+    let hclen = r.read_bits(4).map_err(|_| FlateError::Truncated)? as usize + 4;
+    let mut clc_lengths = [0u8; 19];
+    for &o in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[o] = r.read_bits(3).map_err(|_| FlateError::Truncated)? as u8;
+    }
+    let clc = Decoder::from_lengths(&clc_lengths)?;
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        let sym = clc.decode(r)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let &last = lengths
+                    .last()
+                    .ok_or_else(|| FlateError::Corrupt("repeat with no previous length".into()))?;
+                let n = r.read_bits(2).map_err(|_| FlateError::Truncated)? + 3;
+                for _ in 0..n {
+                    lengths.push(last);
+                }
+            }
+            17 => {
+                let n = r.read_bits(3).map_err(|_| FlateError::Truncated)? + 3;
+                for _ in 0..n {
+                    lengths.push(0);
+                }
+            }
+            18 => {
+                let n = r.read_bits(7).map_err(|_| FlateError::Truncated)? + 11;
+                for _ in 0..n {
+                    lengths.push(0);
+                }
+            }
+            _ => return Err(FlateError::Corrupt("invalid code-length symbol".into())),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(FlateError::Corrupt("code length overrun".into()));
+    }
+    let lit = Decoder::from_lengths(&lengths[..hlit])?;
+    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut LsbBitReader<'_>,
+    lit: &Decoder,
+    dist: &Decoder,
+    out: &mut Vec<u8>,
+) -> Result<(), FlateError> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_TABLE[sym - 257];
+                let len = base + r.read_bits(extra).map_err(|_| FlateError::Truncated)? as u16;
+                let dsym = dist.decode(r)?;
+                if dsym >= 30 {
+                    return Err(FlateError::Corrupt("invalid distance code".into()));
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym];
+                let d = usize::from(dbase)
+                    + r.read_bits(dextra).map_err(|_| FlateError::Truncated)? as usize;
+                if d == 0 || d > out.len() {
+                    return Err(FlateError::Corrupt("distance beyond output start".into()));
+                }
+                let start = out.len() - d;
+                for i in 0..usize::from(len) {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(FlateError::Corrupt("invalid literal/length symbol".into())),
+        }
+    }
+}
+
+/// Re-exported for tests: canonical code assignment consistency check.
+#[doc(hidden)]
+pub fn check_tables_consistent(lengths: &[u8]) -> bool {
+    canonical_codes(lengths).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate_compress, CompressionLevel};
+
+    #[test]
+    fn inflate_rejects_empty() {
+        assert_eq!(inflate(&[]), Err(FlateError::Truncated));
+    }
+
+    #[test]
+    fn inflate_rejects_reserved_block_type() {
+        // BFINAL=1, BTYPE=11.
+        assert!(matches!(
+            inflate(&[0b0000_0111]),
+            Err(FlateError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn inflate_rejects_bad_stored_nlen() {
+        // BFINAL=1, BTYPE=00, then LEN=1, NLEN=0 (mismatch).
+        let bytes = [0b0000_0001, 0x01, 0x00, 0x00, 0x00, 0xAA];
+        assert!(matches!(inflate(&bytes), Err(FlateError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stored_block_roundtrip_handmade() {
+        // BFINAL=1 BTYPE=00, LEN=3, NLEN=!3, "abc".
+        let bytes = [0x01, 0x03, 0x00, 0xFC, 0xFF, b'a', b'b', b'c'];
+        assert_eq!(inflate(&bytes).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn fixed_block_roundtrip() {
+        // Compress something small enough that fixed coding wins.
+        let data = b"abc";
+        let packed = deflate_compress(data, CompressionLevel::Best);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = b"hello world hello world hello world".repeat(10);
+        let packed = deflate_compress(&data, CompressionLevel::Best);
+        for cut in [1, packed.len() / 2, packed.len() - 1] {
+            let r = inflate(&packed[..cut]);
+            assert!(r.is_err(), "truncation at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn distance_before_start_rejected() {
+        // Fixed block: a match with distance 1 as the very first symbol.
+        use codecomp_coding::bits::LsbBitWriter;
+        use codecomp_coding::huffman::canonical_codes;
+        let lit_lengths = fixed_litlen_lengths();
+        let lit_codes = canonical_codes(&lit_lengths).unwrap();
+        let mut w = LsbBitWriter::new();
+        w.write_bits(1, 1);
+        w.write_bits(0b01, 2);
+        // length code 257 (len 3).
+        w.write_huffman_code(lit_codes[257], lit_lengths[257]);
+        // distance code 0 (dist 1), 5 bits.
+        w.write_huffman_code(0, 5);
+        let bytes = w.finish();
+        assert!(matches!(inflate(&bytes), Err(FlateError::Corrupt(_))));
+    }
+}

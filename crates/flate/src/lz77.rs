@@ -1,0 +1,304 @@
+//! LZ77 match finding with hash chains, in DEFLATE's parameter envelope
+//! (matches of 3..=258 bytes at distances 1..=32768).
+
+/// Minimum match length DEFLATE can encode.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length DEFLATE can encode.
+pub const MAX_MATCH: usize = 258;
+/// Maximum backwards distance DEFLATE can encode.
+pub const MAX_DISTANCE: usize = 32_768;
+
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token: a literal byte or a back-reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference copying `len` bytes from `dist` bytes back.
+    Match {
+        /// Copy length, in `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Backwards distance, in `1..=MAX_DISTANCE`.
+        dist: u16,
+    },
+}
+
+/// Effort knobs for the match finder, indexed by compression level.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchParams {
+    /// Maximum hash-chain links followed per position.
+    pub max_chain: usize,
+    /// Stop searching once a match at least this long is found.
+    pub good_len: usize,
+    /// Enable one-step lazy matching.
+    pub lazy: bool,
+}
+
+impl MatchParams {
+    /// Fast parameters (short chains, greedy parsing).
+    pub fn fast() -> Self {
+        Self {
+            max_chain: 16,
+            good_len: 32,
+            lazy: false,
+        }
+    }
+
+    /// Thorough parameters (long chains, lazy parsing).
+    pub fn best() -> Self {
+        Self {
+            max_chain: 1024,
+            good_len: 258,
+            lazy: true,
+        }
+    }
+}
+
+fn hash(data: &[u8], pos: usize) -> usize {
+    let a = u32::from(data[pos]);
+    let b = u32::from(data[pos + 1]);
+    let c = u32::from(data[pos + 2]);
+    (((a << 10) ^ (b << 5) ^ c).wrapping_mul(2_654_435_761) >> (32 - HASH_BITS as u32)) as usize
+        & (HASH_SIZE - 1)
+}
+
+/// A hash-chain dictionary over a byte buffer.
+struct ChainFinder<'a> {
+    data: &'a [u8],
+    head: Vec<i64>,
+    prev: Vec<i64>,
+    params: MatchParams,
+}
+
+impl<'a> ChainFinder<'a> {
+    fn new(data: &'a [u8], params: MatchParams) -> Self {
+        Self {
+            data,
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; data.len()],
+            params,
+        }
+    }
+
+    fn insert(&mut self, pos: usize) {
+        if pos + MIN_MATCH <= self.data.len() {
+            let h = hash(self.data, pos);
+            self.prev[pos] = self.head[h];
+            self.head[h] = pos as i64;
+        }
+    }
+
+    /// Longest match starting at `pos`, if at least `MIN_MATCH` long.
+    fn longest_match(&self, pos: usize) -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > self.data.len() {
+            return None;
+        }
+        let max_len = (self.data.len() - pos).min(MAX_MATCH);
+        let h = hash(self.data, pos);
+        let mut cand = self.head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = self.params.max_chain;
+        while cand >= 0 && chain > 0 {
+            let c = cand as usize;
+            let dist = pos - c;
+            if dist > MAX_DISTANCE {
+                break;
+            }
+            // Quick reject: compare the byte just past the current best.
+            if best_len < max_len && self.data[c + best_len] == self.data[pos + best_len] {
+                let mut len = 0;
+                while len < max_len && self.data[c + len] == self.data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len >= self.params.good_len {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c];
+            chain -= 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    }
+}
+
+/// Tokenizes `data` with greedy or lazy LZ77 parsing.
+///
+/// # Examples
+///
+/// ```
+/// use codecomp_flate::lz77::{tokenize, MatchParams, Token};
+///
+/// let tokens = tokenize(b"abcabcabcabc", MatchParams::best());
+/// // The first three bytes are literals; the rest is one long match.
+/// assert!(matches!(tokens[3], Token::Match { dist: 3, .. }));
+/// ```
+pub fn tokenize(data: &[u8], params: MatchParams) -> Vec<Token> {
+    let mut finder = ChainFinder::new(data, params);
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    // Positions `< inserted` are already in the dictionary; positions are
+    // inserted lazily just before each search so a position never matches
+    // itself.
+    let mut inserted = 0usize;
+    while pos < data.len() {
+        while inserted < pos {
+            finder.insert(inserted);
+            inserted += 1;
+        }
+        match finder.longest_match(pos) {
+            Some((found_len, found_dist)) => {
+                let (mut len, mut dist, mut start) = (found_len, found_dist, pos);
+                if params.lazy && len < params.good_len && pos + 1 + MIN_MATCH <= data.len() {
+                    // Peek one position ahead; if a strictly longer match
+                    // starts there, emit a literal and take that one.
+                    finder.insert(pos);
+                    inserted = pos + 1;
+                    if let Some((next_len, next_dist)) = finder.longest_match(pos + 1) {
+                        if next_len > len {
+                            tokens.push(Token::Literal(data[pos]));
+                            start = pos + 1;
+                            len = next_len;
+                            dist = next_dist;
+                        }
+                    }
+                }
+                tokens.push(Token::Match {
+                    len: len as u16,
+                    dist: dist as u16,
+                });
+                pos = start + len;
+            }
+            None => {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expands tokens back into bytes; the inverse of [`tokenize`].
+///
+/// Returns `None` for invalid distances (reaching before the start).
+pub fn detokenize(tokens: &[Token]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], params: MatchParams) {
+        let tokens = tokenize(data, params);
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for params in [MatchParams::fast(), MatchParams::best()] {
+            roundtrip(b"", params);
+            roundtrip(b"a", params);
+            roundtrip(b"ab", params);
+            roundtrip(b"abc", params);
+        }
+    }
+
+    #[test]
+    fn repeated_pattern_produces_matches() {
+        let data = b"abcabcabcabcabcabc";
+        let tokens = tokenize(data, MatchParams::best());
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        // Runs compress via dist=1 overlapping copies.
+        let data = vec![b'x'; 1000];
+        let tokens = tokenize(&data, MatchParams::best());
+        assert!(
+            tokens.len() < 20,
+            "run should collapse, got {} tokens",
+            tokens.len()
+        );
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips() {
+        // Pseudorandom bytes (xorshift) have few matches but must survive.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state >> 24) as u8
+            })
+            .collect();
+        roundtrip(&data, MatchParams::fast());
+        roundtrip(&data, MatchParams::best());
+    }
+
+    #[test]
+    fn long_runs_split_at_max_match() {
+        let data = vec![b'y'; MAX_MATCH * 3 + 7];
+        let tokens = tokenize(&data, MatchParams::best());
+        for t in &tokens {
+            if let Token::Match { len, .. } = t {
+                assert!((*len as usize) <= MAX_MATCH);
+            }
+        }
+        assert_eq!(detokenize(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn lazy_matching_not_worse_than_greedy() {
+        let data = b"xyzabcdefgabcdefghijklxyzabcdefghijkl".repeat(20);
+        let greedy = tokenize(
+            &data,
+            MatchParams {
+                lazy: false,
+                ..MatchParams::best()
+            },
+        );
+        let lazy = tokenize(&data, MatchParams::best());
+        assert!(lazy.len() <= greedy.len());
+        assert_eq!(detokenize(&lazy).unwrap(), data);
+    }
+
+    #[test]
+    fn detokenize_rejects_bad_distance() {
+        assert!(detokenize(&[Token::Match { len: 3, dist: 1 }]).is_none());
+        assert!(detokenize(&[Token::Literal(7), Token::Match { len: 3, dist: 2 }]).is_none());
+    }
+}

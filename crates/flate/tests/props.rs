@@ -1,0 +1,62 @@
+//! Property-based tests: DEFLATE and gzip are inverses on arbitrary input.
+
+use codecomp_flate::lz77::{detokenize, tokenize, MatchParams};
+use codecomp_flate::{deflate_compress, gzip_compress, gzip_decompress, inflate, CompressionLevel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deflate_roundtrip_random(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        for level in [CompressionLevel::Fast, CompressionLevel::Best] {
+            let packed = deflate_compress(&data, level);
+            prop_assert_eq!(inflate(&packed).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn deflate_roundtrip_lowentropy(data in prop::collection::vec(0u8..4, 0..4096)) {
+        let packed = deflate_compress(&data, CompressionLevel::Best);
+        prop_assert_eq!(inflate(&packed).unwrap(), data.clone());
+        if data.len() > 512 {
+            // Low-entropy input must actually compress.
+            prop_assert!(packed.len() < data.len());
+        }
+    }
+
+    #[test]
+    fn gzip_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let packed = gzip_compress(&data, CompressionLevel::Best);
+        prop_assert_eq!(gzip_decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn lz77_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        for params in [MatchParams::fast(), MatchParams::best()] {
+            let tokens = tokenize(&data, params);
+            prop_assert_eq!(detokenize(&tokens).unwrap(), data.clone());
+        }
+    }
+
+    #[test]
+    fn inflate_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Any result is fine; the decoder must simply not panic or hang.
+        let _ = inflate(&data);
+        let _ = gzip_decompress(&data);
+    }
+
+    #[test]
+    fn corrupted_gzip_detected(
+        data in prop::collection::vec(any::<u8>(), 64..512),
+        flip in 18usize..64,
+    ) {
+        let mut packed = gzip_compress(&data, CompressionLevel::Best);
+        let idx = flip % packed.len();
+        if idx >= 10 {
+            packed[idx] ^= 0x01;
+            // Either an error, or (vanishingly unlikely) identical output.
+            if let Ok(out) = gzip_decompress(&packed) { prop_assert_eq!(out, data) }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Abstract syntax for the mini-C subset.
+
+/// A C type in the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// 32-bit signed `int`.
+    Int,
+    /// 8-bit signed `char`.
+    Char,
+    /// 16-bit signed `short`.
+    Short,
+    /// 32-bit `unsigned`.
+    Unsigned,
+    /// `void` (function returns only).
+    Void,
+    /// Pointer to a type.
+    Ptr(Box<CType>),
+    /// One-dimensional array with a compile-time length.
+    Array(Box<CType>, usize),
+}
+
+impl CType {
+    /// Size in bytes of a value of this type.
+    pub fn size(&self) -> u32 {
+        match self {
+            CType::Char => 1,
+            CType::Short => 2,
+            CType::Int | CType::Unsigned | CType::Ptr(_) => 4,
+            CType::Void => 0,
+            CType::Array(elem, n) => elem.size() * (*n as u32),
+        }
+    }
+
+    /// The type a value of this type decays to in an rvalue context
+    /// (arrays decay to pointers).
+    pub fn decayed(&self) -> CType {
+        match self {
+            CType::Array(elem, _) => CType::Ptr(elem.clone()),
+            other => other.clone(),
+        }
+    }
+
+    /// Whether this is a pointer (after decay).
+    pub fn is_pointer(&self) -> bool {
+        matches!(self.decayed(), CType::Ptr(_))
+    }
+
+    /// The pointee type of a pointer or array.
+    pub fn pointee(&self) -> Option<&CType> {
+        match self {
+            CType::Ptr(t) | CType::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether this operator yields a 0/1 comparison result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    BitNot,
+    /// `!`
+    Not,
+    /// `*`
+    Deref,
+    /// `&`
+    AddrOf,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// String literal (anonymous global byte array).
+    Str(Vec<u8>),
+    /// Variable reference.
+    Var(String),
+    /// `a OP b`.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `OP a`.
+    Unary(UnOp, Box<Expr>),
+    /// `lhs = rhs` (plain assignment; compound forms are desugared).
+    Assign(Box<Expr>, Box<Expr>),
+    /// `lhs op= rhs` kept structured so `lhs` is evaluated once.
+    CompoundAssign(BinOp, Box<Expr>, Box<Expr>),
+    /// `++x` / `--x` (`is_inc`, prefix).
+    PreIncDec(bool, Box<Expr>),
+    /// `x++` / `x--`.
+    PostIncDec(bool, Box<Expr>),
+    /// `cond ? then : else`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `f(args…)`.
+    Call(String, Vec<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `if (cond) then else?`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) body`.
+    While(Expr, Box<Stmt>),
+    /// `do body while (cond);`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body` — all parts optional.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return expr?;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ … }`.
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: CType,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Return type.
+    pub ret: CType,
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Declared type.
+    pub ty: CType,
+    /// Name.
+    pub name: String,
+    /// Optional initializer: a scalar expression, array list, or string.
+    pub init: Option<GlobalInit>,
+}
+
+/// Initializer forms for globals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalInit {
+    /// A constant scalar.
+    Scalar(i64),
+    /// `{ a, b, c }` of constants.
+    List(Vec<i64>),
+    /// A string literal (for `char` arrays).
+    Str(Vec<u8>),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions.
+    pub functions: Vec<FuncDef>,
+    /// Declared-but-not-defined functions: `(name, arity)`.
+    pub prototypes: Vec<(String, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(CType::Char.size(), 1);
+        assert_eq!(CType::Short.size(), 2);
+        assert_eq!(CType::Int.size(), 4);
+        assert_eq!(CType::Ptr(Box::new(CType::Char)).size(), 4);
+        assert_eq!(CType::Array(Box::new(CType::Int), 10).size(), 40);
+    }
+
+    #[test]
+    fn array_decay() {
+        let arr = CType::Array(Box::new(CType::Char), 8);
+        assert_eq!(arr.decayed(), CType::Ptr(Box::new(CType::Char)));
+        assert!(arr.is_pointer());
+        assert_eq!(arr.pointee(), Some(&CType::Char));
+        assert_eq!(CType::Int.decayed(), CType::Int);
+        assert!(!CType::Int.is_pointer());
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::LogAnd.is_comparison());
+    }
+}

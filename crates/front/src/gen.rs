@@ -1,0 +1,1155 @@
+//! AST → IR tree code generation.
+//!
+//! Follows lcc's conventions: locals and parameters live at frame
+//! offsets addressed with `ADDRLP`/`ADDRFP`, parameters occupy the first
+//! `4*i` slots (the caller spills them there), character and short
+//! values are promoted to `int` with `CVT` when used in arithmetic, and
+//! call arguments are pushed with `ARG` statement trees ahead of the
+//! `CALL` node. Conditional *values* (comparisons, `&&`, `||`, `?:`)
+//! are materialized through branches and a frame temporary, exactly as a
+//! simple C compiler would.
+
+use crate::ast::*;
+use crate::FrontError;
+use codecomp_ir::op::{IrType, Op, Opcode};
+use codecomp_ir::tree::{Function, Global, Module, Tree};
+use std::collections::HashMap;
+
+/// Generates an IR module from a parsed program.
+///
+/// # Errors
+///
+/// [`FrontError`] for undefined variables, bad lvalues, and other
+/// semantic problems.
+pub fn generate(program: &Program) -> Result<Module, FrontError> {
+    let mut g = Generator::new(program);
+    let mut module = Module::new();
+    for global in &program.globals {
+        module.globals.push(lower_global(global)?);
+    }
+    for f in &program.functions {
+        module.functions.push(g.function(f)?);
+    }
+    for (name, bytes) in g.strings.drain(..) {
+        module.globals.push(Global {
+            name,
+            size: bytes.len() as u32,
+            init: bytes,
+        });
+    }
+    module
+        .validate()
+        .map_err(|e| FrontError::new(0, format!("internal label error: {e}")))?;
+    Ok(module)
+}
+
+fn lower_global(def: &GlobalDef) -> Result<Global, FrontError> {
+    let size = def.ty.size().max(1);
+    let init = match &def.init {
+        None => Vec::new(),
+        Some(GlobalInit::Scalar(v)) => {
+            let mut bytes = (*v as u32).to_le_bytes().to_vec();
+            bytes.truncate(def.ty.size().max(1) as usize);
+            bytes
+        }
+        Some(GlobalInit::List(items)) => {
+            let elem = match &def.ty {
+                CType::Array(e, _) => (**e).clone(),
+                other => other.clone(),
+            };
+            let mut bytes = Vec::new();
+            for &v in items {
+                match elem.size() {
+                    1 => bytes.push(v as u8),
+                    2 => bytes.extend_from_slice(&(v as u16).to_le_bytes()),
+                    _ => bytes.extend_from_slice(&(v as u32).to_le_bytes()),
+                }
+            }
+            bytes
+        }
+        Some(GlobalInit::Str(s)) => {
+            let mut bytes = s.clone();
+            bytes.push(0);
+            bytes
+        }
+    };
+    if init.len() > size as usize {
+        return Err(FrontError::new(
+            0,
+            format!("initializer too large for {}", def.name),
+        ));
+    }
+    Ok(Global {
+        name: def.name.clone(),
+        size,
+        init,
+    })
+}
+
+/// A resolved variable.
+#[derive(Debug, Clone)]
+enum Place {
+    Local { offset: i32, ty: CType },
+    Param { offset: i32, ty: CType },
+    Global { name: String, ty: CType },
+}
+
+struct Generator<'p> {
+    signatures: HashMap<String, (CType, usize)>,
+    global_types: HashMap<String, CType>,
+    strings: Vec<(String, Vec<u8>)>,
+    string_ids: HashMap<Vec<u8>, String>,
+    _program: &'p Program,
+}
+
+struct FuncCx {
+    scopes: Vec<HashMap<String, Place>>,
+    next_offset: u32,
+    max_offset: u32,
+    next_label: u32,
+    /// (continue target, break target) stack.
+    loops: Vec<(u32, u32)>,
+    out: Vec<Tree>,
+    line: u32,
+}
+
+impl<'p> Generator<'p> {
+    fn new(program: &'p Program) -> Self {
+        let mut signatures = HashMap::new();
+        for f in &program.functions {
+            signatures.insert(f.name.clone(), (f.ret.clone(), f.params.len()));
+        }
+        signatures.insert("print_int".into(), (CType::Void, 1));
+        signatures.insert("print_char".into(), (CType::Void, 1));
+        let global_types = program
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), g.ty.clone()))
+            .collect();
+        Self {
+            signatures,
+            global_types,
+            strings: Vec::new(),
+            string_ids: HashMap::new(),
+            _program: program,
+        }
+    }
+
+    fn intern_string(&mut self, bytes: &[u8]) -> String {
+        if let Some(name) = self.string_ids.get(bytes) {
+            return name.clone();
+        }
+        let name = format!("$str{}", self.strings.len());
+        let mut stored = bytes.to_vec();
+        stored.push(0);
+        self.strings.push((name.clone(), stored));
+        self.string_ids.insert(bytes.to_vec(), name.clone());
+        name
+    }
+
+    fn function(&mut self, def: &FuncDef) -> Result<Function, FrontError> {
+        let mut cx = FuncCx {
+            scopes: vec![HashMap::new()],
+            next_offset: 4 * def.params.len() as u32,
+            max_offset: 4 * def.params.len() as u32,
+            next_label: 1,
+            loops: Vec::new(),
+            out: Vec::new(),
+            line: 0,
+        };
+        for (i, p) in def.params.iter().enumerate() {
+            cx.scopes[0].insert(
+                p.name.clone(),
+                Place::Param {
+                    offset: 4 * i as i32,
+                    ty: p.ty.clone(),
+                },
+            );
+        }
+        for stmt in &def.body {
+            self.stmt(&mut cx, stmt, &def.ret)?;
+        }
+        // Guarantee the body ends in a return.
+        let needs_ret = !matches!(
+            cx.out.last().map(|t| t.op().opcode),
+            Some(Opcode::Ret) | Some(Opcode::Jump)
+        );
+        if needs_ret {
+            if def.ret == CType::Void {
+                cx.out.push(Tree::ret_void());
+            } else {
+                cx.out.push(Tree::ret(IrType::I, Tree::cnst_auto(0)));
+            }
+        }
+        let mut f = Function::new(&def.name, def.params.len(), cx.max_offset.div_ceil(4) * 4);
+        f.body = std::mem::take(&mut cx.out);
+        Ok(f)
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self, cx: &mut FuncCx, stmt: &Stmt, ret: &CType) -> Result<(), FrontError> {
+        match stmt {
+            Stmt::Empty => Ok(()),
+            Stmt::Block(body) => {
+                cx.scopes.push(HashMap::new());
+                let saved = cx.next_offset;
+                for s in body {
+                    self.stmt(cx, s, ret)?;
+                }
+                cx.scopes.pop();
+                // Block-local frame space is reusable after scope exit.
+                cx.next_offset = saved;
+                Ok(())
+            }
+            Stmt::Decl { ty, name, init } => {
+                let offset = alloc(cx, ty.size().max(1), ty.size().clamp(1, 4));
+                cx.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(
+                        name.clone(),
+                        Place::Local {
+                            offset,
+                            ty: ty.clone(),
+                        },
+                    );
+                if let Some(e) = init {
+                    let (value, _) = self.rvalue(cx, e)?;
+                    let ir_ty = ir_type(ty);
+                    cx.out
+                        .push(Tree::asgn(ir_ty, Tree::addr_local(offset), value));
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => self.expr_stmt(cx, e),
+            Stmt::If(cond, then, els) => {
+                let else_label = fresh(cx);
+                self.cond(cx, cond, else_label, false)?;
+                self.stmt(cx, then, ret)?;
+                if let Some(els) = els {
+                    let end = fresh(cx);
+                    cx.out.push(Tree::jump(end));
+                    cx.out.push(Tree::label(else_label));
+                    self.stmt(cx, els, ret)?;
+                    cx.out.push(Tree::label(end));
+                } else {
+                    cx.out.push(Tree::label(else_label));
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let start = fresh(cx);
+                let end = fresh(cx);
+                cx.out.push(Tree::label(start));
+                self.cond(cx, cond, end, false)?;
+                cx.loops.push((start, end));
+                self.stmt(cx, body, ret)?;
+                cx.loops.pop();
+                cx.out.push(Tree::jump(start));
+                cx.out.push(Tree::label(end));
+                Ok(())
+            }
+            Stmt::DoWhile(body, cond) => {
+                let start = fresh(cx);
+                let cont = fresh(cx);
+                let end = fresh(cx);
+                cx.out.push(Tree::label(start));
+                cx.loops.push((cont, end));
+                self.stmt(cx, body, ret)?;
+                cx.loops.pop();
+                cx.out.push(Tree::label(cont));
+                self.cond(cx, cond, start, true)?;
+                cx.out.push(Tree::label(end));
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                cx.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(cx, init, ret)?;
+                }
+                let start = fresh(cx);
+                let cont = fresh(cx);
+                let end = fresh(cx);
+                cx.out.push(Tree::label(start));
+                if let Some(cond) = cond {
+                    self.cond(cx, cond, end, false)?;
+                }
+                cx.loops.push((cont, end));
+                self.stmt(cx, body, ret)?;
+                cx.loops.pop();
+                cx.out.push(Tree::label(cont));
+                if let Some(step) = step {
+                    self.expr_stmt(cx, step)?;
+                }
+                cx.out.push(Tree::jump(start));
+                cx.out.push(Tree::label(end));
+                cx.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                match e {
+                    None => cx.out.push(Tree::ret_void()),
+                    Some(e) => {
+                        let (value, _) = self.rvalue(cx, e)?;
+                        if *ret == CType::Void {
+                            // Evaluate for side effects, then plain return.
+                            cx.out.push(value);
+                            cx.out.push(Tree::ret_void());
+                        } else {
+                            cx.out.push(Tree::ret(IrType::I, value));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Break => {
+                let (_, brk) = *cx
+                    .loops
+                    .last()
+                    .ok_or_else(|| FrontError::new(cx.line, "break outside a loop"))?;
+                cx.out.push(Tree::jump(brk));
+                Ok(())
+            }
+            Stmt::Continue => {
+                let (cont, _) = *cx
+                    .loops
+                    .last()
+                    .ok_or_else(|| FrontError::new(cx.line, "continue outside a loop"))?;
+                cx.out.push(Tree::jump(cont));
+                Ok(())
+            }
+        }
+    }
+
+    /// Expression used for effect only — avoids the post-inc temporary.
+    fn expr_stmt(&mut self, cx: &mut FuncCx, e: &Expr) -> Result<(), FrontError> {
+        match e {
+            Expr::PostIncDec(is_inc, inner) | Expr::PreIncDec(is_inc, inner) => {
+                let tree = self.inc_dec_tree(cx, *is_inc, inner)?;
+                cx.out.push(tree);
+                Ok(())
+            }
+            // A discarded call compiles to a bare CALL statement root, the
+            // shape the paper's example shows (`CALLI(ADDRGP[pepper])`).
+            Expr::Call(name, args) => {
+                let call = self.emit_call(cx, name, args)?;
+                cx.out.push(call);
+                Ok(())
+            }
+            _ => {
+                let (tree, _) = self.rvalue(cx, e)?;
+                // Pure leaves have no effect; dropping them entirely keeps
+                // the IR clean (a bare `x;` statement compiles to nothing).
+                if !matches!(
+                    tree.op().opcode,
+                    Opcode::Cnst | Opcode::AddrG | Opcode::AddrL | Opcode::AddrF
+                ) {
+                    cx.out.push(tree);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ---- variable lookup ---------------------------------------------------
+
+    fn lookup(&self, cx: &FuncCx, name: &str) -> Option<Place> {
+        for scope in cx.scopes.iter().rev() {
+            if let Some(p) = scope.get(name) {
+                return Some(p.clone());
+            }
+        }
+        self.global_types.get(name).map(|ty| Place::Global {
+            name: name.to_string(),
+            ty: ty.clone(),
+        })
+    }
+
+    // ---- lvalues -----------------------------------------------------------
+
+    /// Returns `(address tree, object type)`.
+    fn lvalue(&mut self, cx: &mut FuncCx, e: &Expr) -> Result<(Tree, CType), FrontError> {
+        match e {
+            Expr::Var(name) => match self.lookup(cx, name) {
+                Some(Place::Local { offset, ty }) => Ok((Tree::addr_local(offset), ty)),
+                Some(Place::Param { offset, ty }) => Ok((Tree::addr_formal(offset), ty)),
+                Some(Place::Global { name, ty }) => Ok((Tree::addr_global(name), ty)),
+                None => Err(FrontError::new(
+                    cx.line,
+                    format!("undefined variable {name}"),
+                )),
+            },
+            Expr::Unary(UnOp::Deref, inner) => {
+                let (ptr, ty) = self.rvalue(cx, inner)?;
+                let pointee = ty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| FrontError::new(cx.line, "dereference of a non-pointer"))?;
+                Ok((ptr, pointee))
+            }
+            Expr::Index(base, index) => {
+                let (base_tree, base_ty) = self.rvalue(cx, base)?;
+                let pointee = base_ty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| FrontError::new(cx.line, "indexing a non-pointer"))?;
+                let (idx, _) = self.rvalue(cx, index)?;
+                let scaled = scale_index(idx, pointee.size().max(1));
+                Ok((Tree::add(IrType::P, base_tree, scaled), pointee))
+            }
+            _ => Err(FrontError::new(cx.line, "expression is not an lvalue")),
+        }
+    }
+
+    // ---- rvalues -----------------------------------------------------------
+
+    /// Returns `(value tree, expression type after promotion/decay)`.
+    fn rvalue(&mut self, cx: &mut FuncCx, e: &Expr) -> Result<(Tree, CType), FrontError> {
+        match e {
+            // Literals wrap to the 32-bit int range up front so every
+            // later representation (IR binary, VM immediates) agrees.
+            Expr::Num(v) => Ok((Tree::cnst_auto(i64::from(*v as i32)), CType::Int)),
+            Expr::Str(s) => {
+                let name = self.intern_string(s);
+                Ok((Tree::addr_global(name), CType::Ptr(Box::new(CType::Char))))
+            }
+            Expr::Var(name) => {
+                // Function names used as values become global addresses.
+                if self.lookup(cx, name).is_none() && self.signatures.contains_key(name) {
+                    return Ok((
+                        Tree::addr_global(name.clone()),
+                        CType::Ptr(Box::new(CType::Int)),
+                    ));
+                }
+                let (addr, ty) = self.lvalue(cx, e)?;
+                Ok(load_promoted(addr, &ty))
+            }
+            Expr::Index(..) | Expr::Unary(UnOp::Deref, _) => {
+                let (addr, ty) = self.lvalue(cx, e)?;
+                Ok(load_promoted(addr, &ty))
+            }
+            Expr::Unary(UnOp::AddrOf, inner) => {
+                let (addr, ty) = self.lvalue(cx, inner)?;
+                Ok((addr, CType::Ptr(Box::new(ty))))
+            }
+            Expr::Unary(UnOp::Neg, inner) => {
+                let (v, ty) = self.rvalue(cx, inner)?;
+                let ir_ty = arith_type(&ty, &CType::Int);
+                Ok((Tree::unary(Op::new(Opcode::Neg, ir_ty), v), CType::Int))
+            }
+            Expr::Unary(UnOp::BitNot, inner) => {
+                let (v, ty) = self.rvalue(cx, inner)?;
+                let ir_ty = arith_type(&ty, &CType::Int);
+                Ok((Tree::unary(Op::new(Opcode::BCom, ir_ty), v), CType::Int))
+            }
+            Expr::Unary(UnOp::Not, _)
+            | Expr::Binary(BinOp::LogAnd, ..)
+            | Expr::Binary(BinOp::LogOr, ..) => self.bool_value(cx, e),
+            Expr::Binary(op, a, b) if op.is_comparison() => self.bool_value(cx, e),
+            Expr::Binary(op, a, b) => self.arith(cx, *op, a, b),
+            Expr::Assign(lhs, rhs) => {
+                let (addr, ty) = self.lvalue(cx, lhs)?;
+                let (value, _) = self.rvalue(cx, rhs)?;
+                Ok((Tree::asgn(ir_type(&ty), addr, value), promote(&ty)))
+            }
+            Expr::CompoundAssign(op, lhs, rhs) => {
+                let (addr, ty) = self.lvalue(cx, lhs)?;
+                let (loaded, lty) = load_promoted(addr.clone(), &ty);
+                let combined = self.apply_binop(cx, *op, loaded, lty, rhs)?;
+                Ok((Tree::asgn(ir_type(&ty), addr, combined.0), promote(&ty)))
+            }
+            Expr::PreIncDec(is_inc, inner) => {
+                let tree = self.inc_dec_tree(cx, *is_inc, inner)?;
+                Ok((tree, CType::Int))
+            }
+            Expr::PostIncDec(is_inc, inner) => {
+                // t = old value; x = x ± 1; value is t.
+                let (addr, ty) = self.lvalue(cx, inner)?;
+                let temp = alloc(cx, 4, 4);
+                let (old, _) = load_promoted(addr.clone(), &ty);
+                cx.out
+                    .push(Tree::asgn(IrType::I, Tree::addr_local(temp), old));
+                let tree = self.inc_dec_tree(cx, *is_inc, inner)?;
+                cx.out.push(tree);
+                Ok((Tree::indir(IrType::I, Tree::addr_local(temp)), promote(&ty)))
+            }
+            Expr::Ternary(cond, then, els) => {
+                let temp = alloc(cx, 4, 4);
+                let else_label = fresh(cx);
+                let end = fresh(cx);
+                self.cond(cx, cond, else_label, false)?;
+                let (tv, tty) = self.rvalue(cx, then)?;
+                cx.out
+                    .push(Tree::asgn(IrType::I, Tree::addr_local(temp), tv));
+                cx.out.push(Tree::jump(end));
+                cx.out.push(Tree::label(else_label));
+                let (ev, _) = self.rvalue(cx, els)?;
+                cx.out
+                    .push(Tree::asgn(IrType::I, Tree::addr_local(temp), ev));
+                cx.out.push(Tree::label(end));
+                Ok((Tree::indir(IrType::I, Tree::addr_local(temp)), tty))
+            }
+            Expr::Call(name, args) => self.call(cx, name, args),
+        }
+    }
+
+    /// `x = x ± 1` (with pointer scaling), returned as an `ASGN` tree.
+    fn inc_dec_tree(
+        &mut self,
+        cx: &mut FuncCx,
+        is_inc: bool,
+        target: &Expr,
+    ) -> Result<Tree, FrontError> {
+        let (addr, ty) = self.lvalue(cx, target)?;
+        let step: i64 = if ty.is_pointer() {
+            i64::from(ty.pointee().map_or(1, |p| p.size().max(1)))
+        } else {
+            1
+        };
+        let (loaded, _) = load_promoted(addr.clone(), &ty);
+        let ir_ty = if ty.is_pointer() {
+            IrType::P
+        } else {
+            IrType::I
+        };
+        let opcode = if is_inc { Opcode::Add } else { Opcode::Sub };
+        Ok(Tree::asgn(
+            ir_type(&ty),
+            addr,
+            Tree::binary(opcode, ir_ty, loaded, Tree::cnst_auto(step)),
+        ))
+    }
+
+    fn arith(
+        &mut self,
+        cx: &mut FuncCx,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<(Tree, CType), FrontError> {
+        let (av, aty) = self.rvalue(cx, a)?;
+        self.apply_binop(cx, op, av, aty, b)
+    }
+
+    fn apply_binop(
+        &mut self,
+        cx: &mut FuncCx,
+        op: BinOp,
+        av: Tree,
+        aty: CType,
+        b: &Expr,
+    ) -> Result<(Tree, CType), FrontError> {
+        let (bv, bty) = self.rvalue(cx, b)?;
+        // Pointer arithmetic.
+        if op == BinOp::Add || op == BinOp::Sub {
+            match (aty.is_pointer(), bty.is_pointer()) {
+                (true, false) => {
+                    let size = aty.pointee().map_or(1, |p| p.size().max(1));
+                    let scaled = scale_index(bv, size);
+                    let opcode = if op == BinOp::Add {
+                        Opcode::Add
+                    } else {
+                        Opcode::Sub
+                    };
+                    return Ok((Tree::binary(opcode, IrType::P, av, scaled), aty.decayed()));
+                }
+                (false, true) if op == BinOp::Add => {
+                    let size = bty.pointee().map_or(1, |p| p.size().max(1));
+                    let scaled = scale_index(av, size);
+                    return Ok((
+                        Tree::binary(Opcode::Add, IrType::P, bv, scaled),
+                        bty.decayed(),
+                    ));
+                }
+                (true, true) if op == BinOp::Sub => {
+                    let size = aty.pointee().map_or(1, |p| p.size().max(1));
+                    let diff = Tree::sub(IrType::I, av, bv);
+                    let result = if size > 1 {
+                        Tree::binary(
+                            Opcode::Div,
+                            IrType::I,
+                            diff,
+                            Tree::cnst_auto(i64::from(size)),
+                        )
+                    } else {
+                        diff
+                    };
+                    return Ok((result, CType::Int));
+                }
+                _ => {}
+            }
+        }
+        let _ = cx;
+        let ir_ty = arith_type(&aty, &bty);
+        let opcode = match op {
+            BinOp::Add => Opcode::Add,
+            BinOp::Sub => Opcode::Sub,
+            BinOp::Mul => Opcode::Mul,
+            BinOp::Div => Opcode::Div,
+            BinOp::Mod => Opcode::Mod,
+            BinOp::And => Opcode::BAnd,
+            BinOp::Or => Opcode::BOr,
+            BinOp::Xor => Opcode::BXor,
+            BinOp::Shl => Opcode::Lsh,
+            BinOp::Shr => Opcode::Rsh,
+            other => {
+                return Err(FrontError::new(
+                    cx_line(cx),
+                    format!("{other:?} handled elsewhere"),
+                ));
+            }
+        };
+        let result_ty = if ir_ty == IrType::U {
+            CType::Unsigned
+        } else {
+            CType::Int
+        };
+        Ok((Tree::binary(opcode, ir_ty, av, bv), result_ty))
+    }
+
+    fn call(
+        &mut self,
+        cx: &mut FuncCx,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<(Tree, CType), FrontError> {
+        let call = self.emit_call(cx, name, args)?;
+        let ret = self
+            .signatures
+            .get(name)
+            .map(|(r, _)| r.clone())
+            .unwrap_or(CType::Int);
+        if ret == CType::Void {
+            // Void calls are statements; the expression value is 0.
+            cx.out.push(call);
+            Ok((Tree::cnst_auto(0), CType::Int))
+        } else {
+            // The call executes *now*, into a temporary, so a later call
+            // in the same expression cannot steal its pending arguments.
+            let temp = alloc(cx, 4, 4);
+            cx.out
+                .push(Tree::asgn(IrType::I, Tree::addr_local(temp), call));
+            Ok((
+                Tree::indir(IrType::I, Tree::addr_local(temp)),
+                if ret.is_pointer() { ret } else { CType::Int },
+            ))
+        }
+    }
+
+    /// Emits the `ARG` statements for `args` and returns the `CALL` tree.
+    fn emit_call(
+        &mut self,
+        cx: &mut FuncCx,
+        name: &str,
+        args: &[Expr],
+    ) -> Result<Tree, FrontError> {
+        // Arguments evaluate left to right; any call inside an argument is
+        // itself temporary-materialized by `call`, so the trees pushed as
+        // ARGs never contain CALL nodes of their own.
+        let mut arg_trees = Vec::with_capacity(args.len());
+        for a in args {
+            arg_trees.push(self.rvalue(cx, a)?.0);
+        }
+        for t in arg_trees {
+            cx.out.push(Tree::arg(IrType::I, t));
+        }
+        let ret = self
+            .signatures
+            .get(name)
+            .map(|(r, _)| r.clone())
+            .unwrap_or(CType::Int);
+        let ir_ret = if ret == CType::Void {
+            IrType::V
+        } else {
+            IrType::I
+        };
+        Ok(Tree::call(ir_ret, Tree::addr_global(name)))
+    }
+
+    /// Materializes a boolean expression as a 0/1 temporary.
+    fn bool_value(&mut self, cx: &mut FuncCx, e: &Expr) -> Result<(Tree, CType), FrontError> {
+        let temp = alloc(cx, 4, 4);
+        let false_label = fresh(cx);
+        let end = fresh(cx);
+        self.cond(cx, e, false_label, false)?;
+        cx.out.push(Tree::asgn(
+            IrType::I,
+            Tree::addr_local(temp),
+            Tree::cnst_auto(1),
+        ));
+        cx.out.push(Tree::jump(end));
+        cx.out.push(Tree::label(false_label));
+        cx.out.push(Tree::asgn(
+            IrType::I,
+            Tree::addr_local(temp),
+            Tree::cnst_auto(0),
+        ));
+        cx.out.push(Tree::label(end));
+        Ok((Tree::indir(IrType::I, Tree::addr_local(temp)), CType::Int))
+    }
+
+    /// Emits branches so control reaches `label` iff `e`'s truth equals
+    /// `jump_if_true`.
+    fn cond(
+        &mut self,
+        cx: &mut FuncCx,
+        e: &Expr,
+        label: u32,
+        jump_if_true: bool,
+    ) -> Result<(), FrontError> {
+        match e {
+            Expr::Unary(UnOp::Not, inner) => self.cond(cx, inner, label, !jump_if_true),
+            Expr::Binary(BinOp::LogAnd, a, b) => {
+                if jump_if_true {
+                    let skip = fresh(cx);
+                    self.cond(cx, a, skip, false)?;
+                    self.cond(cx, b, label, true)?;
+                    cx.out.push(Tree::label(skip));
+                } else {
+                    self.cond(cx, a, label, false)?;
+                    self.cond(cx, b, label, false)?;
+                }
+                Ok(())
+            }
+            Expr::Binary(BinOp::LogOr, a, b) => {
+                if jump_if_true {
+                    self.cond(cx, a, label, true)?;
+                    self.cond(cx, b, label, true)?;
+                } else {
+                    let skip = fresh(cx);
+                    self.cond(cx, a, skip, true)?;
+                    self.cond(cx, b, label, false)?;
+                    cx.out.push(Tree::label(skip));
+                }
+                Ok(())
+            }
+            Expr::Binary(op, a, b) if op.is_comparison() => {
+                let (av, aty) = self.rvalue(cx, a)?;
+                let (bv, bty) = self.rvalue(cx, b)?;
+                let ir_ty = arith_type(&aty, &bty);
+                let opcode = branch_opcode(*op, jump_if_true);
+                cx.out.push(Tree::branch(opcode, ir_ty, label, av, bv));
+                Ok(())
+            }
+            Expr::Num(v) => {
+                if (*v != 0) == jump_if_true {
+                    cx.out.push(Tree::jump(label));
+                }
+                Ok(())
+            }
+            _ => {
+                let (v, _) = self.rvalue(cx, e)?;
+                let opcode = if jump_if_true { Opcode::Ne } else { Opcode::Eq };
+                cx.out.push(Tree::branch(
+                    opcode,
+                    IrType::I,
+                    label,
+                    v,
+                    Tree::cnst_auto(0),
+                ));
+                Ok(())
+            }
+        }
+    }
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+fn cx_line(cx: &FuncCx) -> u32 {
+    cx.line
+}
+
+fn fresh(cx: &mut FuncCx) -> u32 {
+    let l = cx.next_label;
+    cx.next_label += 1;
+    l
+}
+
+/// Allocates `size` frame bytes aligned to `align`, returning the offset.
+fn alloc(cx: &mut FuncCx, size: u32, align: u32) -> i32 {
+    let aligned = cx.next_offset.div_ceil(align) * align;
+    cx.next_offset = aligned + size;
+    cx.max_offset = cx.max_offset.max(cx.next_offset);
+    aligned as i32
+}
+
+/// Maps a C type to the IR type of a memory access.
+fn ir_type(ty: &CType) -> IrType {
+    match ty {
+        CType::Char => IrType::C,
+        CType::Short => IrType::S,
+        CType::Int => IrType::I,
+        CType::Unsigned => IrType::U,
+        CType::Ptr(_) | CType::Array(_, _) => IrType::P,
+        CType::Void => IrType::V,
+    }
+}
+
+/// The C type an rvalue of `ty` has after promotion/decay.
+fn promote(ty: &CType) -> CType {
+    match ty {
+        CType::Char | CType::Short => CType::Int,
+        CType::Array(elem, _) => CType::Ptr(elem.clone()),
+        other => other.clone(),
+    }
+}
+
+/// Loads an object of type `ty` at `addr` and promotes it.
+fn load_promoted(addr: Tree, ty: &CType) -> (Tree, CType) {
+    match ty {
+        // Arrays decay: the value *is* the address.
+        CType::Array(elem, _) => (addr, CType::Ptr(elem.clone())),
+        CType::Char => (
+            Tree::unary(Op::cvt(IrType::C, IrType::I), Tree::indir(IrType::C, addr)),
+            CType::Int,
+        ),
+        CType::Short => (
+            Tree::unary(Op::cvt(IrType::S, IrType::I), Tree::indir(IrType::S, addr)),
+            CType::Int,
+        ),
+        other => (Tree::indir(ir_type(other), addr), promote(other)),
+    }
+}
+
+/// The IR type of an arithmetic node over two promoted operand types.
+fn arith_type(a: &CType, b: &CType) -> IrType {
+    let unsigned =
+        a.is_pointer() || b.is_pointer() || *a == CType::Unsigned || *b == CType::Unsigned;
+    if unsigned {
+        IrType::U
+    } else {
+        IrType::I
+    }
+}
+
+/// `idx * elem_size` (omitting the multiply when the size is one).
+fn scale_index(idx: Tree, size: u32) -> Tree {
+    if size == 1 {
+        idx
+    } else {
+        Tree::mul(IrType::I, idx, Tree::cnst_auto(i64::from(size)))
+    }
+}
+
+/// The branch opcode testing `op` (or its negation) on operand order (a, b).
+fn branch_opcode(op: BinOp, jump_if_true: bool) -> Opcode {
+    let direct = match op {
+        BinOp::Eq => Opcode::Eq,
+        BinOp::Ne => Opcode::Ne,
+        BinOp::Lt => Opcode::Lt,
+        BinOp::Le => Opcode::Le,
+        BinOp::Gt => Opcode::Gt,
+        BinOp::Ge => Opcode::Ge,
+        _ => unreachable!("only comparisons reach branch_opcode"),
+    };
+    if jump_if_true {
+        direct
+    } else {
+        match direct {
+            Opcode::Eq => Opcode::Ne,
+            Opcode::Ne => Opcode::Eq,
+            Opcode::Lt => Opcode::Ge,
+            Opcode::Le => Opcode::Gt,
+            Opcode::Gt => Opcode::Le,
+            Opcode::Ge => Opcode::Lt,
+            _ => unreachable!("inverting a comparison yields a comparison"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use codecomp_ir::eval::Evaluator;
+    use codecomp_ir::Module;
+
+    fn run(src: &str) -> i64 {
+        run_with(src, &[]).0
+    }
+
+    fn run_with(src: &str, args: &[i64]) -> (i64, Vec<u8>) {
+        let m: Module = compile(src).unwrap();
+        let out = Evaluator::new(&m, 1 << 20, 1 << 24)
+            .unwrap()
+            .run("main", args)
+            .unwrap();
+        (out.value, out.output)
+    }
+
+    #[test]
+    fn returns_and_arithmetic() {
+        assert_eq!(run("int main() { return 2 + 3 * 4; }"), 14);
+        assert_eq!(run("int main() { return (2 + 3) * 4; }"), 20);
+        assert_eq!(run("int main() { return 10 % 3 + 10 / 3; }"), 4);
+        assert_eq!(run("int main() { return -5 + 8; }"), 3);
+        assert_eq!(run("int main() { return ~0 & 0xF0 | 0x0C ^ 4; }"), 0xF8);
+        assert_eq!(run("int main() { return 1 << 10 >> 2; }"), 256);
+    }
+
+    #[test]
+    fn locals_and_assignment() {
+        assert_eq!(
+            run("int main() { int x = 3; int y; y = x * x; return y; }"),
+            9
+        );
+        assert_eq!(
+            run("int main() { int x; int y; x = y = 5; return x + y; }"),
+            10
+        );
+        assert_eq!(
+            run("int main() { int x = 10; x += 5; x *= 2; x -= 6; return x; }"),
+            24
+        );
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let src = "
+            int classify(int x) {
+                if (x < 0) return -1;
+                else if (x == 0) return 0;
+                else return 1;
+            }
+            int main() { return classify(-5) * 100 + classify(0) * 10 + classify(7); }
+        ";
+        assert_eq!(run(src), -100 + 1);
+    }
+
+    #[test]
+    fn loops() {
+        assert_eq!(
+            run("int main() { int s = 0; int i; for (i = 1; i <= 10; i++) s += i; return s; }"),
+            55
+        );
+        assert_eq!(
+            run("int main() { int n = 0; while (n < 7) n++; return n; }"),
+            7
+        );
+        assert_eq!(
+            run("int main() { int n = 0; do n += 3; while (n < 10); return n; }"),
+            12
+        );
+        assert_eq!(
+            run("int main() { int i; int s = 0; for (i = 0; i < 10; i++) { if (i == 5) break; if (i % 2) continue; s += i; } return s; }"),
+            2 + 4
+        );
+    }
+
+    #[test]
+    fn logical_operators_short_circuit() {
+        let src = "
+            int g;
+            int bump() { g++; return 1; }
+            int main() {
+                g = 0;
+                if (0 && bump()) g += 100;
+                if (1 || bump()) g += 10;
+                return g;
+            }
+        ";
+        assert_eq!(run(src), 10);
+        assert_eq!(
+            run("int main() { return (3 > 2) + (2 > 3) * 10 + (1 && 2) * 100 + (0 || 0) * 1000; }"),
+            101
+        );
+    }
+
+    #[test]
+    fn ternary_and_not() {
+        assert_eq!(run("int main() { return 5 > 3 ? 7 : 9; }"), 7);
+        assert_eq!(run("int main() { return !5 * 10 + !0; }"), 1);
+        assert_eq!(run("int main() { int x = -4; return x < 0 ? -x : x; }"), 4);
+    }
+
+    #[test]
+    fn recursion_and_calls() {
+        let src = "
+            int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+            int main() { return fib(10); }
+        ";
+        assert_eq!(run(src), 55);
+    }
+
+    #[test]
+    fn nested_call_arguments() {
+        let src = "
+            int add(int a, int b) { return a + b; }
+            int main() { return add(1, add(2, add(3, 4))); }
+        ";
+        assert_eq!(run(src), 10);
+    }
+
+    #[test]
+    fn paper_salt_example_compiles_and_runs() {
+        let src = "
+            int pepper(int a, int b) { return a + b; }
+            int salt(int j, int i) {
+                if (j > 0) {
+                    pepper(i, j);
+                    j--;
+                }
+                return j;
+            }
+            int main() { return salt(3, 9) * 10 + salt(0, 9); }
+        ";
+        assert_eq!(run(src), 20);
+    }
+
+    #[test]
+    fn pointers_and_addressof() {
+        let src = "
+            int main() {
+                int x = 5;
+                int *p = &x;
+                *p = *p + 2;
+                return x;
+            }
+        ";
+        assert_eq!(run(src), 7);
+    }
+
+    #[test]
+    fn arrays_global_and_local() {
+        let src = "
+            int data[5] = {10, 20, 30, 40, 50};
+            int main() {
+                int local[4];
+                int i;
+                int s = 0;
+                for (i = 0; i < 4; i++) local[i] = i * i;
+                for (i = 0; i < 5; i++) s += data[i];
+                return s + local[3];
+            }
+        ";
+        assert_eq!(run(src), 150 + 9);
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let src = "
+            int a[3] = {7, 8, 9};
+            int main() {
+                int *p = a;
+                p = p + 2;
+                return *p + *(a + 1);
+            }
+        ";
+        assert_eq!(run(src), 17);
+    }
+
+    #[test]
+    fn char_arrays_and_strings() {
+        let src = "
+            char msg[6] = \"hello\";
+            int main() {
+                char *s = msg;
+                int n = 0;
+                while (*s) { n++; s++; }
+                return n;
+            }
+        ";
+        assert_eq!(run(src), 5);
+    }
+
+    #[test]
+    fn string_literals_intern() {
+        let src = "
+            int len(char *s) { int n = 0; while (s[n]) n++; return n; }
+            int main() { return len(\"abcd\") + len(\"xy\"); }
+        ";
+        assert_eq!(run(src), 6);
+    }
+
+    #[test]
+    fn char_truncation_semantics() {
+        assert_eq!(run("int main() { char c = 300; return c; }"), 44);
+        assert_eq!(run("int main() { char c = 200; return c; }"), -56);
+        assert_eq!(
+            run("int main() { short s = 70000; return s; }"),
+            70_000 - 65_536
+        );
+    }
+
+    #[test]
+    fn unsigned_semantics() {
+        assert_eq!(run("int main() { unsigned u = 0 - 1; return u > 100; }"), 1);
+        assert_eq!(run("int main() { return (0 - 1) > 100; }"), 0);
+    }
+
+    #[test]
+    fn pre_and_post_incdec() {
+        assert_eq!(
+            run("int main() { int x = 5; int y = x++; return y * 10 + x; }"),
+            56
+        );
+        assert_eq!(
+            run("int main() { int x = 5; int y = ++x; return y * 10 + x; }"),
+            66
+        );
+        assert_eq!(
+            run("int main() { int x = 5; int y = x--; return y * 10 + x; }"),
+            54
+        );
+        let src = "
+            int a[3] = {1, 2, 3};
+            int main() { int i = 0; int s = a[i++]; s += a[i++]; return s * 10 + i; }
+        ";
+        assert_eq!(run(src), 32);
+    }
+
+    #[test]
+    fn output_functions() {
+        let (v, out) = run_with(
+            "int main() { print_int(42); print_char('h'); print_char('i'); return 0; }",
+            &[],
+        );
+        assert_eq!(v, 0);
+        assert_eq!(out, b"42\nhi");
+    }
+
+    #[test]
+    fn void_functions() {
+        let src = "
+            int g;
+            void set(int v) { g = v; return; }
+            void noop() {}
+            int main() { set(9); noop(); return g; }
+        ";
+        assert_eq!(run(src), 9);
+    }
+
+    #[test]
+    fn entry_args() {
+        let (v, _) = run_with("int main(int a, int b) { return a * b; }", &[6, 7]);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn scopes_shadow() {
+        let src = "
+            int x = 1;
+            int main() {
+                int x = 2;
+                { int x = 3; if (x != 3) return 100; }
+                return x;
+            }
+        ";
+        assert_eq!(run(src), 2);
+    }
+
+    #[test]
+    fn undefined_variable_is_an_error() {
+        assert!(compile("int main() { return nope; }").is_err());
+    }
+
+    #[test]
+    fn bad_lvalue_is_an_error() {
+        assert!(compile("int main() { 3 = 4; return 0; }").is_err());
+    }
+
+    #[test]
+    fn break_outside_loop_is_an_error() {
+        assert!(compile("int main() { break; return 0; }").is_err());
+    }
+}

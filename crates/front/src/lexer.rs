@@ -1,0 +1,307 @@
+//! Tokenizer for the mini-C subset.
+
+use crate::FrontError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds of the mini-C language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// An integer literal (decimal, hex `0x…`, or character `'c'`).
+    Int(i64),
+    /// A string literal with escapes already processed.
+    Str(Vec<u8>),
+    /// Punctuation or operator, e.g. `"+"`, `"<<="`, `"("`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// All multi-character operators, longest first so maximal munch works.
+const PUNCTS: [&str; 45] = [
+    "<<=", ">>=", "...", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+];
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// [`FrontError`] for unterminated strings/chars, bad escapes, or
+/// characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' => {
+                line += 1;
+                pos += 1;
+            }
+            _ if b.is_ascii_whitespace() => pos += 1,
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                pos += 2;
+                loop {
+                    if pos + 1 >= bytes.len() {
+                        return Err(FrontError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[pos] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[pos] == b'*' && bytes[pos + 1] == b'/' {
+                        pos += 2;
+                        break;
+                    }
+                    pos += 1;
+                }
+            }
+            b'#' => {
+                // Preprocessor lines are ignored (the corpus uses none that matter).
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(
+                        String::from_utf8_lossy(&bytes[start..pos]).into_owned(),
+                    ),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = pos;
+                let value = if b == b'0' && matches!(bytes.get(pos + 1), Some(b'x') | Some(b'X')) {
+                    pos += 2;
+                    let hex_start = pos;
+                    while pos < bytes.len() && bytes[pos].is_ascii_hexdigit() {
+                        pos += 1;
+                    }
+                    if pos == hex_start {
+                        return Err(FrontError::new(line, "empty hex literal"));
+                    }
+                    i64::from_str_radix(
+                        std::str::from_utf8(&bytes[hex_start..pos]).expect("hex digits"),
+                        16,
+                    )
+                    .map_err(|_| FrontError::new(line, "hex literal out of range"))?
+                } else {
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                    std::str::from_utf8(&bytes[start..pos])
+                        .expect("digits")
+                        .parse::<i64>()
+                        .map_err(|_| FrontError::new(line, "integer literal out of range"))?
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+            }
+            b'\'' => {
+                pos += 1;
+                let (c, used) = read_char(bytes, pos, line)?;
+                pos += used;
+                if bytes.get(pos) != Some(&b'\'') {
+                    return Err(FrontError::new(line, "unterminated character literal"));
+                }
+                pos += 1;
+                tokens.push(Token {
+                    kind: TokenKind::Int(i64::from(c as i8)),
+                    line,
+                });
+            }
+            b'"' => {
+                pos += 1;
+                let mut s = Vec::new();
+                loop {
+                    match bytes.get(pos) {
+                        None | Some(b'\n') => {
+                            return Err(FrontError::new(line, "unterminated string literal"));
+                        }
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let (c, used) = read_char(bytes, pos, line)?;
+                            s.push(c);
+                            pos += used;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &source[pos..];
+                let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) else {
+                    return Err(FrontError::new(
+                        line,
+                        format!("unexpected character {:?}", b as char),
+                    ));
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+                pos += p.len();
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+/// Reads one possibly-escaped character, returning `(byte, bytes_consumed)`.
+fn read_char(bytes: &[u8], pos: usize, line: u32) -> Result<(u8, usize), FrontError> {
+    match bytes.get(pos) {
+        None => Err(FrontError::new(line, "unexpected end of input in literal")),
+        Some(b'\\') => {
+            let esc = bytes
+                .get(pos + 1)
+                .ok_or_else(|| FrontError::new(line, "dangling escape"))?;
+            let c = match esc {
+                b'n' => b'\n',
+                b't' => b'\t',
+                b'r' => b'\r',
+                b'0' => 0,
+                b'\\' => b'\\',
+                b'\'' => b'\'',
+                b'"' => b'"',
+                other => {
+                    return Err(FrontError::new(
+                        line,
+                        format!("unknown escape \\{}", *other as char),
+                    ));
+                }
+            };
+            Ok((c, 2))
+        }
+        Some(&c) => Ok((c, 1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_on_operators() {
+        assert_eq!(
+            kinds("a<<=b >>c<= d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(">>"),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_hex_and_char() {
+        assert_eq!(
+            kinds("0x10 255 'A' '\\n' '\\0'"),
+            vec![
+                TokenKind::Int(16),
+                TokenKind::Int(255),
+                TokenKind::Int(65),
+                TokenKind::Int(10),
+                TokenKind::Int(0),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hi\n\t\"q\"""#),
+            vec![TokenKind::Str(b"hi\n\t\"q\"".to_vec()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        assert_eq!(
+            kinds("#include <x.h>\n// line\nint /* block\nspanning */ y;"),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("\"open").is_err());
+        assert!(lex("'a").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("'\\q'").is_err());
+    }
+}

@@ -1,0 +1,682 @@
+//! Recursive-descent parser for the mini-C subset.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use crate::FrontError;
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// [`FrontError`] on the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, FrontError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+    while !p.at_eof() {
+        p.top_level(&mut program)?;
+    }
+    Ok(program)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn here(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn line(&self) -> u32 {
+        self.here().line
+    }
+
+    fn err(&self, msg: impl Into<String>) -> FrontError {
+        FrontError::new(self.line(), msg)
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.here().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.here().kind, TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), FrontError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}, found {:?}", self.here().kind)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(&self.here().kind, TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, FrontError> {
+        match &self.here().kind {
+            TokenKind::Ident(s) if !is_keyword(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- types ---------------------------------------------------------
+
+    /// Tries to parse a base type keyword; `None` if the next token is not one.
+    fn peek_base_type(&self) -> Option<CType> {
+        match &self.here().kind {
+            TokenKind::Ident(s) => match s.as_str() {
+                "int" => Some(CType::Int),
+                "char" => Some(CType::Char),
+                "short" => Some(CType::Short),
+                "unsigned" => Some(CType::Unsigned),
+                "void" => Some(CType::Void),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn base_type(&mut self) -> Result<CType, FrontError> {
+        let t = self
+            .peek_base_type()
+            .ok_or_else(|| self.err("expected a type"))?;
+        self.bump();
+        // "unsigned int" and "short int" read the extra keyword.
+        if matches!(t, CType::Unsigned | CType::Short) {
+            self.eat_keyword("int");
+        }
+        Ok(t)
+    }
+
+    /// Parses `*`s after a base type.
+    fn pointered(&mut self, mut ty: CType) -> CType {
+        while self.eat_punct("*") {
+            ty = CType::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn top_level(&mut self, program: &mut Program) -> Result<(), FrontError> {
+        let base = self.base_type()?;
+        let ty = self.pointered(base);
+        let name = self.expect_ident()?;
+        if self.eat_punct("(") {
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                if self.eat_keyword("void") {
+                    self.expect_punct(")")?;
+                } else {
+                    loop {
+                        let base = self.base_type()?;
+                        let pty = self.pointered(base);
+                        let pname = self.expect_ident()?;
+                        // Array parameters decay to pointers.
+                        let pty = if self.eat_punct("[") {
+                            // Optional size is ignored.
+                            if let TokenKind::Int(_) = self.here().kind {
+                                self.bump();
+                            }
+                            self.expect_punct("]")?;
+                            CType::Ptr(Box::new(pty))
+                        } else {
+                            pty
+                        };
+                        params.push(Param {
+                            ty: pty,
+                            name: pname,
+                        });
+                        if self.eat_punct(")") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+            }
+            if self.eat_punct(";") {
+                // Prototype: remember the arity for semantic checking.
+                program.prototypes.push((name, params.len()));
+                return Ok(());
+            }
+            self.expect_punct("{")?;
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                if self.at_eof() {
+                    return Err(self.err("unterminated function body"));
+                }
+                body.push(self.stmt()?);
+            }
+            program.functions.push(FuncDef {
+                ret: ty,
+                name,
+                params,
+                body,
+            });
+            Ok(())
+        } else {
+            // Global variable(s).
+            let mut ty = ty;
+            let mut name = name;
+            loop {
+                if self.eat_punct("[") {
+                    let n = self.const_int()?;
+                    self.expect_punct("]")?;
+                    ty = CType::Array(Box::new(ty), n as usize);
+                }
+                let init = if self.eat_punct("=") {
+                    Some(self.global_init()?)
+                } else {
+                    None
+                };
+                program.globals.push(GlobalDef {
+                    ty: ty.clone(),
+                    name,
+                    init,
+                });
+                if self.eat_punct(";") {
+                    break;
+                }
+                self.expect_punct(",")?;
+                ty = match &ty {
+                    CType::Array(elem, _) => (**elem).clone(),
+                    other => other.clone(),
+                };
+                name = self.expect_ident()?;
+            }
+            Ok(())
+        }
+    }
+
+    fn const_int(&mut self) -> Result<i64, FrontError> {
+        // Constant expressions in declarators: a literal, possibly negated.
+        let neg = self.eat_punct("-");
+        match self.here().kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            _ => Err(self.err("expected a constant integer")),
+        }
+    }
+
+    fn global_init(&mut self) -> Result<GlobalInit, FrontError> {
+        if self.eat_punct("{") {
+            let mut items = Vec::new();
+            if !self.eat_punct("}") {
+                loop {
+                    items.push(self.const_int()?);
+                    if self.eat_punct("}") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            Ok(GlobalInit::List(items))
+        } else if let TokenKind::Str(s) = &self.here().kind {
+            let s = s.clone();
+            self.bump();
+            Ok(GlobalInit::Str(s))
+        } else {
+            Ok(GlobalInit::Scalar(self.const_int()?))
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, FrontError> {
+        if self.eat_punct(";") {
+            return Ok(Stmt::Empty);
+        }
+        if self.eat_punct("{") {
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                if self.at_eof() {
+                    return Err(self.err("unterminated block"));
+                }
+                body.push(self.stmt()?);
+            }
+            return Ok(Stmt::Block(body));
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_keyword("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(Stmt::While(cond, Box::new(self.stmt()?)));
+        }
+        if self.eat_keyword("do") {
+            let body = Box::new(self.stmt()?);
+            if !self.eat_keyword("while") {
+                return Err(self.err("expected 'while' after do body"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile(body, cond));
+        }
+        if self.eat_keyword("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if self.peek_base_type().is_some() {
+                let d = self.decl_stmt()?;
+                Some(Box::new(d))
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if self.eat_punct(";") {
+                None
+            } else {
+                let c = self.expr()?;
+                self.expect_punct(";")?;
+                Some(c)
+            };
+            let step = if self.eat_punct(")") {
+                None
+            } else {
+                let s = self.expr()?;
+                self.expect_punct(")")?;
+                Some(s)
+            };
+            return Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)));
+        }
+        if self.eat_keyword("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_keyword("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_keyword("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.peek_base_type().is_some() {
+            return self.decl_stmt();
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Parses `type name ([n])? (= init)? (, …)* ;` and returns a block if
+    /// several variables are declared at once.
+    fn decl_stmt(&mut self) -> Result<Stmt, FrontError> {
+        let base = self.base_type()?;
+        let mut decls = Vec::new();
+        loop {
+            let ty = self.pointered(base.clone());
+            let name = self.expect_ident()?;
+            let ty = if self.eat_punct("[") {
+                let n = self.const_int()?;
+                self.expect_punct("]")?;
+                CType::Array(Box::new(ty), n as usize)
+            } else {
+                ty
+            };
+            let init = if self.eat_punct("=") {
+                Some(self.assignment()?)
+            } else {
+                None
+            };
+            decls.push(Stmt::Decl { ty, name, init });
+            if self.eat_punct(";") {
+                break;
+            }
+            self.expect_punct(",")?;
+        }
+        Ok(if decls.len() == 1 {
+            decls.pop().expect("one decl")
+        } else {
+            Stmt::Block(decls)
+        })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, FrontError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, FrontError> {
+        let lhs = self.ternary()?;
+        for (p, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Mod),
+            ("&=", BinOp::And),
+            ("|=", BinOp::Or),
+            ("^=", BinOp::Xor),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.assignment()?;
+                return Ok(Expr::CompoundAssign(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        if self.eat_punct("=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn ternary(&mut self) -> Result<Expr, FrontError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let els = self.ternary()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(els)));
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, FrontError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = self.peek_binop() {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let TokenKind::Punct(p) = &self.here().kind else {
+            return None;
+        };
+        Some(match *p {
+            "||" => (BinOp::LogOr, 1),
+            "&&" => (BinOp::LogAnd, 2),
+            "|" => (BinOp::Or, 3),
+            "^" => (BinOp::Xor, 4),
+            "&" => (BinOp::And, 5),
+            "==" => (BinOp::Eq, 6),
+            "!=" => (BinOp::Ne, 6),
+            "<" => (BinOp::Lt, 7),
+            "<=" => (BinOp::Le, 7),
+            ">" => (BinOp::Gt, 7),
+            ">=" => (BinOp::Ge, 7),
+            "<<" => (BinOp::Shl, 8),
+            ">>" => (BinOp::Shr, 8),
+            "+" => (BinOp::Add, 9),
+            "-" => (BinOp::Sub, 9),
+            "*" => (BinOp::Mul, 10),
+            "/" => (BinOp::Div, 10),
+            "%" => (BinOp::Mod, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Unary(UnOp::Deref, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::Unary(UnOp::AddrOf, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("++") {
+            return Ok(Expr::PreIncDec(true, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("--") {
+            return Ok(Expr::PreIncDec(false, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, FrontError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else if self.eat_punct("++") {
+                e = Expr::PostIncDec(true, Box::new(e));
+            } else if self.eat_punct("--") {
+                e = Expr::PostIncDec(false, Box::new(e));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontError> {
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match &self.here().kind {
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.bump();
+                Ok(Expr::Num(v))
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::Ident(name) if !is_keyword(name) => {
+                let name = name.clone();
+                self.bump();
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.assignment()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "int"
+            | "char"
+            | "short"
+            | "unsigned"
+            | "void"
+            | "if"
+            | "else"
+            | "while"
+            | "do"
+            | "for"
+            | "return"
+            | "break"
+            | "continue"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_paper_example() {
+        let p = parse_src("int salt(int j, int i) { if (j > 0) { pepper(i, j); j--; } return j; }");
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "salt");
+        assert_eq!(f.params.len(), 2);
+        assert!(matches!(f.body[0], Stmt::If(..)));
+        assert!(matches!(f.body[1], Stmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn parses_globals_with_inits() {
+        let p = parse_src(
+            "int x = 5; int arr[4] = {1,2,3,4}; char msg[6] = \"hello\"; int *p; int a, b;",
+        );
+        assert_eq!(p.globals.len(), 6);
+        assert_eq!(p.globals[0].init, Some(GlobalInit::Scalar(5)));
+        assert!(matches!(p.globals[1].ty, CType::Array(_, 4)));
+        assert_eq!(p.globals[2].init, Some(GlobalInit::Str(b"hello".to_vec())));
+        assert!(matches!(p.globals[3].ty, CType::Ptr(_)));
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse_src("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }");
+        let Stmt::Return(Some(e)) = &p.functions[0].body[0] else {
+            panic!("not a return")
+        };
+        // (((1 + (2*3)) == 7) && (4 < 5))
+        let Expr::Binary(BinOp::LogAnd, lhs, _) = e else {
+            panic!("top is not &&: {e:?}")
+        };
+        assert!(matches!(**lhs, Expr::Binary(BinOp::Eq, ..)));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_src(
+            "void f(int n) {
+                int i;
+                for (i = 0; i < n; i++) { if (i % 2) continue; else break; }
+                while (n) n--;
+                do n++; while (n < 3);
+            }",
+        );
+        assert_eq!(p.functions[0].body.len(), 4);
+    }
+
+    #[test]
+    fn for_with_declaration() {
+        let p = parse_src("int f() { for (int i = 0; i < 3; ++i) ; return 0; }");
+        let Stmt::For(Some(init), ..) = &p.functions[0].body[0] else {
+            panic!("no for init")
+        };
+        assert!(matches!(**init, Stmt::Decl { .. }));
+    }
+
+    #[test]
+    fn compound_assign_and_incdec() {
+        let p = parse_src("int f(int x) { x += 2; x <<= 1; ++x; x--; return x; }");
+        assert!(matches!(
+            p.functions[0].body[0],
+            Stmt::Expr(Expr::CompoundAssign(BinOp::Add, ..))
+        ));
+        assert!(matches!(
+            p.functions[0].body[1],
+            Stmt::Expr(Expr::CompoundAssign(BinOp::Shl, ..))
+        ));
+        assert!(matches!(
+            p.functions[0].body[2],
+            Stmt::Expr(Expr::PreIncDec(true, _))
+        ));
+        assert!(matches!(
+            p.functions[0].body[3],
+            Stmt::Expr(Expr::PostIncDec(false, _))
+        ));
+    }
+
+    #[test]
+    fn pointers_arrays_calls() {
+        let p = parse_src("int f(int *p, int a[]) { return p[1] + a[0] + *p + g(1, 2); }");
+        assert!(matches!(p.functions[0].params[1].ty, CType::Ptr(_)));
+    }
+
+    #[test]
+    fn prototypes_are_skipped() {
+        let p = parse_src("int g(int x); int f() { return g(1); }");
+        assert_eq!(p.functions.len(), 1);
+    }
+
+    #[test]
+    fn ternary_chains() {
+        let p = parse_src("int f(int x) { return x > 0 ? 1 : x < 0 ? -1 : 0; }");
+        let Stmt::Return(Some(Expr::Ternary(_, _, els))) = &p.functions[0].body[0] else {
+            panic!("not ternary")
+        };
+        assert!(matches!(**els, Expr::Ternary(..)));
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let err = parse(&lex("int f() {\n  return 1 +;\n}").unwrap()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Semantic checks that run between parsing and code generation.
+//!
+//! The tree code generator catches scope errors (undefined variables,
+//! `break` outside loops, bad lvalues) as it walks; this pass catches
+//! the whole-program properties it cannot see locally: duplicate
+//! definitions, calls to unknown functions, and call-arity mismatches —
+//! the class of error that would otherwise surface only at run time
+//! (or, worse, as an undefined argument-slot read).
+
+use crate::ast::{Expr, FuncDef, Program, Stmt};
+use crate::FrontError;
+use std::collections::HashMap;
+
+/// Host functions every program may call, with their arities.
+const HOST: [(&str, usize); 2] = [("print_int", 1), ("print_char", 1)];
+
+/// Checks a parsed program.
+///
+/// # Errors
+///
+/// The first semantic error found. Line numbers are not tracked in the
+/// AST, so diagnostics name the enclosing function instead.
+pub fn check(program: &Program) -> Result<(), FrontError> {
+    // Known callables: definitions, prototypes, host functions.
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for (name, arity) in HOST {
+        arities.insert(name, arity);
+    }
+    for (name, arity) in &program.prototypes {
+        if let Some(&prev) = arities.get(name.as_str()) {
+            if prev != *arity {
+                return Err(FrontError::new(
+                    0,
+                    format!("conflicting declarations of {name}: {prev} vs {arity} parameters"),
+                ));
+            }
+        }
+        arities.insert(name, *arity);
+    }
+    for f in &program.functions {
+        if let Some(&prev) = arities.get(f.name.as_str()) {
+            if prev != f.params.len() {
+                return Err(FrontError::new(
+                    0,
+                    format!(
+                        "definition of {} has {} parameters but was declared with {prev}",
+                        f.name,
+                        f.params.len()
+                    ),
+                ));
+            }
+        }
+        arities.insert(&f.name, f.params.len());
+    }
+
+    // Duplicate definitions.
+    let mut seen_funcs: HashMap<&str, ()> = HashMap::new();
+    for f in &program.functions {
+        if seen_funcs.insert(&f.name, ()).is_some() {
+            return Err(FrontError::new(
+                0,
+                format!("duplicate definition of function {}", f.name),
+            ));
+        }
+    }
+    let mut seen_globals: HashMap<&str, ()> = HashMap::new();
+    for g in &program.globals {
+        if seen_globals.insert(&g.name, ()).is_some() {
+            return Err(FrontError::new(
+                0,
+                format!("duplicate definition of global {}", g.name),
+            ));
+        }
+        if seen_funcs.contains_key(g.name.as_str()) {
+            return Err(FrontError::new(
+                0,
+                format!("{} is defined as both a global and a function", g.name),
+            ));
+        }
+    }
+
+    // Duplicate parameter names.
+    for f in &program.functions {
+        let mut names: HashMap<&str, ()> = HashMap::new();
+        for p in &f.params {
+            if names.insert(&p.name, ()).is_some() {
+                return Err(FrontError::new(
+                    0,
+                    format!("in {}: duplicate parameter {}", f.name, p.name),
+                ));
+            }
+        }
+    }
+
+    // Call sites.
+    for f in &program.functions {
+        check_function(f, &arities)?;
+    }
+    Ok(())
+}
+
+fn check_function(f: &FuncDef, arities: &HashMap<&str, usize>) -> Result<(), FrontError> {
+    for stmt in &f.body {
+        check_stmt(f, stmt, arities)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(f: &FuncDef, stmt: &Stmt, arities: &HashMap<&str, usize>) -> Result<(), FrontError> {
+    match stmt {
+        Stmt::Expr(e) => check_expr(f, e, arities),
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                check_expr(f, e, arities)?;
+            }
+            Ok(())
+        }
+        Stmt::If(cond, then, els) => {
+            check_expr(f, cond, arities)?;
+            check_stmt(f, then, arities)?;
+            if let Some(e) = els {
+                check_stmt(f, e, arities)?;
+            }
+            Ok(())
+        }
+        Stmt::While(cond, body) => {
+            check_expr(f, cond, arities)?;
+            check_stmt(f, body, arities)
+        }
+        Stmt::DoWhile(body, cond) => {
+            check_stmt(f, body, arities)?;
+            check_expr(f, cond, arities)
+        }
+        Stmt::For(init, cond, step, body) => {
+            if let Some(s) = init {
+                check_stmt(f, s, arities)?;
+            }
+            if let Some(e) = cond {
+                check_expr(f, e, arities)?;
+            }
+            if let Some(e) = step {
+                check_expr(f, e, arities)?;
+            }
+            check_stmt(f, body, arities)
+        }
+        Stmt::Return(e) => {
+            if let Some(e) = e {
+                check_expr(f, e, arities)?;
+            }
+            Ok(())
+        }
+        Stmt::Block(body) => {
+            for s in body {
+                check_stmt(f, s, arities)?;
+            }
+            Ok(())
+        }
+        Stmt::Break | Stmt::Continue | Stmt::Empty => Ok(()),
+    }
+}
+
+fn check_expr(f: &FuncDef, expr: &Expr, arities: &HashMap<&str, usize>) -> Result<(), FrontError> {
+    match expr {
+        Expr::Call(name, args) => {
+            match arities.get(name.as_str()) {
+                None => {
+                    return Err(FrontError::new(
+                        0,
+                        format!("in {}: call to undefined function {name}", f.name),
+                    ));
+                }
+                Some(&arity) if arity != args.len() => {
+                    return Err(FrontError::new(
+                        0,
+                        format!(
+                            "in {}: {name} takes {arity} arguments, called with {}",
+                            f.name,
+                            args.len()
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+            for a in args {
+                check_expr(f, a, arities)?;
+            }
+            Ok(())
+        }
+        Expr::Num(_) | Expr::Str(_) | Expr::Var(_) => Ok(()),
+        Expr::Binary(_, a, b)
+        | Expr::Assign(a, b)
+        | Expr::CompoundAssign(_, a, b)
+        | Expr::Index(a, b) => {
+            check_expr(f, a, arities)?;
+            check_expr(f, b, arities)
+        }
+        Expr::Unary(_, a) | Expr::PreIncDec(_, a) | Expr::PostIncDec(_, a) => {
+            check_expr(f, a, arities)
+        }
+        Expr::Ternary(c, t, e) => {
+            check_expr(f, c, arities)?;
+            check_expr(f, t, arities)?;
+            check_expr(f, e, arities)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn undefined_call_rejected() {
+        let err = compile("int main() { return nope(1); }").unwrap_err();
+        assert!(err.message.contains("undefined function nope"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = compile("int f(int a, int b) { return a + b; } int main() { return f(1); }")
+            .unwrap_err();
+        assert!(err.message.contains("takes 2 arguments"), "{err}");
+        let err = compile("int main() { print_int(1, 2); return 0; }").unwrap_err();
+        assert!(err.message.contains("takes 1 arguments"), "{err}");
+    }
+
+    #[test]
+    fn prototypes_allow_forward_and_external_calls() {
+        // Forward reference through a prototype, defined later.
+        assert!(
+            compile("int g(int x); int main() { return g(1); } int g(int x) { return x; }").is_ok()
+        );
+        // Prototyped but never defined: compiles (fails only if called at
+        // run time), matching separate-compilation C.
+        assert!(compile("int ext(int x); int main() { return ext(4); }").is_ok());
+    }
+
+    #[test]
+    fn conflicting_declarations_rejected() {
+        let err =
+            compile("int f(int a); int f(int a, int b) { return a; } int main() { return 0; }")
+                .unwrap_err();
+        assert!(err.message.contains("declared with"), "{err}");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(
+            compile("int f() { return 1; } int f() { return 2; } int main() { return 0; }")
+                .is_err()
+        );
+        assert!(compile("int x; int x; int main() { return 0; }").is_err());
+        assert!(compile("int f() { return 1; } int f; int main() { return 0; }").is_err());
+        assert!(compile("int f(int a, int a) { return a; } int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn calls_in_all_positions_are_checked() {
+        for src in [
+            "int main() { if (nope()) return 1; return 0; }",
+            "int main() { while (nope()) ; return 0; }",
+            "int main() { int i; for (i = nope(); ; ) ; return 0; }",
+            "int main() { int x = nope(); return x; }",
+            "int main() { return 1 ? nope() : 2; }",
+            "int main() { int a[3]; return a[nope()]; }",
+        ] {
+            assert!(crate::compile(src).is_err(), "should reject: {src}");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Parser for the lcc-like text form produced by [`crate::print`].
+
+use crate::op::{IrType, Literal, LiteralKind, Op, Opcode};
+use crate::tree::{Function, Global, Module, Tree};
+use crate::IrError;
+
+/// Parses a single tree, e.g. `ASGNI(ADDRLP8[72],CNSTC[1])`.
+///
+/// # Errors
+///
+/// [`IrError::Parse`] with a byte offset on any syntax error.
+///
+/// # Examples
+///
+/// ```
+/// use codecomp_ir::parse::parse_tree;
+///
+/// let t = parse_tree("SUBI(INDIRI(ADDRLP8[72]),CNSTC[1])")?;
+/// assert_eq!(t.to_string(), "SUBI(INDIRI(ADDRLP8[72]),CNSTC[1])");
+/// # Ok::<(), codecomp_ir::IrError>(())
+/// ```
+pub fn parse_tree(text: &str) -> Result<Tree, IrError> {
+    let mut p = Parser::new(text);
+    let tree = p.tree()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing input after tree"));
+    }
+    Ok(tree)
+}
+
+/// Parses a whole module in the `Display` format of [`Module`].
+///
+/// # Errors
+///
+/// [`IrError::Parse`] on any syntax error.
+pub fn parse_module(text: &str) -> Result<Module, IrError> {
+    let mut module = Module::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((lineno, line)) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("global ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| line_err(lineno, "global needs a name"))?
+                .to_string();
+            let size: u32 = parts
+                .next()
+                .ok_or_else(|| line_err(lineno, "global needs a size"))?
+                .parse()
+                .map_err(|_| line_err(lineno, "bad global size"))?;
+            let mut init = Vec::new();
+            if let Some(eq) = parts.next() {
+                if eq != "=" {
+                    return Err(line_err(lineno, "expected '=' before initializer"));
+                }
+                for tok in parts {
+                    init.push(
+                        tok.parse::<u8>()
+                            .map_err(|_| line_err(lineno, "bad init byte"))?,
+                    );
+                }
+            }
+            module.globals.push(Global { name, size, init });
+        } else if let Some(rest) = line.strip_prefix("function ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| line_err(lineno, "function needs a name"))?
+                .to_string();
+            let param_count: usize = parts
+                .next()
+                .ok_or_else(|| line_err(lineno, "function needs a param count"))?
+                .parse()
+                .map_err(|_| line_err(lineno, "bad param count"))?;
+            let frame_size: u32 = parts
+                .next()
+                .ok_or_else(|| line_err(lineno, "function needs a frame size"))?
+                .parse()
+                .map_err(|_| line_err(lineno, "bad frame size"))?;
+            if parts.next() != Some("{") {
+                return Err(line_err(lineno, "expected '{' after function header"));
+            }
+            let mut f = Function::new(name, param_count, frame_size);
+            loop {
+                let (lineno, line) = lines
+                    .next()
+                    .ok_or_else(|| line_err(lineno, "unterminated function body"))?;
+                let line = line.trim();
+                if line == "}" {
+                    break;
+                }
+                if line.is_empty() {
+                    continue;
+                }
+                f.body.push(parse_tree(line).map_err(|e| match e {
+                    IrError::Parse { offset, message } => IrError::Parse {
+                        offset,
+                        message: format!("line {}: {message}", lineno + 1),
+                    },
+                    other => other,
+                })?);
+            }
+            module.functions.push(f);
+        } else {
+            return Err(line_err(lineno, "expected 'global' or 'function'"));
+        }
+    }
+    Ok(module)
+}
+
+fn line_err(lineno: usize, msg: &str) -> IrError {
+    IrError::Parse {
+        offset: 0,
+        message: format!("line {}: {msg}", lineno + 1),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IrError {
+        IrError::Parse {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn tree(&mut self) -> Result<Tree, IrError> {
+        self.skip_ws();
+        let mnemonic = self.uppercase_word()?;
+        // Trailing digits are the 8/16 width flag; the width is re-derived
+        // from the literal, so the digits only need stripping.
+        let stripped = mnemonic.trim_end_matches(|c: char| c.is_ascii_digit());
+        let op = decode_mnemonic(stripped)
+            .ok_or_else(|| self.err(format!("unknown operator mnemonic {mnemonic:?}")))?;
+
+        let literal = if self.eat(b'[') {
+            let lit = self.literal(op.opcode.literal_kind())?;
+            if !self.eat(b']') {
+                return Err(self.err("expected ']'"));
+            }
+            Some(lit)
+        } else {
+            None
+        };
+
+        let mut kids = Vec::new();
+        if self.eat(b'(') {
+            loop {
+                kids.push(self.tree()?);
+                self.skip_ws();
+                if self.eat(b',') {
+                    continue;
+                }
+                if self.eat(b')') {
+                    break;
+                }
+                return Err(self.err("expected ',' or ')'"));
+            }
+        }
+        Tree::build(op, literal, kids).map_err(|e| self.err(e.to_string()))
+    }
+
+    fn uppercase_word(&mut self) -> Result<String, IrError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_uppercase() || b.is_ascii_digit() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected an operator mnemonic"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn literal(&mut self, kind: LiteralKind) -> Result<Literal, IrError> {
+        self.skip_ws();
+        match kind {
+            LiteralKind::None => Err(self.err("operator takes no literal")),
+            LiteralKind::Symbol => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b == b'$' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.pos == start {
+                    return Err(self.err("expected a symbol name"));
+                }
+                Ok(Literal::Symbol(
+                    String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+                ))
+            }
+            LiteralKind::Int | LiteralKind::Offset | LiteralKind::Label => {
+                let start = self.pos;
+                if self.peek() == Some(b'-') {
+                    self.pos += 1;
+                }
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_digit() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("digits are valid utf-8");
+                let value: i64 = text.parse().map_err(|_| self.err("expected a number"))?;
+                Ok(match kind {
+                    LiteralKind::Int => Literal::Int(value),
+                    LiteralKind::Offset => Literal::Offset(
+                        i32::try_from(value).map_err(|_| self.err("offset out of range"))?,
+                    ),
+                    LiteralKind::Label => Literal::Label(
+                        u32::try_from(value).map_err(|_| self.err("label out of range"))?,
+                    ),
+                    LiteralKind::None | LiteralKind::Symbol => unreachable!(),
+                })
+            }
+        }
+    }
+}
+
+/// Decodes a width-stripped mnemonic such as `ASGNI`, `ADDRLP`, `CVCI`,
+/// `LABELV` back to an [`Op`].
+pub fn decode_mnemonic(text: &str) -> Option<Op> {
+    // CVT: CV<from><to>.
+    if let Some(rest) = text.strip_prefix("CV") {
+        let mut chars = rest.chars();
+        if let (Some(f), Some(t), None) = (chars.next(), chars.next(), chars.next()) {
+            if let (Some(from), Some(to)) = (IrType::from_suffix(f), IrType::from_suffix(t)) {
+                return Some(Op::cvt(from, to));
+            }
+        }
+        return None;
+    }
+    // Longest-prefix match over base names, remainder must be one type suffix.
+    let mut best: Option<Op> = None;
+    for opcode in Opcode::ALL {
+        if opcode == Opcode::Cvt {
+            continue;
+        }
+        let name = opcode.name();
+        if let Some(rest) = text.strip_prefix(name) {
+            let mut chars = rest.chars();
+            if let (Some(s), None) = (chars.next(), chars.next()) {
+                if let Some(ty) = IrType::from_suffix(s) {
+                    // Address operators print with a P suffix but are typed P.
+                    let op = match opcode {
+                        Opcode::AddrG | Opcode::AddrF | Opcode::AddrL if ty == IrType::P => {
+                            Op::new(opcode, IrType::P)
+                        }
+                        Opcode::AddrG | Opcode::AddrF | Opcode::AddrL => continue,
+                        _ => Op::new(opcode, ty),
+                    };
+                    if best.is_none_or(|b| b.opcode.name().len() < name.len()) {
+                        best = Some(op);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Width;
+
+    #[test]
+    fn parse_paper_trees_roundtrip() {
+        let samples = [
+            "ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))",
+            "LEI[1](INDIRI(ADDRLP8[68]),CNSTC[0])",
+            "ARGI(INDIRI(ADDRLP8[72]))",
+            "CALLI(ADDRGP[pepper])",
+            "LABELV[1]",
+            "RETI(INDIRI(ADDRLP8[68]))",
+            "JUMPV[12]",
+            "CVCI(INDIRC(ADDRGP[buf]))",
+            "ASGNS(ADDRLP16[300],CNSTS[-1000])",
+        ];
+        for s in samples {
+            let t = parse_tree(s).unwrap();
+            assert_eq!(t.to_string(), s, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn width_digits_are_rederived() {
+        // Even with a wrong width flag in the input, the literal decides.
+        let t = parse_tree("ADDRLP16[4]").unwrap();
+        assert_eq!(t.width(), Width::W8);
+        assert_eq!(t.to_string(), "ADDRLP8[4]");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_tree("").is_err());
+        assert!(parse_tree("FROB[1]").is_err());
+        assert!(parse_tree("ADDI(CNSTC[1])").is_err()); // arity
+        assert!(parse_tree("CNSTI[pepper]").is_err()); // literal kind
+        assert!(parse_tree("CNSTI[1] trailing").is_err());
+        assert!(parse_tree("ASGNI(ADDRLP8[0],CNSTC[1]").is_err()); // unclosed
+    }
+
+    #[test]
+    fn decode_mnemonic_handles_prefix_collisions() {
+        assert_eq!(decode_mnemonic("ADDI").unwrap().opcode, Opcode::Add);
+        assert_eq!(decode_mnemonic("ADDRLP").unwrap().opcode, Opcode::AddrL);
+        assert_eq!(decode_mnemonic("LABELV").unwrap().opcode, Opcode::LabelDef);
+        assert_eq!(decode_mnemonic("LEI").unwrap().opcode, Opcode::Le);
+        assert_eq!(decode_mnemonic("CVCI").unwrap().opcode, Opcode::Cvt);
+        assert_eq!(decode_mnemonic("BANDU").unwrap().opcode, Opcode::BAnd);
+    }
+
+    #[test]
+    fn module_roundtrip() {
+        let text = "\
+global buf 16
+global msg 4 = 104 105 33 0
+
+function main 0 8 {
+  ASGNI(ADDRLP8[0],CNSTC[42])
+  ARGI(INDIRI(ADDRLP8[0]))
+  CALLI(ADDRGP[print_int])
+  RETI(CNSTC[0])
+}
+";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.globals.len(), 2);
+        assert_eq!(m.globals[1].init, vec![104, 105, 33, 0]);
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].body.len(), 4);
+        // Display → parse → Display fixed point.
+        let printed = m.to_string();
+        let reparsed = parse_module(&printed).unwrap();
+        assert_eq!(reparsed, m);
+    }
+
+    #[test]
+    fn module_errors_carry_line_numbers() {
+        let err = parse_module("function f 0 0 {\n  WAT\n}\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The lcc-like text form: `ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))`.
+
+use crate::op::{Opcode, Width};
+use crate::tree::{Function, Module, Tree};
+use std::fmt;
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op().mnemonic())?;
+        // Width flag on offset-carrying address operators: ADDRLP8[72].
+        if matches!(self.op().opcode, Opcode::AddrL | Opcode::AddrF) && self.width() != Width::W32 {
+            write!(f, "{}", self.width().print_suffix())?;
+        }
+        if let Some(lit) = self.literal() {
+            write!(f, "[{lit}]")?;
+        }
+        if !self.kids().is_empty() {
+            write!(f, "(")?;
+            for (i, k) in self.kids().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "function {} {} {} {{",
+            self.name, self.param_count, self.frame_size
+        )?;
+        for stmt in &self.body {
+            writeln!(f, "  {stmt}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in &self.globals {
+            write!(f, "global {} {}", g.name, g.size)?;
+            if g.init.is_empty() {
+                writeln!(f)?;
+            } else {
+                write!(f, " =")?;
+                for b in &g.init {
+                    write!(f, " {b}")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        for (i, func) in self.functions.iter().enumerate() {
+            if i > 0 || !self.globals.is_empty() {
+                writeln!(f)?;
+            }
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::op::{IrType, Opcode};
+    use crate::tree::{Function, Global, Module, Tree};
+
+    /// The paper's `salt` example, built by hand (§3 step 1).
+    pub(crate) fn salt_trees() -> Vec<Tree> {
+        vec![
+            // ASGNI(ADDRLP8[72], SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))
+            Tree::asgn(
+                IrType::I,
+                Tree::addr_local(72),
+                Tree::sub(
+                    IrType::I,
+                    Tree::indir(IrType::I, Tree::addr_local(72)),
+                    Tree::cnst(IrType::C, 1),
+                ),
+            ),
+            // LEI[1](INDIRI(ADDRLP8[68]),CNSTC[0])
+            Tree::branch(
+                Opcode::Le,
+                IrType::I,
+                1,
+                Tree::indir(IrType::I, Tree::addr_local(68)),
+                Tree::cnst(IrType::C, 0),
+            ),
+            // ARGI(INDIRI(ADDRLP8[72]))
+            Tree::arg(IrType::I, Tree::indir(IrType::I, Tree::addr_local(72))),
+            // ARGI(INDIRI(ADDRLP8[68]))
+            Tree::arg(IrType::I, Tree::indir(IrType::I, Tree::addr_local(68))),
+            // CALLI(ADDRGP[pepper])
+            Tree::call(IrType::I, Tree::addr_global("pepper")),
+            // ASGNI(ADDRLP8[68], SUBI(INDIRI(ADDRLP8[68]),CNSTC[1]))
+            Tree::asgn(
+                IrType::I,
+                Tree::addr_local(68),
+                Tree::sub(
+                    IrType::I,
+                    Tree::indir(IrType::I, Tree::addr_local(68)),
+                    Tree::cnst(IrType::C, 1),
+                ),
+            ),
+            // LABELV
+            Tree::label(1),
+            // RETI(INDIRI(ADDRLP8[68]))
+            Tree::ret(IrType::I, Tree::indir(IrType::I, Tree::addr_local(68))),
+        ]
+    }
+
+    #[test]
+    fn prints_paper_example_trees() {
+        let trees = salt_trees();
+        assert_eq!(
+            trees[0].to_string(),
+            "ASGNI(ADDRLP8[72],SUBI(INDIRI(ADDRLP8[72]),CNSTC[1]))"
+        );
+        assert_eq!(trees[1].to_string(), "LEI[1](INDIRI(ADDRLP8[68]),CNSTC[0])");
+        assert_eq!(trees[2].to_string(), "ARGI(INDIRI(ADDRLP8[72]))");
+        assert_eq!(trees[4].to_string(), "CALLI(ADDRGP[pepper])");
+        assert_eq!(trees[6].to_string(), "LABELV[1]");
+        assert_eq!(trees[7].to_string(), "RETI(INDIRI(ADDRLP8[68]))");
+    }
+
+    #[test]
+    fn width_suffix_only_when_narrow() {
+        assert_eq!(Tree::addr_local(300).to_string(), "ADDRLP16[300]");
+        assert_eq!(Tree::addr_local(100_000).to_string(), "ADDRLP[100000]");
+    }
+
+    #[test]
+    fn function_and_module_display() {
+        let mut f = Function::new("salt", 2, 24);
+        f.body = salt_trees();
+        let m = Module {
+            globals: vec![Global {
+                name: "buf".into(),
+                size: 8,
+                init: vec![1, 2],
+            }],
+            functions: vec![f],
+        };
+        let text = m.to_string();
+        assert!(text.contains("global buf 8 = 1 2"));
+        assert!(text.contains("function salt 2 24 {"));
+        assert!(text.contains("  CALLI(ADDRGP[pepper])"));
+    }
+}

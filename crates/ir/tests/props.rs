@@ -1,0 +1,127 @@
+//! Property tests: random well-formed trees survive the text and binary
+//! representations unchanged.
+
+use codecomp_ir::binary::{decode_module, encode_module};
+use codecomp_ir::op::{IrType, Op, Opcode};
+use codecomp_ir::parse::{parse_module, parse_tree};
+use codecomp_ir::tree::{Function, Global, Module, Tree};
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary well-formed expression trees.
+fn expr_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        (-300_000i64..300_000).prop_map(Tree::cnst_auto),
+        (-500i32..500).prop_map(Tree::addr_local),
+        (0i32..64).prop_map(Tree::addr_formal),
+        "[a-z][a-z0-9_]{0,6}".prop_map(Tree::addr_global),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone()).prop_map(|(sel, kid)| {
+                let ty = [IrType::I, IrType::C, IrType::S, IrType::U][usize::from(sel % 4)];
+                Tree::indir(ty, kid)
+            }),
+            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(sel, a, b)| {
+                let ops = [
+                    Opcode::Add,
+                    Opcode::Sub,
+                    Opcode::Mul,
+                    Opcode::BAnd,
+                    Opcode::BOr,
+                    Opcode::BXor,
+                    Opcode::Lsh,
+                    Opcode::Rsh,
+                ];
+                Tree::binary(ops[usize::from(sel) % ops.len()], IrType::I, a, b)
+            }),
+            inner
+                .clone()
+                .prop_map(|k| Tree::unary(Op::new(Opcode::Neg, IrType::I), k)),
+            inner
+                .clone()
+                .prop_map(|k| Tree::unary(Op::cvt(IrType::C, IrType::I), k)),
+            (inner.clone(), inner).prop_map(|(a, v)| Tree::asgn(IrType::I, a, v)),
+        ]
+    })
+}
+
+/// Statement trees (what function bodies hold).
+fn stmt_tree() -> impl Strategy<Value = Tree> {
+    prop_oneof![
+        (expr_tree(), expr_tree()).prop_map(|(a, v)| Tree::asgn(IrType::I, a, v)),
+        expr_tree().prop_map(|v| Tree::arg(IrType::I, v)),
+        expr_tree().prop_map(|v| Tree::ret(IrType::I, v)),
+        (any::<u8>(), expr_tree(), expr_tree()).prop_map(|(sel, a, b)| {
+            let ops = [
+                Opcode::Eq,
+                Opcode::Ne,
+                Opcode::Lt,
+                Opcode::Le,
+                Opcode::Gt,
+                Opcode::Ge,
+            ];
+            Tree::branch(ops[usize::from(sel) % ops.len()], IrType::I, 1, a, b)
+        }),
+    ]
+}
+
+fn module(trees: Vec<Tree>, globals: Vec<(String, u32)>) -> Module {
+    let mut f = Function::new("main", 0, 64);
+    f.body = trees;
+    f.body.push(Tree::label(1));
+    f.body.push(Tree::ret_void());
+    Module {
+        globals: globals
+            .into_iter()
+            .map(|(name, size)| Global {
+                name,
+                size: size.max(1),
+                init: vec![],
+            })
+            .collect(),
+        functions: vec![f],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tree_print_parse_roundtrip(t in expr_tree()) {
+        let text = t.to_string();
+        let back = parse_tree(&text).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn module_text_roundtrip(trees in prop::collection::vec(stmt_tree(), 0..12)) {
+        let m = module(trees, vec![("g0".into(), 8)]);
+        let text = m.to_string();
+        let back = parse_module(&text).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn module_binary_roundtrip(
+        trees in prop::collection::vec(stmt_tree(), 0..12),
+        globals in prop::collection::vec(("[a-z][a-z0-9]{0,5}", 1u32..64), 0..4),
+    ) {
+        let mut names = std::collections::HashSet::new();
+        let globals: Vec<(String, u32)> =
+            globals.into_iter().filter(|(n, _)| names.insert(n.clone())).collect();
+        let m = module(trees, globals);
+        let bytes = encode_module(&m).unwrap();
+        prop_assert_eq!(decode_module(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn binary_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_module(&bytes);
+    }
+
+    #[test]
+    fn text_parser_never_panics(text in "[A-Za-z0-9\\[\\]\\(\\),*$ -]{0,80}") {
+        let _ = parse_tree(&text);
+        let _ = parse_module(&text);
+    }
+}

@@ -1,0 +1,1051 @@
+//! The quantized byte encoding of VM programs.
+//!
+//! This is the *uncompressed* OmniVM executable form that BRISC takes as
+//! input: one opcode byte per instruction, register fields packed two to
+//! a byte (16 registers → 4 bits each), immediates in the narrowest of
+//! 1/2/4 bytes (selected by the opcode variant), branch targets and
+//! function symbols in 2 bytes. Under this layout `enter sp,sp,24`
+//! occupies 3 bytes, matching the paper's worked example.
+//!
+//! The module also exposes the *field view* ([`base_op`], [`fields`],
+//! [`rebuild`]) that the BRISC compressor patternizes over: a base
+//! instruction pattern is a [`BaseOp`] with every field wildcarded, and
+//! operand specialization burns [`Field`] values in one at a time.
+
+use crate::isa::{AluOp, Cond, FuncRef, Inst, MemWidth};
+use crate::program::{VmFunction, VmGlobal, VmProgram};
+use crate::reg::Reg;
+use crate::VmError;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Base-pattern identity: the mnemonic with all operand fields wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BaseOp {
+    /// `li *,*`
+    Li,
+    /// `mov.i *,*`
+    Mov,
+    /// `<op>.i *,*,*`
+    Alu(AluOp),
+    /// `<op>.i *,*,imm`
+    AluImm(AluOp),
+    /// `neg.i *,*`
+    Neg,
+    /// `not.i *,*`
+    Not,
+    /// `sext.* *,*`
+    Sext(MemWidth),
+    /// `ld.* *,*(*)`
+    Load(MemWidth),
+    /// `st.* *,*(*)`
+    Store(MemWidth),
+    /// `spill.i *,*(sp)`
+    Spill,
+    /// `reload.i *,*(sp)`
+    Reload,
+    /// `enter *,*,*`
+    Enter,
+    /// `exit *,*,*`
+    Exit,
+    /// `b<cond>.i *,*,$L`
+    Branch(Cond),
+    /// `b<cond>.i *,imm,$L`
+    BranchImm(Cond),
+    /// `j $L`
+    Jump,
+    /// `call f`
+    Call,
+    /// `callr *`
+    CallR,
+    /// `rjr *`
+    Rjr,
+    /// `epi`
+    Epi,
+    /// `bcopy *,*,*`
+    Bcopy,
+    /// `bzero *,*`
+    Bzero,
+    /// `nop`
+    Nop,
+}
+
+impl BaseOp {
+    /// Every base pattern, in canonical order.
+    pub fn all() -> Vec<BaseOp> {
+        let mut v = vec![BaseOp::Li, BaseOp::Mov];
+        for op in AluOp::ALL {
+            v.push(BaseOp::Alu(op));
+        }
+        for op in AluOp::ALL {
+            v.push(BaseOp::AluImm(op));
+        }
+        v.push(BaseOp::Neg);
+        v.push(BaseOp::Not);
+        v.push(BaseOp::Sext(MemWidth::Byte));
+        v.push(BaseOp::Sext(MemWidth::Short));
+        for w in [MemWidth::Byte, MemWidth::Short, MemWidth::Word] {
+            v.push(BaseOp::Load(w));
+        }
+        for w in [MemWidth::Byte, MemWidth::Short, MemWidth::Word] {
+            v.push(BaseOp::Store(w));
+        }
+        v.extend([BaseOp::Spill, BaseOp::Reload, BaseOp::Enter, BaseOp::Exit]);
+        for c in Cond::ALL {
+            v.push(BaseOp::Branch(c));
+        }
+        for c in Cond::ALL {
+            v.push(BaseOp::BranchImm(c));
+        }
+        v.extend([
+            BaseOp::Jump,
+            BaseOp::Call,
+            BaseOp::CallR,
+            BaseOp::Rjr,
+            BaseOp::Epi,
+            BaseOp::Bcopy,
+            BaseOp::Bzero,
+            BaseOp::Nop,
+        ]);
+        v
+    }
+
+    /// The mnemonic this base pattern prints with.
+    pub fn mnemonic(self) -> String {
+        match self {
+            BaseOp::Li => "li".into(),
+            BaseOp::Mov => "mov.i".into(),
+            BaseOp::Alu(op) | BaseOp::AluImm(op) => format!("{}.i", op.name()),
+            BaseOp::Neg => "neg.i".into(),
+            BaseOp::Not => "not.i".into(),
+            BaseOp::Sext(w) => format!("sext.{}", w.suffix()),
+            BaseOp::Load(w) => format!("ld.{}", w.suffix()),
+            BaseOp::Store(w) => format!("st.{}", w.suffix()),
+            BaseOp::Spill => "spill.i".into(),
+            BaseOp::Reload => "reload.i".into(),
+            BaseOp::Enter => "enter".into(),
+            BaseOp::Exit => "exit".into(),
+            BaseOp::Branch(c) | BaseOp::BranchImm(c) => format!("{}.i", c.name()),
+            BaseOp::Jump => "j".into(),
+            BaseOp::Call => "call".into(),
+            BaseOp::CallR => "callr".into(),
+            BaseOp::Rjr => "rjr".into(),
+            BaseOp::Epi => "epi".into(),
+            BaseOp::Bcopy => "bcopy".into(),
+            BaseOp::Bzero => "bzero".into(),
+            BaseOp::Nop => "nop".into(),
+        }
+    }
+}
+
+/// One operand field value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// A 4-bit register field.
+    Reg(Reg),
+    /// An immediate (1/2/4-byte encoded).
+    Imm(i32),
+    /// A branch target label (2 bytes).
+    Target(u32),
+    /// A function symbol (2-byte index into the program symbol table).
+    Func(String),
+}
+
+impl Field {
+    /// Field width in bits in the base encoding.
+    pub fn bits(&self) -> u32 {
+        match self {
+            Field::Reg(_) => 4,
+            Field::Imm(v) => imm_width(*v).bits(),
+            Field::Target(_) | Field::Func(_) => 16,
+        }
+    }
+}
+
+/// Immediate width variants selected by the opcode byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ImmWidth {
+    /// No immediate field.
+    None,
+    /// Signed 8-bit.
+    W8,
+    /// Signed 16-bit.
+    W16,
+    /// 32-bit.
+    W32,
+}
+
+impl ImmWidth {
+    /// Bits occupied.
+    pub fn bits(self) -> u32 {
+        match self {
+            ImmWidth::None => 0,
+            ImmWidth::W8 => 8,
+            ImmWidth::W16 => 16,
+            ImmWidth::W32 => 32,
+        }
+    }
+}
+
+/// The narrowest width holding `v`.
+pub fn imm_width(v: i32) -> ImmWidth {
+    if (-128..=127).contains(&v) {
+        ImmWidth::W8
+    } else if (-32_768..=32_767).contains(&v) {
+        ImmWidth::W16
+    } else {
+        ImmWidth::W32
+    }
+}
+
+/// Whether this base pattern has an immediate operand field.
+pub fn has_imm(op: BaseOp) -> bool {
+    matches!(
+        op,
+        BaseOp::Li
+            | BaseOp::AluImm(_)
+            | BaseOp::Load(_)
+            | BaseOp::Store(_)
+            | BaseOp::Spill
+            | BaseOp::Reload
+            | BaseOp::Enter
+            | BaseOp::Exit
+            | BaseOp::BranchImm(_)
+    )
+}
+
+/// The base pattern of an instruction.
+///
+/// # Panics
+///
+/// Panics on [`Inst::Label`], which is a pseudo-instruction.
+pub fn base_op(inst: &Inst) -> BaseOp {
+    match inst {
+        Inst::Li { .. } => BaseOp::Li,
+        Inst::Mov { .. } => BaseOp::Mov,
+        Inst::Alu { op, .. } => BaseOp::Alu(*op),
+        Inst::AluImm { op, .. } => BaseOp::AluImm(*op),
+        Inst::Neg { .. } => BaseOp::Neg,
+        Inst::Not { .. } => BaseOp::Not,
+        Inst::Sext { width, .. } => BaseOp::Sext(*width),
+        Inst::Load { width, .. } => BaseOp::Load(*width),
+        Inst::Store { width, .. } => BaseOp::Store(*width),
+        Inst::Spill { .. } => BaseOp::Spill,
+        Inst::Reload { .. } => BaseOp::Reload,
+        Inst::Enter { .. } => BaseOp::Enter,
+        Inst::Exit { .. } => BaseOp::Exit,
+        Inst::Branch { cond, .. } => BaseOp::Branch(*cond),
+        Inst::BranchImm { cond, .. } => BaseOp::BranchImm(*cond),
+        Inst::Jump { .. } => BaseOp::Jump,
+        Inst::Call { .. } => BaseOp::Call,
+        Inst::CallR { .. } => BaseOp::CallR,
+        Inst::Rjr { .. } => BaseOp::Rjr,
+        Inst::Epi => BaseOp::Epi,
+        Inst::Bcopy { .. } => BaseOp::Bcopy,
+        Inst::Bzero { .. } => BaseOp::Bzero,
+        Inst::Nop => BaseOp::Nop,
+        Inst::Label(_) => panic!("labels have no encoding"),
+    }
+}
+
+/// The operand fields of an instruction, in canonical order.
+///
+/// `enter`/`exit` expose their two (always-`sp`) register fields because
+/// the encoding transmits them — this is what makes `[enter sp,*,*]` a
+/// meaningful operand specialization in the paper's worked example.
+///
+/// # Panics
+///
+/// Panics on [`Inst::Label`].
+pub fn fields(inst: &Inst) -> Vec<Field> {
+    match inst {
+        Inst::Li { rd, imm } => vec![Field::Reg(*rd), Field::Imm(*imm)],
+        Inst::Mov { rd, rs } => vec![Field::Reg(*rd), Field::Reg(*rs)],
+        Inst::Alu { rd, rs, rt, .. } => {
+            vec![Field::Reg(*rd), Field::Reg(*rs), Field::Reg(*rt)]
+        }
+        Inst::AluImm { rd, rs, imm, .. } => {
+            vec![Field::Reg(*rd), Field::Reg(*rs), Field::Imm(*imm)]
+        }
+        Inst::Neg { rd, rs } | Inst::Not { rd, rs } | Inst::Sext { rd, rs, .. } => {
+            vec![Field::Reg(*rd), Field::Reg(*rs)]
+        }
+        Inst::Load { rd, off, base, .. } => {
+            vec![Field::Reg(*rd), Field::Imm(*off), Field::Reg(*base)]
+        }
+        Inst::Store { rs, off, base, .. } => {
+            vec![Field::Reg(*rs), Field::Imm(*off), Field::Reg(*base)]
+        }
+        Inst::Spill { rs, off } => vec![Field::Reg(*rs), Field::Imm(*off)],
+        Inst::Reload { rd, off } => vec![Field::Reg(*rd), Field::Imm(*off)],
+        Inst::Enter { amount } => {
+            vec![
+                Field::Reg(Reg::SP),
+                Field::Reg(Reg::SP),
+                Field::Imm(*amount),
+            ]
+        }
+        Inst::Exit { amount } => {
+            vec![
+                Field::Reg(Reg::SP),
+                Field::Reg(Reg::SP),
+                Field::Imm(*amount),
+            ]
+        }
+        Inst::Branch { rs, rt, target, .. } => {
+            vec![Field::Reg(*rs), Field::Reg(*rt), Field::Target(*target)]
+        }
+        Inst::BranchImm {
+            rs, imm, target, ..
+        } => {
+            vec![Field::Reg(*rs), Field::Imm(*imm), Field::Target(*target)]
+        }
+        Inst::Jump { target } => vec![Field::Target(*target)],
+        Inst::Call {
+            target: FuncRef::Symbol(name),
+        } => vec![Field::Func(name.clone())],
+        Inst::CallR { rs } | Inst::Rjr { rs } => vec![Field::Reg(*rs)],
+        Inst::Epi | Inst::Nop => vec![],
+        Inst::Bcopy { rd, rs, rn } => {
+            vec![Field::Reg(*rd), Field::Reg(*rs), Field::Reg(*rn)]
+        }
+        Inst::Bzero { rd, rn } => vec![Field::Reg(*rd), Field::Reg(*rn)],
+        Inst::Label(_) => panic!("labels have no fields"),
+    }
+}
+
+/// Rebuilds an instruction from a base pattern and field values; the
+/// inverse of [`base_op`] + [`fields`].
+///
+/// # Errors
+///
+/// [`VmError::Encode`] when the fields do not match the pattern's shape.
+pub fn rebuild(op: BaseOp, fs: &[Field]) -> Result<Inst, VmError> {
+    let bad = || VmError::Encode(format!("field shape mismatch for {op:?}: {fs:?}"));
+    let reg = |i: usize| match fs.get(i) {
+        Some(Field::Reg(r)) => Ok(*r),
+        _ => Err(bad()),
+    };
+    let imm = |i: usize| match fs.get(i) {
+        Some(Field::Imm(v)) => Ok(*v),
+        _ => Err(bad()),
+    };
+    let target = |i: usize| match fs.get(i) {
+        Some(Field::Target(t)) => Ok(*t),
+        _ => Err(bad()),
+    };
+    Ok(match op {
+        BaseOp::Li => Inst::Li {
+            rd: reg(0)?,
+            imm: imm(1)?,
+        },
+        BaseOp::Mov => Inst::Mov {
+            rd: reg(0)?,
+            rs: reg(1)?,
+        },
+        BaseOp::Alu(o) => Inst::Alu {
+            op: o,
+            rd: reg(0)?,
+            rs: reg(1)?,
+            rt: reg(2)?,
+        },
+        BaseOp::AluImm(o) => Inst::AluImm {
+            op: o,
+            rd: reg(0)?,
+            rs: reg(1)?,
+            imm: imm(2)?,
+        },
+        BaseOp::Neg => Inst::Neg {
+            rd: reg(0)?,
+            rs: reg(1)?,
+        },
+        BaseOp::Not => Inst::Not {
+            rd: reg(0)?,
+            rs: reg(1)?,
+        },
+        BaseOp::Sext(w) => Inst::Sext {
+            width: w,
+            rd: reg(0)?,
+            rs: reg(1)?,
+        },
+        BaseOp::Load(w) => Inst::Load {
+            width: w,
+            rd: reg(0)?,
+            off: imm(1)?,
+            base: reg(2)?,
+        },
+        BaseOp::Store(w) => Inst::Store {
+            width: w,
+            rs: reg(0)?,
+            off: imm(1)?,
+            base: reg(2)?,
+        },
+        BaseOp::Spill => Inst::Spill {
+            rs: reg(0)?,
+            off: imm(1)?,
+        },
+        BaseOp::Reload => Inst::Reload {
+            rd: reg(0)?,
+            off: imm(1)?,
+        },
+        BaseOp::Enter => {
+            let _ = (reg(0)?, reg(1)?);
+            Inst::Enter { amount: imm(2)? }
+        }
+        BaseOp::Exit => {
+            let _ = (reg(0)?, reg(1)?);
+            Inst::Exit { amount: imm(2)? }
+        }
+        BaseOp::Branch(c) => Inst::Branch {
+            cond: c,
+            rs: reg(0)?,
+            rt: reg(1)?,
+            target: target(2)?,
+        },
+        BaseOp::BranchImm(c) => Inst::BranchImm {
+            cond: c,
+            rs: reg(0)?,
+            imm: imm(1)?,
+            target: target(2)?,
+        },
+        BaseOp::Jump => Inst::Jump { target: target(0)? },
+        BaseOp::Call => match fs.first() {
+            Some(Field::Func(name)) => Inst::Call {
+                target: FuncRef::Symbol(name.clone()),
+            },
+            _ => return Err(bad()),
+        },
+        BaseOp::CallR => Inst::CallR { rs: reg(0)? },
+        BaseOp::Rjr => Inst::Rjr { rs: reg(0)? },
+        BaseOp::Epi => Inst::Epi,
+        BaseOp::Bcopy => Inst::Bcopy {
+            rd: reg(0)?,
+            rs: reg(1)?,
+            rn: reg(2)?,
+        },
+        BaseOp::Bzero => Inst::Bzero {
+            rd: reg(0)?,
+            rn: reg(1)?,
+        },
+        BaseOp::Nop => Inst::Nop,
+    })
+}
+
+// ---- base byte encoding ------------------------------------------------
+
+#[allow(clippy::type_complexity)]
+fn opcode_table() -> &'static (Vec<(BaseOp, ImmWidth)>, HashMap<(BaseOp, ImmWidth), u8>) {
+    static TABLE: OnceLock<(Vec<(BaseOp, ImmWidth)>, HashMap<(BaseOp, ImmWidth), u8>)> =
+        OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut list = Vec::new();
+        for op in BaseOp::all() {
+            if has_imm(op) {
+                for w in [ImmWidth::W8, ImmWidth::W16, ImmWidth::W32] {
+                    list.push((op, w));
+                }
+            } else {
+                list.push((op, ImmWidth::None));
+            }
+        }
+        assert!(list.len() <= 256, "opcode table must fit one byte");
+        let index = list
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u8))
+            .collect();
+        (list, index)
+    })
+}
+
+/// Number of opcode bytes in the base encoding.
+pub fn opcode_count() -> usize {
+    opcode_table().0.len()
+}
+
+/// Encoded size in bytes of one instruction (labels are free).
+pub fn inst_size(inst: &Inst) -> usize {
+    if inst.is_label() {
+        return 0;
+    }
+    let fs = fields(inst);
+    let mut reg_nibbles = 0usize;
+    let mut tail_bytes = 0usize;
+    for f in &fs {
+        match f {
+            Field::Reg(_) => reg_nibbles += 1,
+            Field::Imm(v) => tail_bytes += (imm_width(*v).bits() / 8) as usize,
+            Field::Target(_) | Field::Func(_) => tail_bytes += 2,
+        }
+    }
+    1 + reg_nibbles.div_ceil(2) + tail_bytes
+}
+
+/// Encodes one instruction, interning call symbols via `intern`.
+///
+/// # Errors
+///
+/// [`VmError::Encode`] on labels.
+pub fn encode_inst(
+    inst: &Inst,
+    intern: &mut impl FnMut(&str) -> u16,
+    out: &mut Vec<u8>,
+) -> Result<(), VmError> {
+    if inst.is_label() {
+        return Err(VmError::Encode("labels have no encoding".into()));
+    }
+    let op = base_op(inst);
+    let fs = fields(inst);
+    let imm_value = fs.iter().find_map(|f| match f {
+        Field::Imm(v) => Some(*v),
+        _ => None,
+    });
+    let width = imm_value.map_or(ImmWidth::None, imm_width);
+    let byte = *opcode_table()
+        .1
+        .get(&(op, width))
+        .ok_or_else(|| VmError::Encode(format!("no opcode for {op:?}/{width:?}")))?;
+    out.push(byte);
+    // Register nibbles, in field order.
+    let regs: Vec<u8> = fs
+        .iter()
+        .filter_map(|f| match f {
+            Field::Reg(r) => Some(r.number()),
+            _ => None,
+        })
+        .collect();
+    for pair in regs.chunks(2) {
+        out.push((pair[0] << 4) | pair.get(1).copied().unwrap_or(0));
+    }
+    // Immediate, then target/function tails.
+    for f in &fs {
+        match f {
+            Field::Reg(_) => {}
+            Field::Imm(v) => match width {
+                ImmWidth::W8 => out.push(*v as u8),
+                ImmWidth::W16 => out.extend_from_slice(&(*v as u16).to_le_bytes()),
+                _ => out.extend_from_slice(&(*v as u32).to_le_bytes()),
+            },
+            Field::Target(t) => out.extend_from_slice(&(*t as u16).to_le_bytes()),
+            Field::Func(name) => out.extend_from_slice(&intern(name).to_le_bytes()),
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one instruction; the inverse of [`encode_inst`].
+///
+/// # Errors
+///
+/// [`VmError::Encode`] on truncation or unknown opcodes.
+pub fn decode_inst(bytes: &[u8], pos: &mut usize, symbols: &[String]) -> Result<Inst, VmError> {
+    let eof = || VmError::Encode("unexpected end of code".into());
+    let byte = *bytes.get(*pos).ok_or_else(eof)?;
+    *pos += 1;
+    let &(op, width) = opcode_table()
+        .0
+        .get(byte as usize)
+        .ok_or_else(|| VmError::Encode(format!("unknown opcode byte {byte}")))?;
+    // Reconstruct the field shape from a canonical instance.
+    let shape = fields(&canonical_instance(op));
+    let reg_count = shape.iter().filter(|f| matches!(f, Field::Reg(_))).count();
+    let mut regs = Vec::with_capacity(reg_count);
+    for i in 0..reg_count.div_ceil(2) {
+        let b = *bytes.get(*pos).ok_or_else(eof)?;
+        *pos += 1;
+        regs.push(b >> 4);
+        if i * 2 + 1 < reg_count {
+            regs.push(b & 0x0F);
+        }
+    }
+    let mut reg_iter = regs.into_iter();
+    let mut out_fields = Vec::with_capacity(shape.len());
+    for f in &shape {
+        match f {
+            Field::Reg(_) => out_fields.push(Field::Reg(Reg::new(
+                reg_iter.next().expect("counted register fields"),
+            ))),
+            Field::Imm(_) => {
+                let v = match width {
+                    ImmWidth::W8 => {
+                        let b = *bytes.get(*pos).ok_or_else(eof)?;
+                        *pos += 1;
+                        i32::from(b as i8)
+                    }
+                    ImmWidth::W16 => {
+                        let b = bytes.get(*pos..*pos + 2).ok_or_else(eof)?;
+                        *pos += 2;
+                        i32::from(i16::from_le_bytes([b[0], b[1]]))
+                    }
+                    _ => {
+                        let b = bytes.get(*pos..*pos + 4).ok_or_else(eof)?;
+                        *pos += 4;
+                        i32::from_le_bytes([b[0], b[1], b[2], b[3]])
+                    }
+                };
+                out_fields.push(Field::Imm(v));
+            }
+            Field::Target(_) => {
+                let b = bytes.get(*pos..*pos + 2).ok_or_else(eof)?;
+                *pos += 2;
+                out_fields.push(Field::Target(u32::from(u16::from_le_bytes([b[0], b[1]]))));
+            }
+            Field::Func(_) => {
+                let b = bytes.get(*pos..*pos + 2).ok_or_else(eof)?;
+                *pos += 2;
+                let idx = u16::from_le_bytes([b[0], b[1]]);
+                let name = symbols
+                    .get(usize::from(idx))
+                    .ok_or_else(|| VmError::Encode(format!("bad symbol index {idx}")))?;
+                out_fields.push(Field::Func(name.clone()));
+            }
+        }
+    }
+    rebuild(op, &out_fields)
+}
+
+/// A canonical instance of each base pattern (all fields zeroed), used
+/// to recover field shapes.
+pub fn canonical_instance(op: BaseOp) -> Inst {
+    let r = Reg::new(0);
+    match op {
+        BaseOp::Li => Inst::Li { rd: r, imm: 0 },
+        BaseOp::Mov => Inst::Mov { rd: r, rs: r },
+        BaseOp::Alu(o) => Inst::Alu {
+            op: o,
+            rd: r,
+            rs: r,
+            rt: r,
+        },
+        BaseOp::AluImm(o) => Inst::AluImm {
+            op: o,
+            rd: r,
+            rs: r,
+            imm: 0,
+        },
+        BaseOp::Neg => Inst::Neg { rd: r, rs: r },
+        BaseOp::Not => Inst::Not { rd: r, rs: r },
+        BaseOp::Sext(w) => Inst::Sext {
+            width: w,
+            rd: r,
+            rs: r,
+        },
+        BaseOp::Load(w) => Inst::Load {
+            width: w,
+            rd: r,
+            off: 0,
+            base: r,
+        },
+        BaseOp::Store(w) => Inst::Store {
+            width: w,
+            rs: r,
+            off: 0,
+            base: r,
+        },
+        BaseOp::Spill => Inst::Spill { rs: r, off: 0 },
+        BaseOp::Reload => Inst::Reload { rd: r, off: 0 },
+        BaseOp::Enter => Inst::Enter { amount: 0 },
+        BaseOp::Exit => Inst::Exit { amount: 0 },
+        BaseOp::Branch(c) => Inst::Branch {
+            cond: c,
+            rs: r,
+            rt: r,
+            target: 0,
+        },
+        BaseOp::BranchImm(c) => Inst::BranchImm {
+            cond: c,
+            rs: r,
+            imm: 0,
+            target: 0,
+        },
+        BaseOp::Jump => Inst::Jump { target: 0 },
+        BaseOp::Call => Inst::Call {
+            target: FuncRef::Symbol(String::new()),
+        },
+        BaseOp::CallR => Inst::CallR { rs: r },
+        BaseOp::Rjr => Inst::Rjr { rs: r },
+        BaseOp::Epi => Inst::Epi,
+        BaseOp::Bcopy => Inst::Bcopy {
+            rd: r,
+            rs: r,
+            rn: r,
+        },
+        BaseOp::Bzero => Inst::Bzero { rd: r, rn: r },
+        BaseOp::Nop => Inst::Nop,
+    }
+}
+
+/// Code-segment size (instruction bytes only) of a whole program, with
+/// labels materialized as 2-byte branch targets already counted in the
+/// branch instructions themselves.
+pub fn code_segment_size(program: &VmProgram) -> usize {
+    program
+        .functions
+        .iter()
+        .flat_map(|f| f.code.iter())
+        .map(inst_size)
+        .sum()
+}
+
+/// Encodes a whole program (container: symbols, globals, functions).
+///
+/// # Errors
+///
+/// Propagates instruction-encoding errors.
+pub fn encode_program(program: &VmProgram) -> Result<Vec<u8>, VmError> {
+    let mut symbols: Vec<String> = Vec::new();
+    let mut sym_index: HashMap<String, u16> = HashMap::new();
+    let mut code = Vec::new();
+    let mut func_meta = Vec::new();
+    for f in &program.functions {
+        let start = code.len();
+        let mut insts = 0u32;
+        let mut labels: Vec<(u32, u32)> = Vec::new();
+        for inst in &f.code {
+            if let Inst::Label(l) = inst {
+                labels.push((*l, insts));
+                continue;
+            }
+            let mut intern = |name: &str| -> u16 {
+                if let Some(&i) = sym_index.get(name) {
+                    return i;
+                }
+                let i = symbols.len() as u16;
+                symbols.push(name.to_string());
+                sym_index.insert(name.to_string(), i);
+                i
+            };
+            encode_inst(inst, &mut intern, &mut code)?;
+            insts += 1;
+        }
+        func_meta.push((f, start, code.len(), insts, labels));
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(b"CCVM");
+    out.push(u8::from(program.isa.immediates));
+    out.push(u8::from(program.isa.reg_displacement));
+    push_u16(&mut out, symbols.len() as u16);
+    for s in &symbols {
+        push_u16(&mut out, s.len() as u16);
+        out.extend_from_slice(s.as_bytes());
+    }
+    push_u16(&mut out, program.globals.len() as u16);
+    for g in &program.globals {
+        push_u16(&mut out, g.name.len() as u16);
+        out.extend_from_slice(g.name.as_bytes());
+        push_u32(&mut out, g.size);
+        push_u32(&mut out, g.init.len() as u32);
+        out.extend_from_slice(&g.init);
+    }
+    push_u16(&mut out, program.functions.len() as u16);
+    for (f, start, end, insts, labels) in func_meta {
+        push_u16(&mut out, f.name.len() as u16);
+        out.extend_from_slice(f.name.as_bytes());
+        push_u16(&mut out, f.param_count as u16);
+        push_u32(&mut out, f.frame_size);
+        push_u16(&mut out, f.saved_regs.len() as u16);
+        for r in &f.saved_regs {
+            out.push(r.number());
+        }
+        push_u16(&mut out, labels.len() as u16);
+        for (l, at) in labels {
+            push_u16(&mut out, l as u16);
+            push_u32(&mut out, at);
+        }
+        push_u32(&mut out, insts);
+        push_u32(&mut out, (end - start) as u32);
+        out.extend_from_slice(&code[start..end]);
+    }
+    Ok(out)
+}
+
+/// Decodes a program produced by [`encode_program`].
+///
+/// # Errors
+///
+/// [`VmError::Encode`] on malformed input.
+pub fn decode_program(bytes: &[u8]) -> Result<VmProgram, VmError> {
+    let mut r = ByteReader { bytes, pos: 0 };
+    if r.take(4)? != b"CCVM" {
+        return Err(VmError::Encode("bad magic".into()));
+    }
+    let immediates = r.u8()? != 0;
+    let reg_displacement = r.u8()? != 0;
+    let nsyms = r.u16()?;
+    let mut symbols = Vec::with_capacity(usize::from(nsyms));
+    for _ in 0..nsyms {
+        let len = r.u16()? as usize;
+        symbols.push(
+            String::from_utf8(r.take(len)?.to_vec())
+                .map_err(|_| VmError::Encode("bad symbol utf-8".into()))?,
+        );
+    }
+    let mut program = VmProgram::new();
+    program.isa = crate::isa::IsaConfig {
+        immediates,
+        reg_displacement,
+    };
+    let nglobals = r.u16()?;
+    for _ in 0..nglobals {
+        let len = r.u16()? as usize;
+        let name = String::from_utf8(r.take(len)?.to_vec())
+            .map_err(|_| VmError::Encode("bad global name".into()))?;
+        let size = r.u32()?;
+        let init_len = r.u32()? as usize;
+        let init = r.take(init_len)?.to_vec();
+        program.globals.push(VmGlobal { name, size, init });
+    }
+    let nfuncs = r.u16()?;
+    for _ in 0..nfuncs {
+        let len = r.u16()? as usize;
+        let name = String::from_utf8(r.take(len)?.to_vec())
+            .map_err(|_| VmError::Encode("bad function name".into()))?;
+        let params = r.u16()? as usize;
+        let frame = r.u32()?;
+        let nsaved = r.u16()?;
+        let mut saved = Vec::with_capacity(usize::from(nsaved));
+        for _ in 0..nsaved {
+            saved.push(Reg::new(r.u8()?));
+        }
+        let nlabels = r.u16()?;
+        let mut labels = Vec::with_capacity(usize::from(nlabels));
+        for _ in 0..nlabels {
+            let l = r.u16()?;
+            let at = r.u32()?;
+            labels.push((u32::from(l), at));
+        }
+        let insts = r.u32()?;
+        let code_len = r.u32()? as usize;
+        let code_bytes = r.take(code_len)?;
+        let mut f = VmFunction::new(name, params, frame);
+        f.saved_regs = saved;
+        let mut pos = 0usize;
+        let mut label_iter = labels.iter().peekable();
+        for i in 0..insts {
+            while label_iter.peek().is_some_and(|&&(_, at)| at == i) {
+                let &(l, _) = label_iter.next().expect("peeked");
+                f.code.push(Inst::Label(l));
+            }
+            f.code.push(decode_inst(code_bytes, &mut pos, &symbols)?);
+        }
+        // Labels at the very end of the function.
+        for &(l, _) in label_iter {
+            f.code.push(Inst::Label(l));
+        }
+        program.functions.push(f);
+    }
+    Ok(program)
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn u8(&mut self) -> Result<u8, VmError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| VmError::Encode("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, VmError> {
+        Ok(u16::from_le_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32, VmError> {
+        Ok(u32::from_le_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], VmError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| VmError::Encode("unexpected end of input".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse_inst;
+
+    #[test]
+    fn opcode_table_fits_a_byte() {
+        assert!(opcode_count() <= 256, "got {}", opcode_count());
+    }
+
+    #[test]
+    fn paper_sizes() {
+        // enter sp,sp,24: opcode + (sp,sp) nibbles + imm8 = 3 bytes.
+        assert_eq!(inst_size(&parse_inst("enter sp,sp,24", 1).unwrap()), 3);
+        // ld.iw n0,4(sp): opcode + (n0,sp) + off8 = 3 bytes.
+        assert_eq!(inst_size(&parse_inst("ld.iw n0,4(sp)", 1).unwrap()), 3);
+        // mov.i n4,n0: opcode + 1 reg byte = 2.
+        assert_eq!(inst_size(&parse_inst("mov.i n4,n0", 1).unwrap()), 2);
+        // rjr ra: opcode + 1 nibble-padded byte = 2.
+        assert_eq!(inst_size(&parse_inst("rjr ra", 1).unwrap()), 2);
+        // Labels are free.
+        assert_eq!(inst_size(&Inst::Label(3)), 0);
+        // Wide immediates cost more.
+        assert_eq!(inst_size(&parse_inst("li n0,5", 1).unwrap()), 3);
+        assert_eq!(inst_size(&parse_inst("li n0,300", 1).unwrap()), 4);
+        assert_eq!(inst_size(&parse_inst("li n0,100000", 1).unwrap()), 6);
+    }
+
+    #[test]
+    fn field_view_roundtrips() {
+        let samples = [
+            "li n3,-77",
+            "mov.i n4,n0",
+            "add.i n0,n4,-1",
+            "mul.i n1,n2,n3",
+            "ld.iw n0,4(sp)",
+            "st.ib n3,1000(n5)",
+            "spill.i ra,20(sp)",
+            "reload.i n4,16(sp)",
+            "enter sp,sp,24",
+            "exit sp,sp,24",
+            "ble.i n4,0,$L56",
+            "bgeu.i n1,n2,$L3",
+            "j $L7",
+            "call pepper",
+            "callr n3",
+            "rjr ra",
+            "epi",
+            "bcopy n0,n1,n2",
+            "bzero n0,n1",
+            "nop",
+            "neg.i n1,n2",
+            "not.i n1,n1",
+            "sext.ib n2,n2",
+        ];
+        for s in samples {
+            let inst = parse_inst(s, 1).unwrap();
+            let op = base_op(&inst);
+            let fs = fields(&inst);
+            let back = rebuild(op, &fs).unwrap();
+            assert_eq!(back, inst, "field roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn inst_encode_decode_roundtrip() {
+        let samples = [
+            "li n3,-77",
+            "li n0,123456",
+            "add.i n0,n4,-1",
+            "sub.i n1,n2,n3",
+            "ld.iw n0,4(sp)",
+            "st.is n3,-300(n5)",
+            "spill.i ra,20(sp)",
+            "enter sp,sp,24",
+            "ble.i n4,0,$L56",
+            "j $L7",
+            "call pepper",
+            "rjr ra",
+            "epi",
+            "nop",
+        ];
+        let symbols = vec!["pepper".to_string()];
+        for s in samples {
+            let inst = parse_inst(s, 1).unwrap();
+            let mut buf = Vec::new();
+            let mut intern = |name: &str| {
+                assert_eq!(name, "pepper");
+                0u16
+            };
+            encode_inst(&inst, &mut intern, &mut buf).unwrap();
+            assert_eq!(buf.len(), inst_size(&inst), "size mismatch for {s}");
+            let mut pos = 0;
+            let back = decode_inst(&buf, &mut pos, &symbols).unwrap();
+            assert_eq!(pos, buf.len());
+            assert_eq!(back, inst, "encode/decode failed for {s}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let text = "\
+.global buf 8 1 2
+.func salt params=2 frame=24 saves=n4
+    enter sp,sp,24
+    spill.i n4,16(sp)
+    spill.i ra,20(sp)
+    mov.i n4,n0
+    ble.i n4,0,$L56
+    mov.i n1,n4
+    call pepper
+$L56:
+    add.i n0,n4,-1
+    reload.i n4,16(sp)
+    reload.i ra,20(sp)
+    exit sp,sp,24
+    rjr ra
+.end
+.func pepper params=2 frame=0
+    add.i n0,n0,n1
+    rjr ra
+.end
+";
+        let p = crate::asm::parse_program(text).unwrap();
+        let bytes = encode_program(&p).unwrap();
+        let back = decode_program(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn label_positions_survive_roundtrip() {
+        let text = "\
+.func f params=0 frame=0
+$L1:
+    nop
+$L2:
+    j $L1
+$L3:
+.end
+";
+        let p = crate::asm::parse_program(text).unwrap();
+        let back = decode_program(&encode_program(&p).unwrap()).unwrap();
+        assert_eq!(back.functions[0].code, p.functions[0].code);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_program(b"").is_err());
+        assert!(decode_program(b"XXXXXX").is_err());
+        let p = crate::asm::parse_program(".func f params=0 frame=0\n    nop\n.end\n").unwrap();
+        let bytes = encode_program(&p).unwrap();
+        assert!(decode_program(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn field_bits() {
+        assert_eq!(Field::Reg(Reg::SP).bits(), 4);
+        assert_eq!(Field::Imm(5).bits(), 8);
+        assert_eq!(Field::Imm(300).bits(), 16);
+        assert_eq!(Field::Imm(1 << 20).bits(), 32);
+        assert_eq!(Field::Target(9).bits(), 16);
+        assert_eq!(Field::Func("f".into()).bits(), 16);
+    }
+}

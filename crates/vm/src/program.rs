@@ -1,0 +1,375 @@
+//! Linked VM programs.
+
+use crate::isa::{FuncRef, Inst, IsaConfig};
+use crate::reg::Reg;
+use crate::VmError;
+use std::collections::HashMap;
+
+/// A global data definition (same shape as the IR's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmGlobal {
+    /// Symbol name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u32,
+    /// Initializer bytes (zero-filled beyond).
+    pub init: Vec<u8>,
+}
+
+/// One compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmFunction {
+    /// Name.
+    pub name: String,
+    /// Declared parameter count.
+    pub param_count: usize,
+    /// Frame size in bytes (what `enter`/`exit`/`epi` use).
+    pub frame_size: u32,
+    /// Callee-saved registers this function spills, in spill order.
+    /// Their conventional slots are `frame_size - 8 - 4*i`; `ra` lives at
+    /// `frame_size - 4`.
+    pub saved_regs: Vec<Reg>,
+    /// Instructions, including `Label` pseudo-instructions.
+    pub code: Vec<Inst>,
+}
+
+impl VmFunction {
+    /// Creates an empty function.
+    pub fn new(name: impl Into<String>, param_count: usize, frame_size: u32) -> Self {
+        Self {
+            name: name.into(),
+            param_count,
+            frame_size,
+            saved_regs: Vec::new(),
+            code: Vec::new(),
+        }
+    }
+
+    /// The conventional frame slot of `ra`.
+    pub fn ra_slot(&self) -> i32 {
+        self.frame_size as i32 - 4
+    }
+
+    /// The conventional frame slot of the `i`-th saved register.
+    pub fn saved_slot(&self, i: usize) -> i32 {
+        self.frame_size as i32 - 8 - 4 * i as i32
+    }
+
+    /// Maps label numbers to instruction indices.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Codegen`] on duplicate labels.
+    pub fn label_map(&self) -> Result<HashMap<u32, usize>, VmError> {
+        let mut map = HashMap::new();
+        for (i, inst) in self.code.iter().enumerate() {
+            if let Inst::Label(l) = inst {
+                if map.insert(*l, i).is_some() {
+                    return Err(VmError::Codegen(format!(
+                        "duplicate label {l} in {}",
+                        self.name
+                    )));
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Real (non-label) instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.code.iter().filter(|i| !i.is_label()).count()
+    }
+
+    /// Checks that all branch targets resolve.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Codegen`] naming the unresolved label.
+    pub fn validate(&self) -> Result<(), VmError> {
+        let labels = self.label_map()?;
+        for inst in &self.code {
+            let target = match inst {
+                Inst::Branch { target, .. }
+                | Inst::BranchImm { target, .. }
+                | Inst::Jump { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if !labels.contains_key(&t) {
+                    return Err(VmError::Codegen(format!(
+                        "unresolved label {t} in {}",
+                        self.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A linked program: globals plus functions, with the ISA configuration
+/// the code was generated under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmProgram {
+    /// Global data.
+    pub globals: Vec<VmGlobal>,
+    /// Functions.
+    pub functions: Vec<VmFunction>,
+    /// The ISA variant in force.
+    pub isa: IsaConfig,
+}
+
+impl VmProgram {
+    /// Creates an empty program under the full ISA.
+    pub fn new() -> Self {
+        Self {
+            globals: Vec::new(),
+            functions: Vec::new(),
+            isa: IsaConfig::full(),
+        }
+    }
+
+    /// Finds a function index by name.
+    pub fn function_index(&self, name: &str) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&VmFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Total real instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(VmFunction::inst_count).sum()
+    }
+
+    /// Validates labels and call targets.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Codegen`] on the first unresolved label or call target
+    /// that is neither a program function nor a host function.
+    pub fn validate(&self) -> Result<(), VmError> {
+        for f in &self.functions {
+            f.validate()?;
+            for inst in &f.code {
+                if let Inst::Call {
+                    target: FuncRef::Symbol(name),
+                } = inst
+                {
+                    if self.function_index(name).is_none()
+                        && !codecomp_ir::eval::HOST_FUNCTIONS.contains(&name.as_str())
+                    {
+                        return Err(VmError::Codegen(format!(
+                            "call to undefined function {name} from {}",
+                            f.name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for VmProgram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A program flattened into one code space, ready for interpretation:
+/// labels resolved to absolute instruction indices and label
+/// pseudo-instructions removed.
+#[derive(Debug, Clone)]
+pub struct FlatProgram {
+    /// All instructions, label-free, with branch/jump targets rewritten
+    /// to absolute indices (in `Branch::target` etc.).
+    pub code: Vec<Inst>,
+    /// Per-function `(start, end)` index ranges, parallel to `functions`.
+    pub ranges: Vec<(usize, usize)>,
+    /// Function metadata (same order as the source program).
+    pub functions: Vec<VmFunction>,
+    /// Globals.
+    pub globals: Vec<VmGlobal>,
+}
+
+impl FlatProgram {
+    /// Flattens and link-resolves a program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors.
+    pub fn link(program: &VmProgram) -> Result<FlatProgram, VmError> {
+        program.validate()?;
+        let mut code = Vec::new();
+        let mut ranges = Vec::new();
+        for f in &program.functions {
+            let start = code.len();
+            // First pass: label → absolute index among non-label insts.
+            let mut labels = HashMap::new();
+            let mut idx = start;
+            for inst in &f.code {
+                match inst {
+                    Inst::Label(l) => {
+                        labels.insert(*l, idx);
+                    }
+                    _ => idx += 1,
+                }
+            }
+            for inst in &f.code {
+                let rewritten = match inst {
+                    Inst::Label(_) => continue,
+                    Inst::Branch {
+                        cond,
+                        rs,
+                        rt,
+                        target,
+                    } => Inst::Branch {
+                        cond: *cond,
+                        rs: *rs,
+                        rt: *rt,
+                        target: labels[target] as u32,
+                    },
+                    Inst::BranchImm {
+                        cond,
+                        rs,
+                        imm,
+                        target,
+                    } => Inst::BranchImm {
+                        cond: *cond,
+                        rs: *rs,
+                        imm: *imm,
+                        target: labels[target] as u32,
+                    },
+                    Inst::Jump { target } => Inst::Jump {
+                        target: labels[target] as u32,
+                    },
+                    other => other.clone(),
+                };
+                code.push(rewritten);
+            }
+            ranges.push((start, code.len()));
+        }
+        Ok(FlatProgram {
+            code,
+            ranges,
+            functions: program.functions.clone(),
+            globals: program.globals.clone(),
+        })
+    }
+
+    /// The function whose code contains absolute index `pc`.
+    pub fn function_at(&self, pc: usize) -> Option<usize> {
+        self.ranges.iter().position(|&(s, e)| pc >= s && pc < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Cond;
+
+    fn branchy_function() -> VmFunction {
+        let mut f = VmFunction::new("f", 0, 8);
+        f.code = vec![
+            Inst::Li {
+                rd: Reg::new(0),
+                imm: 0,
+            },
+            Inst::Label(1),
+            Inst::BranchImm {
+                cond: Cond::Ge,
+                rs: Reg::new(0),
+                imm: 5,
+                target: 2,
+            },
+            Inst::AluImm {
+                op: crate::isa::AluOp::Add,
+                rd: Reg::new(0),
+                rs: Reg::new(0),
+                imm: 1,
+            },
+            Inst::Jump { target: 1 },
+            Inst::Label(2),
+            Inst::Rjr { rs: Reg::RA },
+        ];
+        f
+    }
+
+    #[test]
+    fn label_map_and_counts() {
+        let f = branchy_function();
+        let map = f.label_map().unwrap();
+        assert_eq!(map[&1], 1);
+        assert_eq!(map[&2], 5);
+        assert_eq!(f.inst_count(), 5);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut f = VmFunction::new("f", 0, 0);
+        f.code = vec![Inst::Label(1), Inst::Label(1)];
+        assert!(f.label_map().is_err());
+    }
+
+    #[test]
+    fn unresolved_target_rejected() {
+        let mut f = VmFunction::new("f", 0, 0);
+        f.code = vec![Inst::Jump { target: 9 }];
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn frame_slots() {
+        let mut f = VmFunction::new("f", 0, 24);
+        f.saved_regs = vec![Reg::new(4)];
+        assert_eq!(f.ra_slot(), 20);
+        assert_eq!(f.saved_slot(0), 16);
+    }
+
+    #[test]
+    fn link_rewrites_targets_to_absolute_indices() {
+        let mut p = VmProgram::new();
+        p.functions.push(branchy_function());
+        p.functions.push({
+            let mut g = VmFunction::new("g", 0, 0);
+            g.code = vec![Inst::Label(1), Inst::Jump { target: 1 }];
+            g
+        });
+        let flat = FlatProgram::link(&p).unwrap();
+        assert_eq!(flat.ranges[0], (0, 5));
+        assert_eq!(flat.ranges[1], (5, 6));
+        // f's loop jump goes to absolute index 1.
+        assert_eq!(flat.code[3], Inst::Jump { target: 1 });
+        // g's self-loop goes to absolute index 5, not 0.
+        assert_eq!(flat.code[5], Inst::Jump { target: 5 });
+        assert_eq!(flat.function_at(2), Some(0));
+        assert_eq!(flat.function_at(5), Some(1));
+        assert_eq!(flat.function_at(6), None);
+    }
+
+    #[test]
+    fn undefined_call_target_rejected() {
+        let mut p = VmProgram::new();
+        let mut f = VmFunction::new("f", 0, 0);
+        f.code = vec![Inst::Call {
+            target: FuncRef::Symbol("nowhere".into()),
+        }];
+        p.functions.push(f);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn host_calls_are_valid_targets() {
+        let mut p = VmProgram::new();
+        let mut f = VmFunction::new("f", 0, 0);
+        f.code = vec![Inst::Call {
+            target: FuncRef::Symbol("print_int".into()),
+        }];
+        p.functions.push(f);
+        assert!(p.validate().is_ok());
+    }
+}

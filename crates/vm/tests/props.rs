@@ -1,0 +1,156 @@
+//! Property tests: random instructions survive the assembly and binary
+//! representations; the encoders never panic on arbitrary bytes.
+
+use codecomp_vm::asm::{parse_inst, parse_program};
+use codecomp_vm::encode::{base_op, decode_inst, encode_inst, fields, inst_size, rebuild};
+use codecomp_vm::isa::{AluOp, Cond, FuncRef, Inst, MemWidth};
+use codecomp_vm::reg::Reg;
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+fn mem_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::Byte),
+        Just(MemWidth::Short),
+        Just(MemWidth::Word)
+    ]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+/// Any encodable instruction (labels excluded).
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+        (reg(), reg()).prop_map(|(rd, rs)| Inst::Mov { rd, rs }),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs, rt)| Inst::Alu { op, rd, rs, rt }),
+        (alu_op(), reg(), reg(), any::<i32>()).prop_map(|(op, rd, rs, imm)| Inst::AluImm {
+            op,
+            rd,
+            rs,
+            imm
+        }),
+        (reg(), reg()).prop_map(|(rd, rs)| Inst::Neg { rd, rs }),
+        (reg(), reg()).prop_map(|(rd, rs)| Inst::Not { rd, rs }),
+        (
+            prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Short)],
+            reg(),
+            reg()
+        )
+            .prop_map(|(width, rd, rs)| Inst::Sext { width, rd, rs }),
+        (mem_width(), reg(), any::<i32>(), reg()).prop_map(|(width, rd, off, base)| Inst::Load {
+            width,
+            rd,
+            off,
+            base
+        }),
+        (mem_width(), reg(), any::<i32>(), reg()).prop_map(|(width, rs, off, base)| Inst::Store {
+            width,
+            rs,
+            off,
+            base
+        }),
+        (reg(), -4096i32..4096).prop_map(|(rs, off)| Inst::Spill { rs, off }),
+        (reg(), -4096i32..4096).prop_map(|(rd, off)| Inst::Reload { rd, off }),
+        (0i32..100_000).prop_map(|amount| Inst::Enter { amount }),
+        (0i32..100_000).prop_map(|amount| Inst::Exit { amount }),
+        (cond(), reg(), reg(), 0u32..1000).prop_map(|(cond, rs, rt, target)| Inst::Branch {
+            cond,
+            rs,
+            rt,
+            target
+        }),
+        (cond(), reg(), any::<i32>(), 0u32..1000).prop_map(|(cond, rs, imm, target)| {
+            Inst::BranchImm {
+                cond,
+                rs,
+                imm,
+                target,
+            }
+        }),
+        (0u32..1000).prop_map(|target| Inst::Jump { target }),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|name| Inst::Call {
+            target: FuncRef::Symbol(name)
+        }),
+        reg().prop_map(|rs| Inst::CallR { rs }),
+        reg().prop_map(|rs| Inst::Rjr { rs }),
+        Just(Inst::Epi),
+        Just(Inst::Nop),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rn)| Inst::Bcopy { rd, rs, rn }),
+        (reg(), reg()).prop_map(|(rd, rn)| Inst::Bzero { rd, rn }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn asm_text_roundtrip(i in inst()) {
+        let text = i.to_string();
+        let back = parse_inst(&text, 1).unwrap();
+        prop_assert_eq!(back, i);
+    }
+
+    #[test]
+    fn binary_roundtrip(insts in prop::collection::vec(inst(), 1..32)) {
+        let mut symbols: Vec<String> = Vec::new();
+        let mut buf = Vec::new();
+        for i in &insts {
+            let mut intern = |name: &str| -> u16 {
+                if let Some(p) = symbols.iter().position(|s| s == name) {
+                    return p as u16;
+                }
+                symbols.push(name.to_string());
+                symbols.len() as u16 - 1
+            };
+            encode_inst(i, &mut intern, &mut buf).unwrap();
+        }
+        let mut pos = 0;
+        for i in &insts {
+            let back = decode_inst(&buf, &mut pos, &symbols).unwrap();
+            prop_assert_eq!(&back, i);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn size_matches_encoding(i in inst()) {
+        let mut buf = Vec::new();
+        let mut intern = |_: &str| 0u16;
+        encode_inst(&i, &mut intern, &mut buf).unwrap();
+        prop_assert_eq!(buf.len(), inst_size(&i));
+    }
+
+    #[test]
+    fn field_view_roundtrip(i in inst()) {
+        let op = base_op(&i);
+        let fs = fields(&i);
+        prop_assert_eq!(rebuild(op, &fs).unwrap(), i);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let symbols = vec!["f".to_string()];
+        let mut pos = 0;
+        while pos < bytes.len() {
+            if decode_inst(&bytes, &mut pos, &symbols).is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn asm_parser_never_panics(text in "[a-z0-9.,() $L-]{0,40}") {
+        let _ = parse_inst(&text, 1);
+        let _ = parse_program(&text);
+    }
+}

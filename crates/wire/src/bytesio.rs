@@ -1,0 +1,203 @@
+//! Byte-level helpers: LEB128 varints, zigzag, length-prefixed strings.
+
+use crate::WireError;
+
+/// Appends an unsigned LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-encoded signed varint.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_uvarint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Corrupt`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| WireError::Corrupt("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Corrupt`] at end of input.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| WireError::Corrupt("unexpected end of input".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads an unsigned varint.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Corrupt`] on truncation or overlong encodings.
+    pub fn uvarint(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 63 && b > 1 {
+                return Err(WireError::Corrupt("varint overflow".into()));
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cursor::uvarint`].
+    pub fn ivarint(&mut self) -> Result<i64, WireError> {
+        let u = self.uvarint()?;
+        Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
+    }
+
+    /// Reads a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Corrupt`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.uvarint()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Corrupt("string is not UTF-8".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip() {
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &values {
+            assert_eq!(c.uvarint().unwrap(), v);
+        }
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        let values = [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            64,
+            300,
+            -300,
+            i32::MAX as i64,
+            i64::MIN,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            put_ivarint(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &values {
+            assert_eq!(c.ivarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        put_ivarint(&mut buf, -50);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn strings_roundtrip() {
+        let mut buf = Vec::new();
+        put_string(&mut buf, "pepper");
+        put_string(&mut buf, "");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.string().unwrap(), "pepper");
+        assert_eq!(c.string().unwrap(), "");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1 << 20);
+        let mut c = Cursor::new(&buf[..1]);
+        assert!(c.uvarint().is_err());
+        let mut c = Cursor::new(&[]);
+        assert!(c.u8().is_err());
+        assert!(Cursor::new(&[5, b'a']).string().is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! The wire format (paper §3).
+//!
+//! "Compile the input program into trees, patternize out all literals,
+//! form one stream for all patterns and one containing the literal
+//! operands associated with each opcode or class of related opcodes,
+//! MTF-code each stream, Huffman-code all MTF indices but no MTF tables,
+//! and gzip the resulting streams in isolation."
+//!
+//! [`compress`] runs that exact pipeline over an IR [`codecomp_ir::Module`];
+//! [`decompress`] inverts it bit-exactly. [`WireOptions`] exposes each
+//! stage as a knob for the §2 design-space ablations: stream splitting
+//! on/off, MTF on/off, Huffman vs adaptive-arithmetic vs raw index
+//! coding, and the final DEFLATE stage on/off — every combination
+//! round-trips.
+//!
+//! # Examples
+//!
+//! ```
+//! use codecomp_front::compile;
+//! use codecomp_wire::{compress, decompress, WireOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = compile("int main() { int i; int s = 0; for (i = 0; i < 9; i++) s += i; return s; }")?;
+//! let packed = compress(&module, WireOptions::default())?;
+//! let back = decompress(&packed.bytes)?;
+//! assert_eq!(back, module);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bytesio;
+pub mod demand;
+mod format;
+
+pub use demand::DemandImage;
+pub use format::{compress, decompress, Coder, WireOptions, WireReport};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from wire-format compression or decompression.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The compressed image is malformed.
+    Corrupt(String),
+    /// A lower layer failed.
+    Layer(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Corrupt(m) => write!(f, "corrupt wire image: {m}"),
+            WireError::Layer(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl From<codecomp_flate::FlateError> for WireError {
+    fn from(e: codecomp_flate::FlateError) -> Self {
+        WireError::Layer(format!("deflate: {e}"))
+    }
+}
+
+impl From<codecomp_coding::CodingError> for WireError {
+    fn from(e: codecomp_coding::CodingError) -> Self {
+        WireError::Layer(format!("coding: {e}"))
+    }
+}
+
+impl From<codecomp_core::CoreError> for WireError {
+    fn from(e: codecomp_core::CoreError) -> Self {
+        WireError::Layer(format!("streams: {e}"))
+    }
+}
+
+impl From<codecomp_ir::IrError> for WireError {
+    fn from(e: codecomp_ir::IrError) -> Self {
+        WireError::Layer(format!("ir: {e}"))
+    }
+}

@@ -1,0 +1,125 @@
+//! Mobile-code delivery: the paper's introduction scenario.
+//!
+//! Compresses a corpus program every way the paper considers, then asks,
+//! per channel: which representation gets the workload *finished* first?
+//! ("Computer programs are delivered to the CPU via networks, disks, and
+//! caches, all of which can be bottlenecks.")
+//!
+//! Run with `cargo run --example code_delivery [program]`.
+
+use code_compression::brisc::{compress as brisc_compress, BriscOptions};
+use code_compression::corpus::{benchmark, benchmarks};
+use code_compression::flate::{gzip_compress, CompressionLevel};
+use code_compression::memsim::{total_time, Channel, CpuModel, DeliveryPlan, Overlap};
+use code_compression::vm::codegen::compile_module;
+use code_compression::vm::isa::IsaConfig;
+use code_compression::vm::native::X86Encoder;
+use code_compression::wire::{compress as wire_compress, DemandImage, WireOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sortlib".to_string());
+    let Some(bench) = benchmark(&name) else {
+        eprintln!(
+            "unknown program {name:?}; available: {}",
+            benchmarks()
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+    println!("program: {} — {}", bench.name, bench.description);
+
+    let ir = bench.compile()?;
+    let vm = compile_module(&ir, IsaConfig::full())?;
+    let mut enc = X86Encoder::new();
+    enc.emit_program(&vm);
+    let native = enc.into_bytes();
+    let gzip = gzip_compress(&native, CompressionLevel::Best);
+    let wire = wire_compress(&ir, WireOptions::default())?;
+    let brisc = brisc_compress(&vm, BriscOptions::default())?;
+
+    println!("\nsizes:");
+    println!("  native (x86-64):   {:>7} bytes", native.len());
+    println!("  gzip(native):      {:>7} bytes", gzip.len());
+    println!("  wire format:       {:>7} bytes", wire.total());
+    println!(
+        "  brisc image:       {:>7} bytes",
+        brisc.image.total_bytes()
+    );
+    println!("  brisc code alone:  {:>7} bytes", brisc.image.code_size());
+
+    // A hypothetical one-second workload on a period machine.
+    let cpu = CpuModel::pentium_like(1.0);
+    let plans = [
+        (
+            "native",
+            DeliveryPlan::Native {
+                bytes: native.len(),
+            },
+        ),
+        (
+            "gzip+native",
+            DeliveryPlan::CompressedNative {
+                compressed: gzip.len(),
+                native: native.len(),
+            },
+        ),
+        (
+            "wire+jit",
+            DeliveryPlan::Wire {
+                compressed: wire.total(),
+                native: native.len(),
+            },
+        ),
+        (
+            "brisc+jit",
+            DeliveryPlan::BriscJit {
+                compressed: brisc.image.total_bytes(),
+                native: native.len(),
+            },
+        ),
+        (
+            "brisc interp",
+            DeliveryPlan::BriscInterp {
+                compressed: brisc.image.total_bytes(),
+            },
+        ),
+    ];
+    let channels = [
+        ("28.8k modem", Channel::modem_28k8()),
+        ("10 Mbit LAN", Channel::lan_10mbit()),
+        ("disk", Channel::disk()),
+    ];
+    println!("\ntotal time to finish a 1s workload (delivery can mask translation):");
+    for (cname, ch) in &channels {
+        println!("  over {cname}:");
+        let mut best = ("", f64::INFINITY);
+        for (pname, plan) in &plans {
+            let t = total_time(plan, ch, &cpu, Overlap::Pipelined);
+            if t < best.1 {
+                best = (pname, t);
+            }
+            println!("    {pname:>12}: {t:8.2}s");
+        }
+        println!("    winner: {}", best.0);
+    }
+
+    // Function-at-a-time delivery (§2: "decompressing a function at a
+    // time"): a run that only touches part of the program only pays for
+    // the functions it calls.
+    let demand = DemandImage::build(&ir, WireOptions::default())?;
+    let all = demand.total_units();
+    let called: Vec<&str> = demand.names().take(2).collect();
+    let partial = demand.demand_bytes(called.iter().copied());
+    println!(
+        "\ndemand loading: whole program {all} B as per-function units; \
+         a run calling only {:?} transfers {partial} B ({:.0}%)",
+        called,
+        100.0 * partial as f64 / all as f64
+    );
+    Ok(())
+}

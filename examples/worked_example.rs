@@ -1,0 +1,105 @@
+//! The paper's worked example, §3 and §4: the `salt`/`pepper` program,
+//! followed from C source through IR trees, patternization, the MTF
+//! streams, OmniVM code, and BRISC compression.
+//!
+//! Run with `cargo run --example worked_example`.
+
+use code_compression::brisc::{compress as brisc_compress, BriscOptions};
+use code_compression::coding::mtf::mtf_encode;
+use code_compression::core::streams::SplitStreams;
+use code_compression::core::treepat::TreePattern;
+use code_compression::front::compile;
+use code_compression::ir::Literal;
+use code_compression::vm::codegen::compile_module;
+use code_compression::vm::isa::IsaConfig;
+
+const SOURCE: &str = r#"
+int pepper(int a, int b) { return a + b; }
+
+int salt(int j, int i) {
+    if (j > 0) {
+        pepper(i, j);
+        j--;
+    }
+    return j;
+}
+
+int main() { return salt(3, 9); }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== step 1 (paper §3): compile the input program into trees ==\n");
+    let ir = compile(SOURCE)?;
+    let salt = ir.function("salt").expect("salt exists");
+    for stmt in &salt.body {
+        println!("  {stmt}");
+    }
+
+    println!("\n== step 2: patternize and form streams ==\n");
+    let split = SplitStreams::split(&salt.body);
+    println!(
+        "operator-pattern stream ({} patterns):",
+        split.patterns.len()
+    );
+    for stmt in &salt.body {
+        println!("  {}", TreePattern::of(stmt));
+    }
+    println!("\nliteral streams:");
+    for (key, lits) in &split.literals {
+        let rendered: Vec<String> = lits.iter().map(Literal::to_string).collect();
+        println!("  {key:>8}: [{}]", rendered.join(" "));
+    }
+
+    println!("\n== step 3: move-to-front code each stream in isolation ==\n");
+    for (key, lits) in &split.literals {
+        let enc = mtf_encode(lits);
+        println!(
+            "  {key:>8}: {:?} (0 denotes a symbol not seen previously)",
+            enc.indices
+        );
+    }
+
+    println!("\n== §4: the OmniVM register code for salt ==\n");
+    let vm = compile_module(&ir, IsaConfig::full())?;
+    let vm_salt = vm.function("salt").expect("salt exists");
+    for inst in &vm_salt.code {
+        if inst.is_label() {
+            println!("{inst}");
+        } else {
+            println!("    {inst}");
+        }
+    }
+    let input_bytes: usize = vm_salt
+        .code
+        .iter()
+        .map(code_compression::vm::encode::inst_size)
+        .sum();
+    println!("\nbase (quantized) encoding of salt: {input_bytes} bytes");
+
+    println!("\n== BRISC compression ==\n");
+    let report = brisc_compress(&vm, BriscOptions::default())?;
+    println!(
+        "whole program: {} VM bytes -> {} compressed code bytes",
+        report.input_bytes,
+        report.image.code_size(),
+    );
+    println!(
+        "dictionary: {} entries ({} base + {} discovered), {} candidates tested, {} passes",
+        report.dictionary_entries,
+        report.base_entries,
+        report.dictionary_entries - report.base_entries,
+        report.candidates_tested,
+        report.passes,
+    );
+    println!("\ndiscovered dictionary entries (specialized/combined patterns):");
+    for e in report.image.dictionary.iter().skip(report.base_entries) {
+        println!("  {e}");
+    }
+    println!(
+        "\nthe paper's example compresses its 60-byte salt to 17 bytes using a \
+         dictionary trained on gcc; small inputs cannot amortize their own \
+         dictionary, which is why the cost metric rejects most candidates here \
+         (B = P - W with W the native-expansion table cost)."
+    );
+    Ok(())
+}

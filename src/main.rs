@@ -1,0 +1,352 @@
+//! `codecomp` — the command-line face of the code-compression toolkit.
+//!
+//! ```text
+//! codecomp compile <src.c> [-o out.ccir]     compile mini-C to binary IR
+//! codecomp dis <src.c|.ccir>                 show the OmniVM assembly
+//! codecomp run <file> [--tier T] [-- args]   execute (ir|vm|brisc|jit)
+//! codecomp wire pack <src.c|.ccir> [-o F]    produce a wire image (.ccwf)
+//! codecomp wire unpack <in.ccwf> [-o F]      recover the binary IR
+//! codecomp wire info <in.ccwf>               per-section byte accounting
+//! codecomp brisc pack <src.c|.ccir> [-o F]   produce a BRISC image (.ccbr)
+//! codecomp brisc run <in.ccbr> [-- args]     interpret the image in place
+//! codecomp brisc info <in.ccbr>              dictionary / model statistics
+//! ```
+
+use code_compression::brisc::interp::BriscMachine;
+use code_compression::brisc::translate::translate;
+use code_compression::brisc::{compress as brisc_compress, BriscImage, BriscOptions};
+use code_compression::front::compile;
+use code_compression::ir::binary::{decode_module, encode_module};
+use code_compression::ir::eval::Evaluator;
+use code_compression::ir::Module;
+use code_compression::vm::codegen::compile_module;
+use code_compression::vm::interp::Machine;
+use code_compression::vm::isa::IsaConfig;
+use code_compression::wire::{compress as wire_compress, decompress, WireOptions};
+use std::process::ExitCode;
+
+const MEM: u32 = 1 << 24;
+const FUEL: u64 = 1 << 40;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("codecomp: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn dispatch(args: &[String]) -> Result<ExitCode, AnyError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("dis") => cmd_dis(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("wire") => match it.next() {
+            Some("pack") => cmd_wire_pack(&args[2..]),
+            Some("unpack") => cmd_wire_unpack(&args[2..]),
+            Some("info") => cmd_wire_info(&args[2..]),
+            _ => usage(),
+        },
+        Some("brisc") => match it.next() {
+            Some("pack") => cmd_brisc_pack(&args[2..]),
+            Some("run") => cmd_brisc_run(&args[2..]),
+            Some("info") => cmd_brisc_info(&args[2..]),
+            _ => usage(),
+        },
+        Some("help") | Some("--help") | Some("-h") | None => usage(),
+        Some(other) => Err(format!("unknown command {other:?} (try `codecomp help`)").into()),
+    }
+}
+
+fn usage() -> Result<ExitCode, AnyError> {
+    eprintln!(
+        "usage:
+  codecomp compile <src.c> [-o out.ccir]
+  codecomp dis <src.c|.ccir>
+  codecomp run <src.c|.ccir|.ccwf|.ccbr> [--tier ir|vm|brisc|jit] [-- args...]
+  codecomp wire pack <src.c|.ccir> [-o out.ccwf]
+  codecomp wire unpack <in.ccwf> [-o out.ccir]
+  codecomp wire info <in.ccwf>
+  codecomp brisc pack <src.c|.ccir> [-o out.ccbr]
+  codecomp brisc run <in.ccbr> [-- args...]
+  codecomp brisc info <in.ccbr>"
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+/// Splits `args` into (positional, -o value, --tier value, trailing args).
+struct Parsed<'a> {
+    positional: Vec<&'a str>,
+    output: Option<&'a str>,
+    tier: Option<&'a str>,
+    trailing: Vec<i64>,
+}
+
+fn parse(args: &[String]) -> Result<Parsed<'_>, AnyError> {
+    let mut p = Parsed {
+        positional: Vec::new(),
+        output: None,
+        tier: None,
+        trailing: Vec::new(),
+    };
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(a) = it.next() {
+        match a {
+            "-o" => p.output = Some(it.next().ok_or("-o needs a path")?),
+            "--tier" => p.tier = Some(it.next().ok_or("--tier needs a value")?),
+            "--" => {
+                for t in it.by_ref() {
+                    p.trailing.push(
+                        t.parse::<i64>().map_err(|_| {
+                            format!("program arguments must be integers, got {t:?}")
+                        })?,
+                    );
+                }
+            }
+            other => p.positional.push(other),
+        }
+    }
+    Ok(p)
+}
+
+/// Loads a module from a `.c` source or `.ccir` binary file.
+fn load_module(path: &str) -> Result<Module, AnyError> {
+    if path.ends_with(".ccir") {
+        let bytes = std::fs::read(path)?;
+        return Ok(decode_module(&bytes)?);
+    }
+    let source = std::fs::read_to_string(path)?;
+    Ok(compile(&source)?)
+}
+
+fn write_output(path: &str, bytes: &[u8], kind: &str) -> Result<(), AnyError> {
+    std::fs::write(path, bytes)?;
+    println!("wrote {kind}: {path} ({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn replace_ext(path: &str, ext: &str) -> String {
+    let stem = path.rsplit_once('.').map_or(path, |(s, _)| s);
+    format!("{stem}.{ext}")
+}
+
+fn cmd_compile(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let module = load_module(input)?;
+    let bytes = encode_module(&module)?;
+    let out = p
+        .output
+        .map(str::to_string)
+        .unwrap_or_else(|| replace_ext(input, "ccir"));
+    write_output(&out, &bytes, "binary IR")?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_dis(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let module = load_module(input)?;
+    let vm = compile_module(&module, IsaConfig::full())?;
+    // Tolerate a closed pipe (`codecomp dis … | head`).
+    use std::io::Write;
+    let _ = write!(std::io::stdout(), "{vm}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let tier = p.tier.unwrap_or("vm");
+
+    // Compressed images run directly.
+    if input.ends_with(".ccbr") {
+        return run_brisc_image(input, &p.trailing);
+    }
+    if input.ends_with(".ccwf") {
+        let bytes = std::fs::read(input)?;
+        let module = decompress(&bytes)?;
+        return finish(run_module(&module, tier, &p.trailing)?);
+    }
+    let module = load_module(input)?;
+    finish(run_module(&module, tier, &p.trailing)?)
+}
+
+/// Runs a module under the requested tier; returns (value, output).
+fn run_module(module: &Module, tier: &str, args: &[i64]) -> Result<(i64, Vec<u8>), AnyError> {
+    match tier {
+        "ir" => {
+            let out = Evaluator::new(module, MEM, FUEL)?.run("main", args)?;
+            Ok((out.value, out.output))
+        }
+        "vm" => {
+            let vm = compile_module(module, IsaConfig::full())?;
+            let out = Machine::new(&vm, MEM, FUEL)?.run("main", args)?;
+            Ok((out.value, out.output))
+        }
+        "brisc" => {
+            let vm = compile_module(module, IsaConfig::full())?;
+            let report = brisc_compress(&vm, BriscOptions::default())?;
+            let out = BriscMachine::new(&report.image, MEM, FUEL)?.run("main", args)?;
+            Ok((out.value, out.output))
+        }
+        "jit" => {
+            let vm = compile_module(module, IsaConfig::full())?;
+            let report = brisc_compress(&vm, BriscOptions::default())?;
+            let fast = translate(&report.image)?;
+            let out = Machine::new(&fast, MEM, FUEL)?.run("main", args)?;
+            Ok((out.value, out.output))
+        }
+        other => Err(format!("unknown tier {other:?} (ir|vm|brisc|jit)").into()),
+    }
+}
+
+fn finish((value, output): (i64, Vec<u8>)) -> Result<ExitCode, AnyError> {
+    print!("{}", String::from_utf8_lossy(&output));
+    println!("=> {value}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_wire_pack(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let module = load_module(input)?;
+    let packed = wire_compress(&module, WireOptions::default())?;
+    let raw = encode_module(&module)?;
+    let out = p
+        .output
+        .map(str::to_string)
+        .unwrap_or_else(|| replace_ext(input, "ccwf"));
+    write_output(&out, &packed.bytes, "wire image")?;
+    println!(
+        "uncompressed tree code: {} bytes ({:.2}x)",
+        raw.len(),
+        raw.len() as f64 / packed.total() as f64
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_wire_unpack(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let bytes = std::fs::read(input)?;
+    let module = decompress(&bytes)?;
+    let out = p
+        .output
+        .map(str::to_string)
+        .unwrap_or_else(|| replace_ext(input, "ccir"));
+    write_output(&out, &encode_module(&module)?, "binary IR")?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_wire_info(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let bytes = std::fs::read(input)?;
+    let module = decompress(&bytes)?;
+    // Re-compress to recover the section accounting.
+    let packed = wire_compress(&module, WireOptions::default())?;
+    println!(
+        "wire image: {} bytes, {} functions",
+        packed.total(),
+        module.functions.len()
+    );
+    for (key, size) in &packed.sections {
+        println!("  {key:>12}: {size} bytes");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_brisc_pack(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let module = load_module(input)?;
+    let vm = compile_module(&module, IsaConfig::full())?;
+    let report = brisc_compress(&vm, BriscOptions::default())?;
+    let out = p
+        .output
+        .map(str::to_string)
+        .unwrap_or_else(|| replace_ext(input, "ccbr"));
+    write_output(&out, &report.image.to_bytes(), "brisc image")?;
+    println!(
+        "code: {} bytes from {} VM bytes; dictionary {} entries ({} passes)",
+        report.image.code_size(),
+        report.input_bytes,
+        report.dictionary_entries,
+        report.passes
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_brisc_image(path: &str, args: &[i64]) -> Result<ExitCode, AnyError> {
+    let bytes = std::fs::read(path)?;
+    let image = BriscImage::from_bytes(&bytes)?;
+    let mut machine = BriscMachine::new(&image, MEM, FUEL)?;
+    let out = machine.run("main", args)?;
+    print!("{}", String::from_utf8_lossy(&out.output));
+    println!("=> {}", out.value);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_brisc_run(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    run_brisc_image(input, &p.trailing)
+}
+
+fn cmd_brisc_info(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    let [input] = p.positional[..] else {
+        return usage();
+    };
+    let bytes = std::fs::read(input)?;
+    let image = BriscImage::from_bytes(&bytes)?;
+    println!(
+        "brisc image: {} bytes total, {} code bytes",
+        bytes.len(),
+        image.code_size()
+    );
+    println!(
+        "dictionary: {} entries; markov: {} contexts, max {} successors; order-{}",
+        image.dictionary.len(),
+        image.markov.context_count(),
+        image.markov.max_successors(),
+        if image.order0 { 0 } else { 1 },
+    );
+    println!("functions:");
+    for f in &image.functions {
+        println!(
+            "  {:>16}: {} bytes at {:#06x}, frame {}, {} saved regs",
+            f.name,
+            f.len,
+            f.start,
+            f.frame_size,
+            f.saved_regs.len()
+        );
+    }
+    let combined = image.dictionary.iter().filter(|e| e.len() > 1).count();
+    println!("combined patterns: {combined}");
+    Ok(ExitCode::SUCCESS)
+}

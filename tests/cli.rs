@@ -1,0 +1,122 @@
+//! End-to-end tests of the `codecomp` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const SOURCE: &str = "
+int twice(int x) { return x * 2; }
+int main() { print_int(twice(21)); return twice(21); }
+";
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_code-compression")
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("codecomp-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run(args: &[&str], cwd: &PathBuf) -> (String, String, bool) {
+    let out = Command::new(bin())
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn codecomp");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn full_cli_pipeline() {
+    let dir = workdir();
+    std::fs::write(dir.join("demo.c"), SOURCE).unwrap();
+
+    // compile -> .ccir
+    let (stdout, _, ok) = run(&["compile", "demo.c"], &dir);
+    assert!(ok, "compile failed: {stdout}");
+    assert!(dir.join("demo.ccir").exists());
+
+    // run each tier from source and from binary IR.
+    for tier in ["ir", "vm", "brisc", "jit"] {
+        let (stdout, stderr, ok) = run(&["run", "demo.c", "--tier", tier], &dir);
+        assert!(ok, "tier {tier} failed: {stderr}");
+        assert!(stdout.contains("42\n=> 42"), "tier {tier} output: {stdout}");
+    }
+    let (stdout, _, ok) = run(&["run", "demo.ccir"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("=> 42"));
+
+    // wire pack / info / unpack / run.
+    let (_, stderr, ok) = run(&["wire", "pack", "demo.c"], &dir);
+    assert!(ok, "wire pack failed: {stderr}");
+    let (stdout, _, ok) = run(&["wire", "info", "demo.ccwf"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("$patterns"), "info: {stdout}");
+    let (_, _, ok) = run(&["wire", "unpack", "demo.ccwf", "-o", "back.ccir"], &dir);
+    assert!(ok);
+    let (stdout, _, ok) = run(&["run", "back.ccir"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("=> 42"));
+    let (stdout, _, ok) = run(&["run", "demo.ccwf"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("=> 42"));
+
+    // brisc pack / info / run.
+    let (_, stderr, ok) = run(&["brisc", "pack", "demo.c"], &dir);
+    assert!(ok, "brisc pack failed: {stderr}");
+    let (stdout, _, ok) = run(&["brisc", "info", "demo.ccbr"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("dictionary"), "info: {stdout}");
+    let (stdout, _, ok) = run(&["brisc", "run", "demo.ccbr"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("42\n=> 42"), "brisc run: {stdout}");
+
+    // dis shows assembly.
+    let (stdout, _, ok) = run(&["dis", "demo.c"], &dir);
+    assert!(ok);
+    assert!(stdout.contains(".func main"), "dis: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_errors_are_reported() {
+    let dir = workdir();
+    std::fs::write(dir.join("bad.c"), "int main() { return nope(; }").unwrap();
+    let (_, stderr, ok) = run(&["run", "bad.c"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("codecomp:"), "stderr: {stderr}");
+
+    let (_, _, ok) = run(&["frobnicate"], &dir);
+    assert!(!ok);
+
+    let (_, stderr, ok) = run(&["run", "missing.c"], &dir);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+
+    let (_, _, ok) = run(&["run", "bad.c", "--tier", "warp"], &dir);
+    assert!(!ok);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_program_arguments() {
+    let dir = workdir();
+    std::fs::write(
+        dir.join("args.c"),
+        "int main(int a, int b) { return a * b; }",
+    )
+    .unwrap();
+    let (stdout, _, ok) = run(&["run", "args.c", "--", "6", "7"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("=> 42"), "{stdout}");
+    let (_, stderr, ok) = run(&["run", "args.c", "--", "six"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("integers"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,81 @@
+//! Workspace-level property tests: random programs from the synthetic
+//! generator survive the entire pipeline with exact agreement.
+
+use code_compression::brisc::interp::BriscMachine;
+use code_compression::brisc::{compress as brisc_compress, BriscOptions};
+use code_compression::corpus::{synthetic, SynthConfig};
+use code_compression::front::compile;
+use code_compression::ir::eval::Evaluator;
+use code_compression::vm::codegen::compile_module;
+use code_compression::vm::interp::Machine;
+use code_compression::vm::isa::IsaConfig;
+use code_compression::wire::{compress as wire_compress, decompress, WireOptions};
+use proptest::prelude::*;
+
+const MEM: u32 = 1 << 22;
+const FUEL: u64 = 1 << 26;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any generated program: IR evaluator, VM interpreter, and BRISC
+    /// in-place interpreter agree exactly.
+    #[test]
+    fn generated_programs_agree_across_tiers(seed in 0u64..10_000) {
+        let src = synthetic(
+            seed,
+            SynthConfig { functions: 10, statements_per_function: 6, globals: 4 },
+        );
+        let ir = compile(&src).expect("generated programs compile");
+        let reference = Evaluator::new(&ir, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let vm_out = Machine::new(&vm, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+        prop_assert_eq!(vm_out.value, reference.value);
+
+        let report = brisc_compress(&vm, BriscOptions::default()).unwrap();
+        let out = BriscMachine::new(&report.image, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+        prop_assert_eq!(out.value, reference.value);
+    }
+
+    /// Any generated program round-trips through the wire format under
+    /// randomized pipeline options.
+    #[test]
+    fn generated_programs_wire_roundtrip(
+        seed in 0u64..10_000,
+        split in any::<bool>(),
+        mtf in any::<bool>(),
+        coder_sel in 0u8..3,
+        deflate in any::<bool>(),
+    ) {
+        let src = synthetic(
+            seed,
+            SynthConfig { functions: 6, statements_per_function: 5, globals: 3 },
+        );
+        let ir = compile(&src).expect("generated programs compile");
+        let coder = match coder_sel {
+            0 => code_compression::wire::Coder::Raw,
+            1 => code_compression::wire::Coder::Huffman,
+            _ => code_compression::wire::Coder::Arithmetic,
+        };
+        let options = WireOptions { split_streams: split, mtf, coder, deflate };
+        let packed = wire_compress(&ir, options).unwrap();
+        prop_assert_eq!(decompress(&packed.bytes).unwrap(), ir);
+    }
+
+    /// De-tuned ISA variants compute the same values.
+    #[test]
+    fn generated_programs_agree_across_isa_variants(seed in 0u64..10_000) {
+        let src = synthetic(
+            seed,
+            SynthConfig { functions: 6, statements_per_function: 5, globals: 3 },
+        );
+        let ir = compile(&src).expect("generated programs compile");
+        let reference = Evaluator::new(&ir, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+        for (_, isa) in IsaConfig::variants() {
+            let vm = compile_module(&ir, isa).unwrap();
+            let out = Machine::new(&vm, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+            prop_assert_eq!(out.value, reference.value);
+        }
+    }
+}
