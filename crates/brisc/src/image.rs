@@ -112,9 +112,10 @@ impl BriscImage {
 
     /// The function whose code contains global offset `pos`.
     pub fn function_at(&self, pos: usize) -> Option<usize> {
+        let pos = pos as u64;
         self.functions
             .iter()
-            .position(|f| pos >= f.start as usize && pos < (f.start + f.len) as usize)
+            .position(|f| pos >= u64::from(f.start) && pos < u64::from(f.start) + u64::from(f.len))
     }
 
     /// Finds a function index by name.
@@ -419,6 +420,13 @@ struct Rd<'a> {
 }
 
 impl<'a> Rd<'a> {
+    /// Bytes left to read; bounds `with_capacity` pre-allocation so a
+    /// forged count cannot request more memory than the input could
+    /// possibly describe.
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
     fn u8(&mut self) -> Result<u8, BriscError> {
         let b = *self
             .bytes
@@ -564,11 +572,13 @@ pub fn serialize_markov(markov: &MarkovTables) -> Vec<u8> {
 
 fn deserialize_markov(r: &mut Rd<'_>) -> Result<MarkovTables, BriscError> {
     let n = r.uvarint()? as usize;
-    let mut lists = Vec::with_capacity(n);
+    // Each list takes at least two bytes (context + count), each
+    // successor at least one.
+    let mut lists = Vec::with_capacity(n.min(r.remaining() / 2));
     for _ in 0..n {
         let ctx = r.uvarint()? as u32;
         let m = r.uvarint()? as usize;
-        let mut succ = Vec::with_capacity(m);
+        let mut succ = Vec::with_capacity(m.min(r.remaining()));
         for _ in 0..m {
             succ.push(r.uvarint()? as u32);
         }
@@ -647,17 +657,19 @@ impl BriscImage {
             bytes: &header,
             pos: 0,
         };
+        let bad_u32 = || BriscError::Corrupt("value exceeds 32 bits".into());
         let ndict = r.uvarint()? as usize;
-        let mut dictionary = Vec::with_capacity(ndict);
+        // Every entry takes at least two bytes (pattern count + base op).
+        let mut dictionary = Vec::with_capacity(ndict.min(r.remaining() / 2));
         for _ in 0..ndict {
             dictionary.push(deserialize_entry(&mut r)?);
         }
         let markov = deserialize_markov(&mut r)?;
         let nglobals = r.uvarint()? as usize;
-        let mut globals = Vec::with_capacity(nglobals);
+        let mut globals = Vec::with_capacity(nglobals.min(r.remaining() / 3));
         for _ in 0..nglobals {
             let name = r.string()?;
-            let size = r.uvarint()? as u32;
+            let size = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
             let init_len = r.uvarint()? as usize;
             globals.push(VmGlobal {
                 name,
@@ -666,12 +678,15 @@ impl BriscImage {
             });
         }
         let nfuncs = r.uvarint()? as usize;
-        let mut functions = Vec::with_capacity(nfuncs);
+        let mut functions = Vec::with_capacity(nfuncs.min(r.remaining() / 4));
         for _ in 0..nfuncs {
             let name = r.string()?;
             let param_count = r.uvarint()? as usize;
-            let frame_size = r.uvarint()? as u32;
+            let frame_size = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
             let nsaved = r.uvarint()? as usize;
+            if nsaved > usize::from(Reg::COUNT) {
+                return Err(BriscError::Corrupt("too many saved registers".into()));
+            }
             let mut saved_regs = Vec::with_capacity(nsaved);
             for _ in 0..nsaved {
                 let n = r.u8()?;
@@ -680,13 +695,16 @@ impl BriscImage {
                 }
                 saved_regs.push(Reg::new(n));
             }
-            let start = r.uvarint()? as u32;
-            let len = r.uvarint()? as u32;
+            let start = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
+            let len = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
             let nleaders = r.uvarint()? as usize;
-            let mut extra_leaders = Vec::with_capacity(nleaders);
+            let mut extra_leaders = Vec::with_capacity(nleaders.min(r.remaining()));
             let mut prev = 0u32;
             for _ in 0..nleaders {
-                prev += r.uvarint()? as u32;
+                let delta = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
+                prev = prev
+                    .checked_add(delta)
+                    .ok_or_else(|| BriscError::Corrupt("leader offset overflow".into()))?;
                 extra_leaders.push(prev);
             }
             functions.push(BriscFunction {
@@ -706,6 +724,14 @@ impl BriscImage {
         let code = outer.take(code_len)?.to_vec();
         if outer.pos != bytes.len() {
             return Err(BriscError::Corrupt("trailing bytes".into()));
+        }
+        for f in &functions {
+            if u64::from(f.start) + u64::from(f.len) > code.len() as u64 {
+                return Err(BriscError::Corrupt(format!(
+                    "function {} extends past the code blob",
+                    f.name
+                )));
+            }
         }
         Ok(BriscImage {
             dictionary,

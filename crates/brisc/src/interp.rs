@@ -57,10 +57,11 @@ impl<'a> BriscMachine<'a> {
         let mut mem = vec![0u8; mem_size as usize];
         let mut next = GLOBAL_BASE;
         for g in &image.globals {
-            let aligned = next.div_ceil(4) * 4;
-            if u64::from(aligned) + u64::from(g.size) > u64::from(mem_size) {
+            let aligned64 = u64::from(next).div_ceil(4) * 4;
+            if aligned64 + u64::from(g.size) > u64::from(mem_size) {
                 return Err(BriscError::Exec(format!("global {} does not fit", g.name)));
             }
+            let aligned = aligned64 as u32;
             let start = aligned as usize;
             let n = g.init.len().min(g.size as usize);
             mem[start..start + n].copy_from_slice(&g.init[..n]);
@@ -91,7 +92,9 @@ impl<'a> BriscMachine<'a> {
             .function_index(entry)
             .ok_or_else(|| BriscError::Exec(format!("undefined entry function {entry}")))?;
         let staging = (args.len().max(1) as u32) * 4;
-        let top = (self.mem.len() as u32 & !3) - staging;
+        let top = (self.mem.len() as u32 & !3)
+            .checked_sub(staging)
+            .ok_or_else(|| BriscError::Exec("memory too small for arguments".into()))?;
         self.set_reg(Reg::SP, i64::from(top));
         for (i, &a) in args.iter().enumerate() {
             self.store(top + 4 * i as u32, MemWidth::Word, a)?;

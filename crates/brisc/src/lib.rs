@@ -86,6 +86,19 @@ impl fmt::Display for BriscError {
 
 impl Error for BriscError {}
 
+impl From<BriscError> for codecomp_core::DecodeError {
+    fn from(e: BriscError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            BriscError::Corrupt(m) if m.contains("end of image") || m.contains("truncated") => {
+                DecodeError::Truncated
+            }
+            BriscError::Corrupt(m) | BriscError::Exec(m) => DecodeError::malformed(m),
+            BriscError::Compress(m) => DecodeError::Internal(m),
+        }
+    }
+}
+
 impl From<codecomp_vm::VmError> for BriscError {
     fn from(e: codecomp_vm::VmError) -> Self {
         BriscError::Compress(e.to_string())

@@ -1,18 +1,19 @@
-//! Property tests: BRISC images survive serialization, corrupt images
-//! never panic, and random generated programs execute identically in
-//! compressed form.
+//! Randomized (deterministic, seeded) tests: BRISC images survive
+//! serialization, corrupt images never panic, and random generated
+//! programs execute identically in compressed form.
 
 use codecomp_brisc::compress::{compress, BriscOptions};
 use codecomp_brisc::interp::BriscMachine;
 use codecomp_brisc::translate::translate;
 use codecomp_brisc::BriscImage;
+use codecomp_core::fault::XorShift64;
 use codecomp_corpus::{synthetic, SynthConfig};
 use codecomp_front::compile;
 use codecomp_vm::codegen::compile_module;
 use codecomp_vm::interp::Machine;
 use codecomp_vm::isa::IsaConfig;
-use proptest::prelude::*;
 
+const CASES: u64 = 16;
 const MEM: u32 = 1 << 22;
 const FUEL: u64 = 1 << 26;
 
@@ -32,23 +33,25 @@ fn compressed_image(seed: u64) -> BriscImage {
         .image
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn image_serialization_roundtrip(seed in 0u64..500) {
-        let image = compressed_image(seed);
+#[test]
+fn image_serialization_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x3A00 + case);
+        let image = compressed_image(rng.below(500));
         let bytes = image.to_bytes();
-        prop_assert_eq!(BriscImage::from_bytes(&bytes).unwrap(), image);
+        assert_eq!(BriscImage::from_bytes(&bytes).unwrap(), image);
     }
+}
 
-    #[test]
-    fn corrupt_images_never_panic(seed in 0u64..100, flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)) {
-        let image = compressed_image(seed);
+#[test]
+fn corrupt_images_never_panic() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x3B00 + case);
+        let image = compressed_image(rng.below(100));
         let mut bytes = image.to_bytes();
-        for (idx, mask) in flips {
-            let i = idx.index(bytes.len());
-            bytes[i] ^= mask;
+        for _ in 0..rng.range_usize(1, 8) {
+            let i = rng.below(bytes.len() as u64) as usize;
+            bytes[i] ^= rng.next_u64() as u8;
         }
         // Deserialization may fail; if it succeeds, decode/translate and
         // even execution must fail cleanly rather than panic.
@@ -59,21 +62,42 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn compressed_execution_matches_vm(seed in 0u64..500, k in 1usize..25) {
+#[test]
+fn compressed_execution_matches_vm() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x3C00 + case);
+        let seed = rng.below(500);
+        // Random K stresses the pass loop's stopping rule.
+        let k = rng.range_usize(1, 25);
         let src = synthetic(
             seed,
-            SynthConfig { functions: 5, statements_per_function: 4, globals: 2 },
+            SynthConfig {
+                functions: 5,
+                statements_per_function: 4,
+                globals: 2,
+            },
         );
         let ir = compile(&src).expect("generated programs compile");
         let vm = compile_module(&ir, IsaConfig::full()).unwrap();
-        let expect = Machine::new(&vm, MEM, FUEL).unwrap().run("main", &[]).unwrap();
-        // Random K stresses the pass loop's stopping rule.
-        let report = compress(&vm, BriscOptions { k, ..Default::default() }).unwrap();
-        let got =
-            BriscMachine::new(&report.image, MEM, FUEL).unwrap().run("main", &[]).unwrap();
-        prop_assert_eq!(got.value, expect.value);
-        prop_assert_eq!(got.output, expect.output);
+        let expect = Machine::new(&vm, MEM, FUEL)
+            .unwrap()
+            .run("main", &[])
+            .unwrap();
+        let report = compress(
+            &vm,
+            BriscOptions {
+                k,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let got = BriscMachine::new(&report.image, MEM, FUEL)
+            .unwrap()
+            .run("main", &[])
+            .unwrap();
+        assert_eq!(got.value, expect.value);
+        assert_eq!(got.output, expect.output);
     }
 }

@@ -157,6 +157,31 @@ pub fn build_code_lengths(freqs: &[u64], max_len: u8) -> Result<Vec<u8>, CodingE
         }
     }
 
+    // The demote loop can overshoot and leave the code incomplete when
+    // the only demotable level sits well above max_len. Decoders reject
+    // incomplete codes, so fall back to a flat complete code: with
+    // L = ceil(log2 n), give 2^L - n symbols length L-1 and the rest
+    // length L. Always complete, always within max_len.
+    let kraft_now: u64 = depth.iter().map(|&d| unit(d)).sum();
+    if kraft_now != budget {
+        let n = used.len() as u64;
+        let flat_len = (64 - (n - 1).leading_zeros()) as u8;
+        let short = (1u64 << flat_len) - n;
+        let mut order: Vec<usize> = (0..used.len()).collect();
+        order.sort_by(|&a, &b| {
+            freqs[used[b]]
+                .cmp(&freqs[used[a]])
+                .then(used[a].cmp(&used[b]))
+        });
+        for (rank, &leaf) in order.iter().enumerate() {
+            depth[leaf] = if (rank as u64) < short {
+                flat_len - 1
+            } else {
+                flat_len
+            };
+        }
+    }
+
     for (i, &sym) in used.iter().enumerate() {
         lengths[sym] = depth[i];
     }
@@ -338,6 +363,17 @@ impl HuffmanDecoder {
         if max_len > 0 && kraft > 1u64 << max_len {
             return Err(CodingError::InvalidCodeTable(
                 "oversubscribed lengths".into(),
+            ));
+        }
+        // Undersubscribed sets leave bit patterns that decode to nothing;
+        // reject them so decode failures surface at table-build time. The
+        // one legitimate incomplete shape is a degenerate single-code
+        // table (one symbol, one bit), which semi-static coding of a
+        // single-symbol stream produces.
+        let used: u32 = count.iter().skip(1).sum();
+        if max_len > 0 && kraft < 1u64 << max_len && used > 1 {
+            return Err(CodingError::InvalidCodeTable(
+                "undersubscribed (incomplete) lengths".into(),
             ));
         }
         let mut first_code = vec![0u64; max_len as usize + 2];

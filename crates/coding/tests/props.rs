@@ -1,15 +1,30 @@
-//! Property-based tests for the entropy-coding substrate.
+//! Randomized (deterministic, seeded) tests for the entropy-coding
+//! substrate. Formerly proptest-based; the container builds offline with
+//! no registry, so these now drive the same properties from the in-tree
+//! [`codecomp_core::fault::XorShift64`] PRNG.
 
 use codecomp_coding::arith::{compress_bytes_adaptive, decompress_bytes_adaptive};
 use codecomp_coding::bits::{BitReader, BitWriter, LsbBitReader, LsbBitWriter};
 use codecomp_coding::huffman::{HuffmanDecoder, HuffmanEncoder};
 use codecomp_coding::model::ContextModel;
 use codecomp_coding::mtf::{mtf_decode, mtf_decode_classic, mtf_encode, mtf_encode_classic};
-use proptest::prelude::*;
+use codecomp_core::fault::XorShift64;
 
-proptest! {
-    #[test]
-    fn msb_bits_roundtrip(chunks in prop::collection::vec((any::<u64>(), 1u8..=64), 0..64)) {
+const CASES: u64 = 64;
+
+fn sym_vec(rng: &mut XorShift64, alphabet: u64, max_len: usize) -> Vec<u32> {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len).map(|_| rng.below(alphabet) as u32).collect()
+}
+
+#[test]
+fn msb_bits_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x1000 + case);
+        let n_chunks = rng.below(64) as usize;
+        let chunks: Vec<(u64, u8)> = (0..n_chunks)
+            .map(|_| (rng.next_u64(), rng.range_usize(1, 65) as u8))
+            .collect();
         let mut w = BitWriter::new();
         for &(v, n) in &chunks {
             w.write_bits(v & (u64::MAX >> (64 - n)), n);
@@ -17,12 +32,19 @@ proptest! {
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         for &(v, n) in &chunks {
-            prop_assert_eq!(r.read_bits(n).unwrap(), v & (u64::MAX >> (64 - n)));
+            assert_eq!(r.read_bits(n).unwrap(), v & (u64::MAX >> (64 - n)));
         }
     }
+}
 
-    #[test]
-    fn lsb_bits_roundtrip(chunks in prop::collection::vec((any::<u32>(), 0u8..=24), 0..64)) {
+#[test]
+fn lsb_bits_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2000 + case);
+        let n_chunks = rng.below(64) as usize;
+        let chunks: Vec<(u32, u8)> = (0..n_chunks)
+            .map(|_| (rng.next_u64() as u32, rng.below(25) as u8))
+            .collect();
         let mut w = LsbBitWriter::new();
         for &(v, n) in &chunks {
             w.write_bits(v, n);
@@ -31,49 +53,67 @@ proptest! {
         let mut r = LsbBitReader::new(&bytes);
         for &(v, n) in &chunks {
             let mask = if n == 0 { 0 } else { u32::MAX >> (32 - n) };
-            prop_assert_eq!(r.read_bits(n).unwrap(), v & mask);
+            assert_eq!(r.read_bits(n).unwrap(), v & mask);
         }
     }
+}
 
-    #[test]
-    fn huffman_roundtrip(data in prop::collection::vec(0usize..64, 1..512)) {
-        let mut freqs = vec![0u64; 64];
-        for &s in &data {
-            freqs[s] += 1;
-        }
-        let enc = HuffmanEncoder::from_frequencies(&freqs, 15).unwrap();
-        let bits = enc.encode_symbols(data.iter().copied()).unwrap();
-        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
-        prop_assert_eq!(dec.decode_exact(&bits, data.len()).unwrap(), data);
+fn huffman_case(seed: u64, alphabet: usize, limit: u8) {
+    let mut rng = XorShift64::new(seed);
+    let len = rng.range_usize(1, 512);
+    let data: Vec<usize> = (0..len)
+        .map(|_| rng.below(alphabet as u64) as usize)
+        .collect();
+    let mut freqs = vec![0u64; alphabet];
+    for &s in &data {
+        freqs[s] += 1;
     }
+    let enc = HuffmanEncoder::from_frequencies(&freqs, limit).unwrap();
+    assert!(enc.lengths().iter().all(|&l| l <= limit));
+    let bits = enc.encode_symbols(data.iter().copied()).unwrap();
+    let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
+    assert_eq!(dec.decode_exact(&bits, data.len()).unwrap(), data);
+}
 
-    #[test]
-    fn huffman_length_limited_roundtrip(data in prop::collection::vec(0usize..200, 1..512)) {
-        let mut freqs = vec![0u64; 200];
-        for &s in &data {
-            freqs[s] += 1;
-        }
-        let enc = HuffmanEncoder::from_frequencies(&freqs, 9).unwrap();
-        prop_assert!(enc.lengths().iter().all(|&l| l <= 9));
-        let bits = enc.encode_symbols(data.iter().copied()).unwrap();
-        let dec = HuffmanDecoder::from_lengths(enc.lengths()).unwrap();
-        prop_assert_eq!(dec.decode_exact(&bits, data.len()).unwrap(), data);
+#[test]
+fn huffman_roundtrip() {
+    for case in 0..CASES {
+        huffman_case(0x3000 + case, 64, 15);
     }
+}
 
-    #[test]
-    fn mtf_paper_variant_roundtrip(data in prop::collection::vec(0u32..32, 0..256)) {
+#[test]
+fn huffman_length_limited_roundtrip() {
+    for case in 0..CASES {
+        huffman_case(0x4000 + case, 200, 9);
+    }
+}
+
+#[test]
+fn mtf_paper_variant_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x5000 + case);
+        let data = sym_vec(&mut rng, 32, 256);
         let enc = mtf_encode(&data);
-        prop_assert_eq!(mtf_decode(&enc).unwrap(), data);
+        assert_eq!(mtf_decode(&enc).unwrap(), data);
     }
+}
 
-    #[test]
-    fn mtf_classic_roundtrip(data in prop::collection::vec(0u32..32, 0..256)) {
+#[test]
+fn mtf_classic_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x6000 + case);
+        let data = sym_vec(&mut rng, 32, 256);
         let enc = mtf_encode_classic(&data, 32).unwrap();
-        prop_assert_eq!(mtf_decode_classic(&enc, 32).unwrap(), data);
+        assert_eq!(mtf_decode_classic(&enc, 32).unwrap(), data);
     }
+}
 
-    #[test]
-    fn mtf_table_len_equals_distinct_symbols(data in prop::collection::vec(0u32..16, 0..256)) {
+#[test]
+fn mtf_table_len_equals_distinct_symbols() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x7000 + case);
+        let data = sym_vec(&mut rng, 16, 256);
         let enc = mtf_encode(&data);
         let distinct = {
             let mut v = data.clone();
@@ -81,25 +121,33 @@ proptest! {
             v.dedup();
             v.len()
         };
-        prop_assert_eq!(enc.table.len(), distinct);
-        prop_assert_eq!(enc.indices.iter().filter(|&&i| i == 0).count(), distinct);
+        assert_eq!(enc.table.len(), distinct);
+        assert_eq!(enc.indices.iter().filter(|&&i| i == 0).count(), distinct);
     }
+}
 
-    #[test]
-    fn arith_adaptive_roundtrip(data in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn arith_adaptive_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x8000 + case);
+        let len = rng.below(512) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let packed = compress_bytes_adaptive(&data);
-        prop_assert_eq!(decompress_bytes_adaptive(&packed, data.len()).unwrap(), data);
+        assert_eq!(decompress_bytes_adaptive(&packed, data.len()).unwrap(), data);
     }
+}
 
-    #[test]
-    fn context_model_estimate_is_finite_and_positive(
-        data in prop::collection::vec(0u32..8, 1..256),
-        order in 0usize..3,
-    ) {
+#[test]
+fn context_model_estimate_is_finite_and_positive() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x9000 + case);
+        let len = rng.range_usize(1, 256);
+        let data: Vec<u32> = (0..len).map(|_| rng.below(8) as u32).collect();
+        let order = rng.below(3) as usize;
         let mut m = ContextModel::new(order, 8);
         m.train(&data);
         let bits = m.estimate_bits(&data);
-        prop_assert!(bits.is_finite());
-        prop_assert!(bits >= 0.0);
+        assert!(bits.is_finite());
+        assert!(bits >= 0.0);
     }
 }

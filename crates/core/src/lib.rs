@@ -17,11 +17,19 @@
 //! - [`entropy`]: size and entropy helpers shared by the ablation
 //!   experiments.
 
+//! - [`error`]: the shared [`DecodeError`] taxonomy every decoder in the
+//!   workspace folds into at its public boundary.
+//! - [`fault`]: seeded fault injection (xorshift PRNG + byte mutators)
+//!   backing the workspace fault-injection harness.
+
 pub mod dict;
 pub mod entropy;
+pub mod error;
+pub mod fault;
 pub mod streams;
 pub mod treepat;
 
+pub use error::DecodeError;
 pub use streams::{SplitStreams, StreamKey};
 pub use treepat::TreePattern;
 

@@ -6,8 +6,7 @@
 //! loops, conditionals, and calls into earlier functions — all
 //! deterministic from the seed and guaranteed to terminate.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use codecomp_core::fault::XorShift64;
 use std::fmt::Write;
 
 /// Generator parameters.
@@ -36,14 +35,14 @@ impl Default for SynthConfig {
 /// The output always compiles under [`codecomp_front::compile`], defines
 /// `main`, and terminates within a bounded number of statements.
 pub fn synthetic(seed: u64, config: SynthConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let mut src = String::new();
 
     for g in 0..config.globals {
-        if rng.gen_bool(0.5) {
-            let _ = writeln!(src, "int g{g} = {};", rng.gen_range(-100..100));
+        if rng.chance(1, 2) {
+            let _ = writeln!(src, "int g{g} = {};", rng.range_i64(-100, 100));
         } else {
-            let n = rng.gen_range(4..32);
+            let n = rng.range_usize(4, 32);
             let _ = writeln!(src, "int g{g}[{n}];");
         }
     }
@@ -71,7 +70,7 @@ pub fn synthetic(seed: u64, config: SynthConfig) -> String {
     // exactly (an arity mismatch would read stale stack slots, which is
     // undefined in C and tier-dependent here).
     let arities: Vec<usize> = (0..config.functions)
-        .map(|_| rng.gen_range(0..=3usize))
+        .map(|_| rng.range_usize(0, 4))
         .collect();
 
     for f in 0..config.functions {
@@ -85,17 +84,17 @@ pub fn synthetic(seed: u64, config: SynthConfig) -> String {
         }
         header.push_str(") {");
         let _ = writeln!(src, "{header}");
-        let _ = writeln!(src, "    int acc = {};", rng.gen_range(0..10));
-        let locals = rng.gen_range(1..=3usize);
+        let _ = writeln!(src, "    int acc = {};", rng.range_i64(0, 10));
+        let locals = rng.range_usize(1, 4);
         for l in 0..locals {
-            let _ = writeln!(src, "    int v{l} = {};", rng.gen_range(-20..20));
+            let _ = writeln!(src, "    int v{l} = {};", rng.range_i64(-20, 20));
         }
 
         for s in 0..config.statements_per_function {
-            match rng.gen_range(0..6) {
+            match rng.below(6) {
                 0 => {
                     // Bounded loop accumulating arithmetic.
-                    let bound = rng.gen_range(2..12);
+                    let bound = rng.range_i64(2, 12);
                     let expr = arith_expr(&mut rng, params, locals, f, &array_sizes);
                     let _ = writeln!(
                         src,
@@ -104,9 +103,9 @@ pub fn synthetic(seed: u64, config: SynthConfig) -> String {
                 }
                 1 => {
                     let expr = arith_expr(&mut rng, params, locals, f, &array_sizes);
-                    let cmp = ["<", "<=", ">", ">=", "==", "!="][rng.gen_range(0..6)];
-                    let rhs = rng.gen_range(-50..50);
-                    let delta = rng.gen_range(1..9);
+                    let cmp = ["<", "<=", ">", ">=", "==", "!="][rng.range_usize(0, 6)];
+                    let rhs = rng.range_i64(-50, 50);
+                    let delta = rng.range_i64(1, 9);
                     let _ = writeln!(
                         src,
                         "    if (acc {cmp} {rhs}) acc += {expr}; else acc -= {delta};"
@@ -114,26 +113,26 @@ pub fn synthetic(seed: u64, config: SynthConfig) -> String {
                 }
                 2 if f > 0 => {
                     // Call an earlier function (keeps the call graph acyclic).
-                    let callee = rng.gen_range(0..f);
+                    let callee = rng.range_usize(0, f);
                     let args = callee_args(&mut rng, arities[callee], params, locals);
                     let _ = writeln!(src, "    acc = acc * 3 + f{callee}({args}) % 1009;");
                 }
                 3 => {
-                    let l = rng.gen_range(0..locals);
+                    let l = rng.range_usize(0, locals);
                     let expr = arith_expr(&mut rng, params, locals, f, &array_sizes);
                     let _ = writeln!(src, "    v{l} = ({expr}) % 2003;");
                 }
                 4 if !array_sizes.is_empty() => {
                     // Touch a global array deterministically.
                     if let Some((gi, n)) = pick_array(&mut rng, &array_sizes) {
-                        let idx = rng.gen_range(0..n);
+                        let idx = rng.range_usize(0, n);
                         let _ = writeln!(src, "    g{gi}[{idx}] = acc % 251;");
                         let _ = writeln!(src, "    acc += g{gi}[{idx}] * 2;");
                     }
                 }
                 _ => {
                     let expr = arith_expr(&mut rng, params, locals, f, &array_sizes);
-                    let shift = rng.gen_range(1..5);
+                    let shift = rng.range_i64(1, 5);
                     let _ = writeln!(src, "    acc = (acc ^ ({expr})) + (acc >> {shift});");
                 }
             }
@@ -154,7 +153,7 @@ pub fn synthetic(seed: u64, config: SynthConfig) -> String {
         let f = if config.functions <= calls {
             c
         } else {
-            rng.gen_range(0..config.functions)
+            rng.range_usize(0, config.functions)
         };
         let _ = writeln!(
             src,
@@ -168,7 +167,7 @@ pub fn synthetic(seed: u64, config: SynthConfig) -> String {
     src
 }
 
-fn pick_array(rng: &mut StdRng, array_sizes: &[Option<usize>]) -> Option<(usize, usize)> {
+fn pick_array(rng: &mut XorShift64, array_sizes: &[Option<usize>]) -> Option<(usize, usize)> {
     let arrays: Vec<(usize, usize)> = array_sizes
         .iter()
         .enumerate()
@@ -177,21 +176,21 @@ fn pick_array(rng: &mut StdRng, array_sizes: &[Option<usize>]) -> Option<(usize,
     if arrays.is_empty() {
         None
     } else {
-        Some(arrays[rng.gen_range(0..arrays.len())])
+        Some(arrays[rng.range_usize(0, arrays.len())])
     }
 }
 
-fn operand(rng: &mut StdRng, params: usize, locals: usize) -> String {
-    match rng.gen_range(0..4) {
-        0 if params > 0 => format!("p{}", rng.gen_range(0..params)),
-        1 => format!("v{}", rng.gen_range(0..locals)),
+fn operand(rng: &mut XorShift64, params: usize, locals: usize) -> String {
+    match rng.below(4) {
+        0 if params > 0 => format!("p{}", rng.range_usize(0, params)),
+        1 => format!("v{}", rng.range_usize(0, locals)),
         2 => "acc".to_string(),
-        _ => format!("{}", rng.gen_range(-30..30)),
+        _ => format!("{}", rng.range_i64(-30, 30)),
     }
 }
 
 fn arith_expr(
-    rng: &mut StdRng,
+    rng: &mut XorShift64,
     params: usize,
     locals: usize,
     _f: usize,
@@ -199,26 +198,26 @@ fn arith_expr(
 ) -> String {
     let a = operand(rng, params, locals);
     let b = operand(rng, params, locals);
-    let op = ["+", "-", "*", "&", "|", "^"][rng.gen_range(0..6)];
-    if rng.gen_bool(0.3) {
+    let op = ["+", "-", "*", "&", "|", "^"][rng.range_usize(0, 6)];
+    if rng.chance(3, 10) {
         let c = operand(rng, params, locals);
-        let op2 = ["+", "-", "*"][rng.gen_range(0..3)];
+        let op2 = ["+", "-", "*"][rng.range_usize(0, 3)];
         format!("({a} {op} {b}) {op2} {c}")
     } else {
         format!("{a} {op} {b}")
     }
 }
 
-fn callee_args(rng: &mut StdRng, arity: usize, params: usize, locals: usize) -> String {
+fn callee_args(rng: &mut XorShift64, arity: usize, params: usize, locals: usize) -> String {
     (0..arity)
         .map(|_| operand(rng, params, locals))
         .collect::<Vec<_>>()
         .join(", ")
 }
 
-fn main_args(rng: &mut StdRng, arity: usize) -> String {
+fn main_args(rng: &mut XorShift64, arity: usize) -> String {
     (0..arity)
-        .map(|_| rng.gen_range(-9..9).to_string())
+        .map(|_| rng.range_i64(-9, 9).to_string())
         .collect::<Vec<_>>()
         .join(", ")
 }

@@ -121,8 +121,12 @@ pub fn fixed_litlen_lengths() -> Vec<u8> {
 }
 
 /// The fixed distance code lengths (all 5 bits).
+///
+/// RFC 1951 §3.2.6 assigns codes to all 32 distance symbols — 30–31
+/// never appear in valid data but participate in code construction, so
+/// the table is complete. The decoder rejects symbols ≥ 30 explicitly.
 pub fn fixed_dist_lengths() -> Vec<u8> {
-    vec![5u8; 30]
+    vec![5u8; 32]
 }
 
 /// Compression effort level.

@@ -74,13 +74,17 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
             return Err(FlateError::Truncated);
         }
         let xlen = usize::from(u16::from_le_bytes([data[pos], data[pos + 1]]));
-        pos += 2 + xlen;
+        pos += 2;
+        if xlen > data.len() - pos {
+            return Err(FlateError::Truncated);
+        }
+        pos += xlen;
     }
     for flag in [FNAME, FCOMMENT] {
         if flg & flag != 0 {
-            let end = data[pos..]
-                .iter()
-                .position(|&b| b == 0)
+            let end = data
+                .get(pos..)
+                .and_then(|rest| rest.iter().position(|&b| b == 0))
                 .ok_or(FlateError::Truncated)?;
             pos += end + 1;
         }

@@ -20,16 +20,32 @@ struct Decoder {
     symbols: Vec<u16>,
 }
 
+/// How strictly a code-length set must fill the code space.
+///
+/// RFC 1951 §3.2.7 requires complete codes, with one carve-out: a
+/// distance table may consist of a single code (one length-1 entry,
+/// leaving one unused pattern) or of no codes at all when the block
+/// contains no matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Completeness {
+    /// The Kraft sum must be exactly 1: every bit pattern decodes.
+    Exact,
+    /// Complete, or degenerate: at most one code present.
+    ExactOrDegenerate,
+}
+
 impl Decoder {
     #[allow(clippy::needless_range_loop)] // Kraft accumulation is index-keyed
-    fn from_lengths(lengths: &[u8]) -> Result<Self, FlateError> {
+    fn from_lengths(lengths: &[u8], completeness: Completeness) -> Result<Self, FlateError> {
         let mut count = [0u32; 16];
+        let mut used = 0u32;
         for &l in lengths {
             if l > 15 {
                 return Err(FlateError::Corrupt("code length > 15".into()));
             }
             if l > 0 {
                 count[l as usize] += 1;
+                used += 1;
             }
         }
         let mut kraft: u64 = 0;
@@ -38,6 +54,12 @@ impl Decoder {
         }
         if kraft > 1 << 15 {
             return Err(FlateError::Corrupt("oversubscribed code lengths".into()));
+        }
+        let degenerate_ok = completeness == Completeness::ExactOrDegenerate && used <= 1;
+        if kraft < 1 << 15 && !degenerate_ok {
+            return Err(FlateError::Corrupt(
+                "incomplete (undersubscribed) code lengths".into(),
+            ));
         }
         let mut first_code = [0u32; 16];
         let mut first_index = [0u32; 16];
@@ -96,21 +118,37 @@ impl Decoder {
 /// # Ok::<(), codecomp_flate::FlateError>(())
 /// ```
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>, FlateError> {
+    inflate_with_limit(data, MAX_OUTPUT)
+}
+
+/// Default output ceiling for [`inflate`]: far beyond any legitimate
+/// payload in this system, small enough to stop a decompression bomb
+/// from exhausting memory.
+pub const MAX_OUTPUT: usize = 1 << 28;
+
+/// Decompresses a raw DEFLATE stream, refusing to produce more than
+/// `max_output` bytes.
+///
+/// # Errors
+///
+/// [`FlateError::LimitExceeded`] once the output would pass
+/// `max_output`; otherwise as [`inflate`].
+pub fn inflate_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, FlateError> {
     let mut r = LsbBitReader::new(data);
     let mut out = Vec::new();
     loop {
         let bfinal = r.read_bits(1).map_err(|_| FlateError::Truncated)? == 1;
         let btype = r.read_bits(2).map_err(|_| FlateError::Truncated)?;
         match btype {
-            0b00 => inflate_stored(&mut r, &mut out)?,
+            0b00 => inflate_stored(&mut r, &mut out, max_output)?,
             0b01 => {
-                let lit = Decoder::from_lengths(&fixed_litlen_lengths())?;
-                let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
-                inflate_block(&mut r, &lit, &dist, &mut out)?;
+                let lit = Decoder::from_lengths(&fixed_litlen_lengths(), Completeness::Exact)?;
+                let dist = Decoder::from_lengths(&fixed_dist_lengths(), Completeness::Exact)?;
+                inflate_block(&mut r, &lit, &dist, &mut out, max_output)?;
             }
             0b10 => {
                 let (lit, dist) = read_dynamic_tables(&mut r)?;
-                inflate_block(&mut r, &lit, &dist, &mut out)?;
+                inflate_block(&mut r, &lit, &dist, &mut out, max_output)?;
             }
             _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
         }
@@ -120,12 +158,21 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, FlateError> {
     }
 }
 
-fn inflate_stored(r: &mut LsbBitReader<'_>, out: &mut Vec<u8>) -> Result<(), FlateError> {
+fn inflate_stored(
+    r: &mut LsbBitReader<'_>,
+    out: &mut Vec<u8>,
+    max_output: usize,
+) -> Result<(), FlateError> {
     r.align_to_byte();
     let len = r.read_bits(16).map_err(|_| FlateError::Truncated)? as u16;
     let nlen = r.read_bits(16).map_err(|_| FlateError::Truncated)? as u16;
     if len != !nlen {
         return Err(FlateError::Corrupt("stored block LEN/NLEN mismatch".into()));
+    }
+    if usize::from(len) > max_output.saturating_sub(out.len()) {
+        return Err(FlateError::LimitExceeded {
+            limit: max_output as u64,
+        });
     }
     let bytes = r
         .read_aligned_bytes(usize::from(len))
@@ -143,7 +190,7 @@ fn read_dynamic_tables(r: &mut LsbBitReader<'_>) -> Result<(Decoder, Decoder), F
     for &o in CLC_ORDER.iter().take(hclen) {
         clc_lengths[o] = r.read_bits(3).map_err(|_| FlateError::Truncated)? as u8;
     }
-    let clc = Decoder::from_lengths(&clc_lengths)?;
+    let clc = Decoder::from_lengths(&clc_lengths, Completeness::Exact)?;
     let mut lengths = Vec::with_capacity(hlit + hdist);
     while lengths.len() < hlit + hdist {
         let sym = clc.decode(r)?;
@@ -176,8 +223,10 @@ fn read_dynamic_tables(r: &mut LsbBitReader<'_>) -> Result<(Decoder, Decoder), F
     if lengths.len() != hlit + hdist {
         return Err(FlateError::Corrupt("code length overrun".into()));
     }
-    let lit = Decoder::from_lengths(&lengths[..hlit])?;
-    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    let lit = Decoder::from_lengths(&lengths[..hlit], Completeness::Exact)?;
+    // RFC 1951 §3.2.7: a block with no matches may carry one distance
+    // code (or none); anything else must be complete.
+    let dist = Decoder::from_lengths(&lengths[hlit..], Completeness::ExactOrDegenerate)?;
     Ok((lit, dist))
 }
 
@@ -186,11 +235,19 @@ fn inflate_block(
     lit: &Decoder,
     dist: &Decoder,
     out: &mut Vec<u8>,
+    max_output: usize,
 ) -> Result<(), FlateError> {
     loop {
         let sym = lit.decode(r)?;
         match sym {
-            0..=255 => out.push(sym as u8),
+            0..=255 => {
+                if out.len() >= max_output {
+                    return Err(FlateError::LimitExceeded {
+                        limit: max_output as u64,
+                    });
+                }
+                out.push(sym as u8);
+            }
             256 => return Ok(()),
             257..=285 => {
                 let (base, extra) = LENGTH_TABLE[sym - 257];
@@ -204,6 +261,11 @@ fn inflate_block(
                     + r.read_bits(dextra).map_err(|_| FlateError::Truncated)? as usize;
                 if d == 0 || d > out.len() {
                     return Err(FlateError::Corrupt("distance beyond output start".into()));
+                }
+                if usize::from(len) > max_output.saturating_sub(out.len()) {
+                    return Err(FlateError::LimitExceeded {
+                        limit: max_output as u64,
+                    });
                 }
                 let start = out.len() - d;
                 for i in 0..usize::from(len) {
@@ -230,6 +292,52 @@ mod tests {
     #[test]
     fn inflate_rejects_empty() {
         assert_eq!(inflate(&[]), Err(FlateError::Truncated));
+    }
+
+    #[test]
+    fn from_lengths_rejects_oversubscribed() {
+        // Three codes of length 1: Kraft sum 3/2 > 1 (RFC 1951 §3.2.7).
+        for c in [Completeness::Exact, Completeness::ExactOrDegenerate] {
+            assert!(Decoder::from_lengths(&[1, 1, 1], c).is_err());
+        }
+    }
+
+    #[test]
+    fn from_lengths_rejects_undersubscribed() {
+        // Two codes of length 2: Kraft sum 1/2 < 1 leaves bit patterns
+        // that decode to nothing.
+        for c in [Completeness::Exact, Completeness::ExactOrDegenerate] {
+            assert!(Decoder::from_lengths(&[2, 2], c).is_err());
+        }
+    }
+
+    #[test]
+    fn from_lengths_degenerate_single_code() {
+        // One 1-bit code: incomplete, but legal for DEFLATE distance
+        // tables — and only there.
+        assert!(Decoder::from_lengths(&[1, 0], Completeness::Exact).is_err());
+        assert!(Decoder::from_lengths(&[1, 0], Completeness::ExactOrDegenerate).is_ok());
+        // The all-unused table is likewise degenerate-only.
+        assert!(Decoder::from_lengths(&[0, 0], Completeness::Exact).is_err());
+        assert!(Decoder::from_lengths(&[0, 0], Completeness::ExactOrDegenerate).is_ok());
+    }
+
+    #[test]
+    fn from_lengths_accepts_complete_sets() {
+        assert!(Decoder::from_lengths(&[1, 1], Completeness::Exact).is_ok());
+        assert!(Decoder::from_lengths(&[1, 2, 2], Completeness::Exact).is_ok());
+        assert!(Decoder::from_lengths(&[2, 2, 2, 2], Completeness::Exact).is_ok());
+    }
+
+    #[test]
+    fn output_limit_enforced() {
+        let data = vec![0u8; 4096];
+        let packed = deflate_compress(&data, CompressionLevel::Best);
+        assert_eq!(inflate_with_limit(&packed, 4096).unwrap(), data);
+        assert!(matches!(
+            inflate_with_limit(&packed, 100),
+            Err(FlateError::LimitExceeded { .. })
+        ));
     }
 
     #[test]

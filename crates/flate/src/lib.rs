@@ -30,7 +30,7 @@ pub mod lz77;
 
 pub use deflate::{deflate_compress, CompressionLevel};
 pub use gzip::{gzip_compress, gzip_decompress};
-pub use inflate::inflate;
+pub use inflate::{inflate, inflate_with_limit};
 
 use std::error::Error;
 use std::fmt;
@@ -52,6 +52,11 @@ pub enum FlateError {
         /// CRC of the decoded data.
         actual: u32,
     },
+    /// Decoding would produce more output than the configured ceiling.
+    LimitExceeded {
+        /// The configured ceiling, in bytes.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for FlateError {
@@ -66,6 +71,20 @@ impl fmt::Display for FlateError {
                     "crc mismatch: stored {expected:#010x}, computed {actual:#010x}"
                 )
             }
+            FlateError::LimitExceeded { limit } => {
+                write!(f, "decoded output exceeds the {limit}-byte ceiling")
+            }
+        }
+    }
+}
+
+impl From<FlateError> for codecomp_core::DecodeError {
+    fn from(e: FlateError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            FlateError::Truncated => DecodeError::Truncated,
+            FlateError::LimitExceeded { limit } => DecodeError::limit("inflate output bytes", limit),
+            other => DecodeError::malformed(other.to_string()),
         }
     }
 }

@@ -1,0 +1,43 @@
+//! Flate decoder edge cases: empty and truncated members, and the
+//! output ceiling.
+
+use codecomp_flate::{
+    deflate_compress, gzip_compress, gzip_decompress, inflate, inflate_with_limit,
+    CompressionLevel, FlateError,
+};
+
+#[test]
+fn empty_inputs_rejected() {
+    assert_eq!(inflate(&[]), Err(FlateError::Truncated));
+    assert!(gzip_decompress(&[]).is_err());
+}
+
+#[test]
+fn gzip_header_truncations_rejected() {
+    let member = gzip_compress(b"edge cases", CompressionLevel::Best);
+    // Every prefix of the 10-byte fixed header (and beyond) must fail
+    // cleanly.
+    for len in 0..member.len() {
+        assert!(gzip_decompress(&member[..len]).is_err(), "prefix {len}");
+    }
+    assert_eq!(gzip_decompress(&member).unwrap(), b"edge cases");
+}
+
+#[test]
+fn gzip_crc_flip_detected() {
+    let mut member = gzip_compress(b"checksummed payload", CompressionLevel::Best);
+    let n = member.len();
+    member[n - 5] ^= 0x01; // inside the CRC32 trailer
+    assert!(gzip_decompress(&member).is_err());
+}
+
+#[test]
+fn inflate_output_ceiling() {
+    let data = vec![7u8; 1 << 16];
+    let packed = deflate_compress(&data, CompressionLevel::Best);
+    assert_eq!(inflate_with_limit(&packed, data.len()).unwrap(), data);
+    assert!(matches!(
+        inflate_with_limit(&packed, data.len() - 1),
+        Err(FlateError::LimitExceeded { .. })
+    ));
+}

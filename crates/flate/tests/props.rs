@@ -1,62 +1,91 @@
-//! Property-based tests: DEFLATE and gzip are inverses on arbitrary input.
+//! Randomized (deterministic, seeded) tests: DEFLATE and gzip are
+//! inverses on arbitrary input, and the decoders are total on garbage.
 
+use codecomp_core::fault::XorShift64;
 use codecomp_flate::lz77::{detokenize, tokenize, MatchParams};
 use codecomp_flate::{deflate_compress, gzip_compress, gzip_decompress, inflate, CompressionLevel};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn deflate_roundtrip_random(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+fn random_bytes(rng: &mut XorShift64, max_len: usize) -> Vec<u8> {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+#[test]
+fn deflate_roundtrip_random() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xF100 + case);
+        let data = random_bytes(&mut rng, 4095);
         for level in [CompressionLevel::Fast, CompressionLevel::Best] {
             let packed = deflate_compress(&data, level);
-            prop_assert_eq!(inflate(&packed).unwrap(), data.clone());
+            assert_eq!(inflate(&packed).unwrap(), data);
         }
     }
+}
 
-    #[test]
-    fn deflate_roundtrip_lowentropy(data in prop::collection::vec(0u8..4, 0..4096)) {
+#[test]
+fn deflate_roundtrip_lowentropy() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xF200 + case);
+        let len = rng.below(4096) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.below(4) as u8).collect();
         let packed = deflate_compress(&data, CompressionLevel::Best);
-        prop_assert_eq!(inflate(&packed).unwrap(), data.clone());
+        assert_eq!(inflate(&packed).unwrap(), data);
         if data.len() > 512 {
             // Low-entropy input must actually compress.
-            prop_assert!(packed.len() < data.len());
+            assert!(packed.len() < data.len());
         }
     }
+}
 
-    #[test]
-    fn gzip_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn gzip_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xF300 + case);
+        let data = random_bytes(&mut rng, 2047);
         let packed = gzip_compress(&data, CompressionLevel::Best);
-        prop_assert_eq!(gzip_decompress(&packed).unwrap(), data);
+        assert_eq!(gzip_decompress(&packed).unwrap(), data);
     }
+}
 
-    #[test]
-    fn lz77_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn lz77_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xF400 + case);
+        let data = random_bytes(&mut rng, 2047);
         for params in [MatchParams::fast(), MatchParams::best()] {
             let tokens = tokenize(&data, params);
-            prop_assert_eq!(detokenize(&tokens).unwrap(), data.clone());
+            assert_eq!(detokenize(&tokens).unwrap(), data);
         }
     }
+}
 
-    #[test]
-    fn inflate_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn inflate_never_panics_on_garbage() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xF500 + case);
+        let data = random_bytes(&mut rng, 511);
         // Any result is fine; the decoder must simply not panic or hang.
         let _ = inflate(&data);
         let _ = gzip_decompress(&data);
     }
+}
 
-    #[test]
-    fn corrupted_gzip_detected(
-        data in prop::collection::vec(any::<u8>(), 64..512),
-        flip in 18usize..64,
-    ) {
+#[test]
+fn corrupted_gzip_detected() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0xF600 + case);
+        let len = rng.range_usize(64, 512);
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let mut packed = gzip_compress(&data, CompressionLevel::Best);
-        let idx = flip % packed.len();
+        let idx = rng.range_usize(18, 64) % packed.len();
         if idx >= 10 {
             packed[idx] ^= 0x01;
             // Either an error, or (vanishingly unlikely) identical output.
-            if let Ok(out) = gzip_decompress(&packed) { prop_assert_eq!(out, data) }
+            if let Ok(out) = gzip_decompress(&packed) {
+                assert_eq!(out, data);
+            }
         }
     }
 }

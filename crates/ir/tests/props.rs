@@ -1,57 +1,83 @@
-//! Property tests: random well-formed trees survive the text and binary
-//! representations unchanged.
+//! Randomized (deterministic, seeded) tests: random well-formed trees
+//! survive the text and binary representations unchanged, and the
+//! decoders are total on garbage.
 
+use codecomp_core::fault::XorShift64;
 use codecomp_ir::binary::{decode_module, encode_module};
 use codecomp_ir::op::{IrType, Op, Opcode};
 use codecomp_ir::parse::{parse_module, parse_tree};
 use codecomp_ir::tree::{Function, Global, Module, Tree};
-use proptest::prelude::*;
 
-/// A strategy producing arbitrary well-formed expression trees.
-fn expr_tree() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        (-300_000i64..300_000).prop_map(Tree::cnst_auto),
-        (-500i32..500).prop_map(Tree::addr_local),
-        (0i32..64).prop_map(Tree::addr_formal),
-        "[a-z][a-z0-9_]{0,6}".prop_map(Tree::addr_global),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (any::<u8>(), inner.clone()).prop_map(|(sel, kid)| {
-                let ty = [IrType::I, IrType::C, IrType::S, IrType::U][usize::from(sel % 4)];
-                Tree::indir(ty, kid)
-            }),
-            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(sel, a, b)| {
-                let ops = [
-                    Opcode::Add,
-                    Opcode::Sub,
-                    Opcode::Mul,
-                    Opcode::BAnd,
-                    Opcode::BOr,
-                    Opcode::BXor,
-                    Opcode::Lsh,
-                    Opcode::Rsh,
-                ];
-                Tree::binary(ops[usize::from(sel) % ops.len()], IrType::I, a, b)
-            }),
-            inner
-                .clone()
-                .prop_map(|k| Tree::unary(Op::new(Opcode::Neg, IrType::I), k)),
-            inner
-                .clone()
-                .prop_map(|k| Tree::unary(Op::cvt(IrType::C, IrType::I), k)),
-            (inner.clone(), inner).prop_map(|(a, v)| Tree::asgn(IrType::I, a, v)),
-        ]
-    })
+const CASES: u64 = 128;
+
+fn ident(rng: &mut XorShift64) -> String {
+    let first = (b'a' + rng.below(26) as u8) as char;
+    let mut s = String::from(first);
+    for _ in 0..rng.below(7) {
+        let c = match rng.below(37) {
+            v @ 0..=25 => (b'a' + v as u8) as char,
+            v @ 26..=35 => (b'0' + (v - 26) as u8) as char,
+            _ => '_',
+        };
+        s.push(c);
+    }
+    s
 }
 
-/// Statement trees (what function bodies hold).
-fn stmt_tree() -> impl Strategy<Value = Tree> {
-    prop_oneof![
-        (expr_tree(), expr_tree()).prop_map(|(a, v)| Tree::asgn(IrType::I, a, v)),
-        expr_tree().prop_map(|v| Tree::arg(IrType::I, v)),
-        expr_tree().prop_map(|v| Tree::ret(IrType::I, v)),
-        (any::<u8>(), expr_tree(), expr_tree()).prop_map(|(sel, a, b)| {
+fn leaf(rng: &mut XorShift64) -> Tree {
+    match rng.below(4) {
+        0 => Tree::cnst_auto(rng.range_i64(-300_000, 300_000)),
+        1 => Tree::addr_local(rng.range_i64(-500, 500) as i32),
+        2 => Tree::addr_formal(rng.range_i64(0, 64) as i32),
+        _ => Tree::addr_global(&ident(rng)),
+    }
+}
+
+fn expr_tree(rng: &mut XorShift64, depth: usize) -> Tree {
+    if depth == 0 || rng.chance(1, 4) {
+        return leaf(rng);
+    }
+    match rng.below(5) {
+        0 => {
+            let ty = [IrType::I, IrType::C, IrType::S, IrType::U][rng.below(4) as usize];
+            Tree::indir(ty, expr_tree(rng, depth - 1))
+        }
+        1 => {
+            let ops = [
+                Opcode::Add,
+                Opcode::Sub,
+                Opcode::Mul,
+                Opcode::BAnd,
+                Opcode::BOr,
+                Opcode::BXor,
+                Opcode::Lsh,
+                Opcode::Rsh,
+            ];
+            let op = ops[rng.below(ops.len() as u64) as usize];
+            let a = expr_tree(rng, depth - 1);
+            let b = expr_tree(rng, depth - 1);
+            Tree::binary(op, IrType::I, a, b)
+        }
+        2 => Tree::unary(Op::new(Opcode::Neg, IrType::I), expr_tree(rng, depth - 1)),
+        3 => Tree::unary(Op::cvt(IrType::C, IrType::I), expr_tree(rng, depth - 1)),
+        _ => {
+            let a = expr_tree(rng, depth - 1);
+            let v = expr_tree(rng, depth - 1);
+            Tree::asgn(IrType::I, a, v)
+        }
+    }
+}
+
+fn stmt_tree(rng: &mut XorShift64) -> Tree {
+    match rng.below(4) {
+        0 => {
+            let a = expr_tree(rng, 3);
+            let v = expr_tree(rng, 3);
+            Tree::asgn(IrType::I, a, v)
+        }
+        1 => Tree::arg(IrType::I, expr_tree(rng, 3)),
+        2 => Tree::ret(IrType::I, expr_tree(rng, 3)),
+        _ => {
             let ops = [
                 Opcode::Eq,
                 Opcode::Ne,
@@ -60,9 +86,12 @@ fn stmt_tree() -> impl Strategy<Value = Tree> {
                 Opcode::Gt,
                 Opcode::Ge,
             ];
-            Tree::branch(ops[usize::from(sel) % ops.len()], IrType::I, 1, a, b)
-        }),
-    ]
+            let op = ops[rng.below(ops.len() as u64) as usize];
+            let a = expr_tree(rng, 3);
+            let b = expr_tree(rng, 3);
+            Tree::branch(op, IrType::I, 1, a, b)
+        }
+    }
 }
 
 fn module(trees: Vec<Tree>, globals: Vec<(String, u32)>) -> Module {
@@ -83,44 +112,64 @@ fn module(trees: Vec<Tree>, globals: Vec<(String, u32)>) -> Module {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn tree_print_parse_roundtrip(t in expr_tree()) {
+#[test]
+fn tree_print_parse_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x1A00 + case);
+        let t = expr_tree(&mut rng, 4);
         let text = t.to_string();
         let back = parse_tree(&text).unwrap();
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    #[test]
-    fn module_text_roundtrip(trees in prop::collection::vec(stmt_tree(), 0..12)) {
+#[test]
+fn module_text_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x1B00 + case);
+        let trees = (0..rng.below(12)).map(|_| stmt_tree(&mut rng)).collect();
         let m = module(trees, vec![("g0".into(), 8)]);
         let text = m.to_string();
         let back = parse_module(&text).unwrap();
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m);
     }
+}
 
-    #[test]
-    fn module_binary_roundtrip(
-        trees in prop::collection::vec(stmt_tree(), 0..12),
-        globals in prop::collection::vec(("[a-z][a-z0-9]{0,5}", 1u32..64), 0..4),
-    ) {
+#[test]
+fn module_binary_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x1C00 + case);
+        let trees = (0..rng.below(12)).map(|_| stmt_tree(&mut rng)).collect();
         let mut names = std::collections::HashSet::new();
-        let globals: Vec<(String, u32)> =
-            globals.into_iter().filter(|(n, _)| names.insert(n.clone())).collect();
+        let globals: Vec<(String, u32)> = (0..rng.below(4))
+            .map(|_| (ident(&mut rng), 1 + rng.below(63) as u32))
+            .filter(|(n, _)| names.insert(n.clone()))
+            .collect();
         let m = module(trees, globals);
         let bytes = encode_module(&m).unwrap();
-        prop_assert_eq!(decode_module(&bytes).unwrap(), m);
+        assert_eq!(decode_module(&bytes).unwrap(), m);
     }
+}
 
-    #[test]
-    fn binary_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn binary_decoder_never_panics() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x1D00 + case);
+        let len = rng.below(256) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = decode_module(&bytes);
     }
+}
 
-    #[test]
-    fn text_parser_never_panics(text in "[A-Za-z0-9\\[\\]\\(\\),*$ -]{0,80}") {
+#[test]
+fn text_parser_never_panics() {
+    const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789[](),*$ -";
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x1E00 + case);
+        let len = rng.below(81) as usize;
+        let text: String = (0..len)
+            .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize] as char)
+            .collect();
         let _ = parse_tree(&text);
         let _ = parse_module(&text);
     }

@@ -1,107 +1,160 @@
-//! Property tests: random instructions survive the assembly and binary
-//! representations; the encoders never panic on arbitrary bytes.
+//! Randomized (deterministic, seeded) tests: random instructions survive
+//! the assembly and binary representations; the decoders never panic on
+//! arbitrary bytes.
 
+use codecomp_core::fault::XorShift64;
 use codecomp_vm::asm::{parse_inst, parse_program};
 use codecomp_vm::encode::{base_op, decode_inst, encode_inst, fields, inst_size, rebuild};
 use codecomp_vm::isa::{AluOp, Cond, FuncRef, Inst, MemWidth};
 use codecomp_vm::reg::Reg;
-use proptest::prelude::*;
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(Reg::new)
+const CASES: u64 = 256;
+
+fn reg(rng: &mut XorShift64) -> Reg {
+    Reg::new(rng.below(16) as u8)
 }
 
-fn mem_width() -> impl Strategy<Value = MemWidth> {
-    prop_oneof![
-        Just(MemWidth::Byte),
-        Just(MemWidth::Short),
-        Just(MemWidth::Word)
-    ]
+fn mem_width(rng: &mut XorShift64) -> MemWidth {
+    [MemWidth::Byte, MemWidth::Short, MemWidth::Word][rng.below(3) as usize]
 }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+fn alu_op(rng: &mut XorShift64) -> AluOp {
+    AluOp::ALL[rng.below(AluOp::ALL.len() as u64) as usize]
 }
 
-fn cond() -> impl Strategy<Value = Cond> {
-    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+fn cond(rng: &mut XorShift64) -> Cond {
+    Cond::ALL[rng.below(Cond::ALL.len() as u64) as usize]
+}
+
+fn any_i32(rng: &mut XorShift64) -> i32 {
+    rng.next_u64() as i32
+}
+
+fn ident(rng: &mut XorShift64) -> String {
+    let mut s = String::from((b'a' + rng.below(26) as u8) as char);
+    for _ in 0..rng.below(9) {
+        let c = match rng.below(37) {
+            v @ 0..=25 => (b'a' + v as u8) as char,
+            v @ 26..=35 => (b'0' + (v - 26) as u8) as char,
+            _ => '_',
+        };
+        s.push(c);
+    }
+    s
 }
 
 /// Any encodable instruction (labels excluded).
-fn inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
-        (reg(), reg()).prop_map(|(rd, rs)| Inst::Mov { rd, rs }),
-        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs, rt)| Inst::Alu { op, rd, rs, rt }),
-        (alu_op(), reg(), reg(), any::<i32>()).prop_map(|(op, rd, rs, imm)| Inst::AluImm {
-            op,
-            rd,
-            rs,
-            imm
-        }),
-        (reg(), reg()).prop_map(|(rd, rs)| Inst::Neg { rd, rs }),
-        (reg(), reg()).prop_map(|(rd, rs)| Inst::Not { rd, rs }),
-        (
-            prop_oneof![Just(MemWidth::Byte), Just(MemWidth::Short)],
-            reg(),
-            reg()
-        )
-            .prop_map(|(width, rd, rs)| Inst::Sext { width, rd, rs }),
-        (mem_width(), reg(), any::<i32>(), reg()).prop_map(|(width, rd, off, base)| Inst::Load {
-            width,
-            rd,
-            off,
-            base
-        }),
-        (mem_width(), reg(), any::<i32>(), reg()).prop_map(|(width, rs, off, base)| Inst::Store {
-            width,
-            rs,
-            off,
-            base
-        }),
-        (reg(), -4096i32..4096).prop_map(|(rs, off)| Inst::Spill { rs, off }),
-        (reg(), -4096i32..4096).prop_map(|(rd, off)| Inst::Reload { rd, off }),
-        (0i32..100_000).prop_map(|amount| Inst::Enter { amount }),
-        (0i32..100_000).prop_map(|amount| Inst::Exit { amount }),
-        (cond(), reg(), reg(), 0u32..1000).prop_map(|(cond, rs, rt, target)| Inst::Branch {
-            cond,
-            rs,
-            rt,
-            target
-        }),
-        (cond(), reg(), any::<i32>(), 0u32..1000).prop_map(|(cond, rs, imm, target)| {
-            Inst::BranchImm {
-                cond,
-                rs,
-                imm,
-                target,
-            }
-        }),
-        (0u32..1000).prop_map(|target| Inst::Jump { target }),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|name| Inst::Call {
-            target: FuncRef::Symbol(name)
-        }),
-        reg().prop_map(|rs| Inst::CallR { rs }),
-        reg().prop_map(|rs| Inst::Rjr { rs }),
-        Just(Inst::Epi),
-        Just(Inst::Nop),
-        (reg(), reg(), reg()).prop_map(|(rd, rs, rn)| Inst::Bcopy { rd, rs, rn }),
-        (reg(), reg()).prop_map(|(rd, rn)| Inst::Bzero { rd, rn }),
-    ]
+fn inst(rng: &mut XorShift64) -> Inst {
+    match rng.below(23) {
+        0 => Inst::Li {
+            rd: reg(rng),
+            imm: any_i32(rng),
+        },
+        1 => Inst::Mov {
+            rd: reg(rng),
+            rs: reg(rng),
+        },
+        2 => Inst::Alu {
+            op: alu_op(rng),
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        3 => Inst::AluImm {
+            op: alu_op(rng),
+            rd: reg(rng),
+            rs: reg(rng),
+            imm: any_i32(rng),
+        },
+        4 => Inst::Neg {
+            rd: reg(rng),
+            rs: reg(rng),
+        },
+        5 => Inst::Not {
+            rd: reg(rng),
+            rs: reg(rng),
+        },
+        6 => Inst::Sext {
+            width: [MemWidth::Byte, MemWidth::Short][rng.below(2) as usize],
+            rd: reg(rng),
+            rs: reg(rng),
+        },
+        7 => Inst::Load {
+            width: mem_width(rng),
+            rd: reg(rng),
+            off: any_i32(rng),
+            base: reg(rng),
+        },
+        8 => Inst::Store {
+            width: mem_width(rng),
+            rs: reg(rng),
+            off: any_i32(rng),
+            base: reg(rng),
+        },
+        9 => Inst::Spill {
+            rs: reg(rng),
+            off: rng.range_i64(-4096, 4096) as i32,
+        },
+        10 => Inst::Reload {
+            rd: reg(rng),
+            off: rng.range_i64(-4096, 4096) as i32,
+        },
+        11 => Inst::Enter {
+            amount: rng.range_i64(0, 100_000) as i32,
+        },
+        12 => Inst::Exit {
+            amount: rng.range_i64(0, 100_000) as i32,
+        },
+        13 => Inst::Branch {
+            cond: cond(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+            target: rng.below(1000) as u32,
+        },
+        14 => Inst::BranchImm {
+            cond: cond(rng),
+            rs: reg(rng),
+            imm: any_i32(rng),
+            target: rng.below(1000) as u32,
+        },
+        15 => Inst::Jump {
+            target: rng.below(1000) as u32,
+        },
+        16 => Inst::Call {
+            target: FuncRef::Symbol(ident(rng)),
+        },
+        17 => Inst::CallR { rs: reg(rng) },
+        18 => Inst::Rjr { rs: reg(rng) },
+        19 => Inst::Epi,
+        20 => Inst::Nop,
+        21 => Inst::Bcopy {
+            rd: reg(rng),
+            rs: reg(rng),
+            rn: reg(rng),
+        },
+        _ => Inst::Bzero {
+            rd: reg(rng),
+            rn: reg(rng),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn asm_text_roundtrip(i in inst()) {
+#[test]
+fn asm_text_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2A00 + case);
+        let i = inst(&mut rng);
         let text = i.to_string();
         let back = parse_inst(&text, 1).unwrap();
-        prop_assert_eq!(back, i);
+        assert_eq!(back, i);
     }
+}
 
-    #[test]
-    fn binary_roundtrip(insts in prop::collection::vec(inst(), 1..32)) {
+#[test]
+fn binary_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2B00 + case);
+        let insts: Vec<Inst> = (0..rng.range_usize(1, 32)).map(|_| inst(&mut rng)).collect();
         let mut symbols: Vec<String> = Vec::new();
         let mut buf = Vec::new();
         for i in &insts {
@@ -117,28 +170,41 @@ proptest! {
         let mut pos = 0;
         for i in &insts {
             let back = decode_inst(&buf, &mut pos, &symbols).unwrap();
-            prop_assert_eq!(&back, i);
+            assert_eq!(&back, i);
         }
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(pos, buf.len());
     }
+}
 
-    #[test]
-    fn size_matches_encoding(i in inst()) {
+#[test]
+fn size_matches_encoding() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2C00 + case);
+        let i = inst(&mut rng);
         let mut buf = Vec::new();
         let mut intern = |_: &str| 0u16;
         encode_inst(&i, &mut intern, &mut buf).unwrap();
-        prop_assert_eq!(buf.len(), inst_size(&i));
+        assert_eq!(buf.len(), inst_size(&i));
     }
+}
 
-    #[test]
-    fn field_view_roundtrip(i in inst()) {
+#[test]
+fn field_view_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2D00 + case);
+        let i = inst(&mut rng);
         let op = base_op(&i);
         let fs = fields(&i);
-        prop_assert_eq!(rebuild(op, &fs).unwrap(), i);
+        assert_eq!(rebuild(op, &fs).unwrap(), i);
     }
+}
 
-    #[test]
-    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn decoder_never_panics() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2E00 + case);
+        let len = rng.below(64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let symbols = vec!["f".to_string()];
         let mut pos = 0;
         while pos < bytes.len() {
@@ -147,9 +213,17 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn asm_parser_never_panics(text in "[a-z0-9.,() $L-]{0,40}") {
+#[test]
+fn asm_parser_never_panics() {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.,() $L-";
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2F00 + case);
+        let len = rng.below(41) as usize;
+        let text: String = (0..len)
+            .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize] as char)
+            .collect();
         let _ = parse_inst(&text, 1);
         let _ = parse_program(&text);
     }

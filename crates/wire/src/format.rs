@@ -16,6 +16,16 @@ use codecomp_ir::tree::{Function, Global, Module, Tree};
 
 const MAGIC: &[u8; 4] = b"CCWF";
 
+/// Maximum decoded symbols per index stream. An attacker-supplied count
+/// above this is rejected before any decode work happens; the adaptive
+/// arithmetic coder can represent near-zero bits per symbol, so without
+/// this cap a tiny payload could demand unbounded decode effort.
+const MAX_STREAM_LEN: usize = 1 << 22;
+
+/// Maximum nesting depth when decoding a serialized tree pattern;
+/// bounds stack use against hand-crafted deeply-nested inputs.
+const MAX_PATTERN_DEPTH: usize = 128;
+
 /// Index-coder selection for the MTF index streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Coder {
@@ -205,7 +215,10 @@ pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
     }
     let options = WireOptions::from_byte(c.u8()?)?;
     let n_sections = c.uvarint()? as usize;
-    let mut sections: Vec<(String, Vec<u8>)> = Vec::with_capacity(n_sections);
+    // Cap pre-allocation by what the input could possibly hold (every
+    // section needs at least two bytes); the loop still reads exactly
+    // `n_sections` entries or errors on truncation.
+    let mut sections: Vec<(String, Vec<u8>)> = Vec::with_capacity(n_sections.min(c.remaining() / 2));
     for _ in 0..n_sections {
         let key = c.string()?;
         let len = c.uvarint()? as usize;
@@ -239,10 +252,11 @@ pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
     // Meta.
     let mut mc = Cursor::new(&meta);
     let nglobals = mc.uvarint()? as usize;
-    let mut globals = Vec::with_capacity(nglobals);
+    let mut globals = Vec::with_capacity(nglobals.min(mc.remaining() / 3));
     for _ in 0..nglobals {
         let name = mc.string()?;
-        let size = mc.uvarint()? as u32;
+        let size = u32::try_from(mc.uvarint()?)
+            .map_err(|_| WireError::Corrupt("global size out of range".into()))?;
         let init_len = mc.uvarint()? as usize;
         globals.push(Global {
             name,
@@ -251,11 +265,12 @@ pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
         });
     }
     let nfuncs = mc.uvarint()? as usize;
-    let mut func_meta = Vec::with_capacity(nfuncs);
+    let mut func_meta = Vec::with_capacity(nfuncs.min(mc.remaining() / 4));
     for _ in 0..nfuncs {
         let name = mc.string()?;
         let params = mc.uvarint()? as usize;
-        let frame = mc.uvarint()? as u32;
+        let frame = u32::try_from(mc.uvarint()?)
+            .map_err(|_| WireError::Corrupt("frame size out of range".into()))?;
         let stmts = mc.uvarint()? as usize;
         func_meta.push((name, params, frame, stmts));
     }
@@ -309,7 +324,9 @@ pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
     };
     let mut cursor = 0usize;
     for (name, params, frame, stmts) in func_meta {
-        if cursor + stmts > trees.len() {
+        // `stmts` is attacker-controlled; compare without `cursor + stmts`,
+        // which could overflow.
+        if stmts > trees.len() - cursor {
             return Err(WireError::Corrupt(
                 "statement count overruns tree stream".into(),
             ));
@@ -343,7 +360,7 @@ fn encode_pattern(out: &mut Vec<u8>, pat: &TreePattern) -> Result<(), WireError>
 
 fn decode_pattern(c: &mut Cursor<'_>) -> Result<TreePattern, WireError> {
     let count = c.uvarint()? as usize;
-    let (pat, used) = decode_pattern_node(c)?;
+    let (pat, used) = decode_pattern_node(c, 0)?;
     if used != count {
         return Err(WireError::Corrupt(format!(
             "pattern node count mismatch: header {count}, actual {used}"
@@ -352,7 +369,12 @@ fn decode_pattern(c: &mut Cursor<'_>) -> Result<TreePattern, WireError> {
     Ok(pat)
 }
 
-fn decode_pattern_node(c: &mut Cursor<'_>) -> Result<(TreePattern, usize), WireError> {
+fn decode_pattern_node(c: &mut Cursor<'_>, depth: usize) -> Result<(TreePattern, usize), WireError> {
+    if depth > MAX_PATTERN_DEPTH {
+        return Err(WireError::Corrupt(format!(
+            "pattern nesting deeper than {MAX_PATTERN_DEPTH}"
+        )));
+    }
     let byte = c.u8()?;
     let desc = desc_for_byte(byte)
         .ok_or_else(|| WireError::Corrupt(format!("unknown operator byte {byte}")))?;
@@ -364,7 +386,7 @@ fn decode_pattern_node(c: &mut Cursor<'_>) -> Result<(TreePattern, usize), WireE
     let mut kids = Vec::with_capacity(arity);
     let mut used = 1usize;
     for _ in 0..arity {
-        let (k, n) = decode_pattern_node(c)?;
+        let (k, n) = decode_pattern_node(c, depth + 1)?;
         used += n;
         kids.push(k);
     }
@@ -464,7 +486,7 @@ fn decode_symbol_stream<T>(
     mut read_entry: impl FnMut(&mut Cursor<'_>) -> Result<T, WireError>,
 ) -> Result<(Vec<T>, Vec<u32>), WireError> {
     let table_len = c.uvarint()? as usize;
-    let mut table = Vec::with_capacity(table_len);
+    let mut table = Vec::with_capacity(table_len.min(c.remaining()));
     for _ in 0..table_len {
         table.push(read_entry(c)?);
     }
@@ -590,9 +612,14 @@ fn decode_indices(
     if count == 0 {
         return Ok(Vec::new());
     }
+    if count > MAX_STREAM_LEN {
+        return Err(WireError::Corrupt(format!(
+            "index stream of {count} symbols exceeds the {MAX_STREAM_LEN} limit"
+        )));
+    }
     match coder {
         Coder::Raw => {
-            let mut out = Vec::with_capacity(count);
+            let mut out = Vec::with_capacity(count.min(c.remaining()));
             for _ in 0..count {
                 out.push(
                     u32::try_from(c.uvarint()?)

@@ -59,6 +59,15 @@ impl fmt::Display for WireError {
 
 impl Error for WireError {}
 
+impl From<WireError> for codecomp_core::DecodeError {
+    fn from(e: WireError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            WireError::Corrupt(m) | WireError::Layer(m) => DecodeError::malformed(m),
+        }
+    }
+}
+
 impl From<codecomp_flate::FlateError> for WireError {
     fn from(e: codecomp_flate::FlateError) -> Self {
         WireError::Layer(format!("deflate: {e}"))

@@ -1,0 +1,43 @@
+//! Wire-format edge cases: degenerate modules and hostile containers.
+
+use codecomp_front::compile;
+use codecomp_ir::Module;
+use codecomp_wire::{compress, decompress, WireOptions};
+
+#[test]
+fn empty_module_roundtrips() {
+    let module = Module::new();
+    let packed = compress(&module, WireOptions::default()).unwrap();
+    assert_eq!(decompress(&packed.bytes).unwrap(), module);
+}
+
+#[test]
+fn zero_function_module_with_globals_roundtrips() {
+    // Globals only; the function-count field is zero on the wire.
+    let module = compile("int g = 5; char buf[16]; int zeros[4];").unwrap();
+    assert!(module.functions.is_empty());
+    let packed = compress(&module, WireOptions::default()).unwrap();
+    assert_eq!(decompress(&packed.bytes).unwrap(), module);
+}
+
+#[test]
+fn empty_input_rejected() {
+    assert!(decompress(&[]).is_err());
+}
+
+#[test]
+fn bad_magic_rejected() {
+    let module = Module::new();
+    let mut bytes = compress(&module, WireOptions::default()).unwrap().bytes;
+    bytes[0] ^= 0xFF;
+    assert!(decompress(&bytes).is_err());
+}
+
+#[test]
+fn every_prefix_of_a_real_image_rejected() {
+    let module = compile("int main() { return 40 + 2; }").unwrap();
+    let bytes = compress(&module, WireOptions::default()).unwrap().bytes;
+    for len in 0..bytes.len() {
+        assert!(decompress(&bytes[..len]).is_err(), "prefix {len} accepted");
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from anywhere; works fully
+# offline (the workspace has no crates.io dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> ci.sh: all checks passed"

@@ -69,12 +69,12 @@ fn usage() -> Result<ExitCode, AnyError> {
         "usage:
   codecomp compile <src.c> [-o out.ccir]
   codecomp dis <src.c|.ccir>
-  codecomp run <src.c|.ccir|.ccwf|.ccbr> [--tier ir|vm|brisc|jit] [-- args...]
+  codecomp run <src.c|.ccir|.ccwf|.ccbr> [--tier ir|vm|brisc|jit] [--fuel N] [-- args...]
   codecomp wire pack <src.c|.ccir> [-o out.ccwf]
   codecomp wire unpack <in.ccwf> [-o out.ccir]
   codecomp wire info <in.ccwf>
   codecomp brisc pack <src.c|.ccir> [-o out.ccbr]
-  codecomp brisc run <in.ccbr> [-- args...]
+  codecomp brisc run <in.ccbr> [--fuel N] [-- args...]
   codecomp brisc info <in.ccbr>"
     );
     Ok(ExitCode::FAILURE)
@@ -85,6 +85,7 @@ struct Parsed<'a> {
     positional: Vec<&'a str>,
     output: Option<&'a str>,
     tier: Option<&'a str>,
+    fuel: Option<u64>,
     trailing: Vec<i64>,
 }
 
@@ -93,6 +94,7 @@ fn parse(args: &[String]) -> Result<Parsed<'_>, AnyError> {
         positional: Vec::new(),
         output: None,
         tier: None,
+        fuel: None,
         trailing: Vec::new(),
     };
     let mut it = args.iter().map(String::as_str).peekable();
@@ -100,6 +102,13 @@ fn parse(args: &[String]) -> Result<Parsed<'_>, AnyError> {
         match a {
             "-o" => p.output = Some(it.next().ok_or("-o needs a path")?),
             "--tier" => p.tier = Some(it.next().ok_or("--tier needs a value")?),
+            "--fuel" => {
+                let v = it.next().ok_or("--fuel needs a value")?;
+                p.fuel = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--fuel must be an integer, got {v:?}"))?,
+                );
+            }
             "--" => {
                 for t in it.by_ref() {
                     p.trailing.push(
@@ -172,41 +181,42 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, AnyError> {
     let tier = p.tier.unwrap_or("vm");
 
     // Compressed images run directly.
+    let fuel = p.fuel.unwrap_or(FUEL);
     if input.ends_with(".ccbr") {
-        return run_brisc_image(input, &p.trailing);
+        return run_brisc_image(input, &p.trailing, fuel);
     }
     if input.ends_with(".ccwf") {
         let bytes = std::fs::read(input)?;
         let module = decompress(&bytes)?;
-        return finish(run_module(&module, tier, &p.trailing)?);
+        return finish(run_module(&module, tier, &p.trailing, fuel)?);
     }
     let module = load_module(input)?;
-    finish(run_module(&module, tier, &p.trailing)?)
+    finish(run_module(&module, tier, &p.trailing, fuel)?)
 }
 
 /// Runs a module under the requested tier; returns (value, output).
-fn run_module(module: &Module, tier: &str, args: &[i64]) -> Result<(i64, Vec<u8>), AnyError> {
+fn run_module(module: &Module, tier: &str, args: &[i64], fuel: u64) -> Result<(i64, Vec<u8>), AnyError> {
     match tier {
         "ir" => {
-            let out = Evaluator::new(module, MEM, FUEL)?.run("main", args)?;
+            let out = Evaluator::new(module, MEM, fuel)?.run("main", args)?;
             Ok((out.value, out.output))
         }
         "vm" => {
             let vm = compile_module(module, IsaConfig::full())?;
-            let out = Machine::new(&vm, MEM, FUEL)?.run("main", args)?;
+            let out = Machine::new(&vm, MEM, fuel)?.run("main", args)?;
             Ok((out.value, out.output))
         }
         "brisc" => {
             let vm = compile_module(module, IsaConfig::full())?;
             let report = brisc_compress(&vm, BriscOptions::default())?;
-            let out = BriscMachine::new(&report.image, MEM, FUEL)?.run("main", args)?;
+            let out = BriscMachine::new(&report.image, MEM, fuel)?.run("main", args)?;
             Ok((out.value, out.output))
         }
         "jit" => {
             let vm = compile_module(module, IsaConfig::full())?;
             let report = brisc_compress(&vm, BriscOptions::default())?;
             let fast = translate(&report.image)?;
-            let out = Machine::new(&fast, MEM, FUEL)?.run("main", args)?;
+            let out = Machine::new(&fast, MEM, fuel)?.run("main", args)?;
             Ok((out.value, out.output))
         }
         other => Err(format!("unknown tier {other:?} (ir|vm|brisc|jit)").into()),
@@ -298,10 +308,10 @@ fn cmd_brisc_pack(args: &[String]) -> Result<ExitCode, AnyError> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn run_brisc_image(path: &str, args: &[i64]) -> Result<ExitCode, AnyError> {
+fn run_brisc_image(path: &str, args: &[i64], fuel: u64) -> Result<ExitCode, AnyError> {
     let bytes = std::fs::read(path)?;
     let image = BriscImage::from_bytes(&bytes)?;
-    let mut machine = BriscMachine::new(&image, MEM, FUEL)?;
+    let mut machine = BriscMachine::new(&image, MEM, fuel)?;
     let out = machine.run("main", args)?;
     print!("{}", String::from_utf8_lossy(&out.output));
     println!("=> {}", out.value);
@@ -313,7 +323,7 @@ fn cmd_brisc_run(args: &[String]) -> Result<ExitCode, AnyError> {
     let [input] = p.positional[..] else {
         return usage();
     };
-    run_brisc_image(input, &p.trailing)
+    run_brisc_image(input, &p.trailing, p.fuel.unwrap_or(FUEL))
 }
 
 fn cmd_brisc_info(args: &[String]) -> Result<ExitCode, AnyError> {

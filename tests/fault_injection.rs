@@ -1,0 +1,138 @@
+//! Fault-injection harness: every decoder must be *total*.
+//!
+//! For each corpus program we build the three serialized artifacts the
+//! toolchain ships — a wire-format image, a gzip member, and a BRISC
+//! image — then attack each decoder two ways:
+//!
+//! 1. truncation at **every** prefix boundary of the payload, and
+//! 2. ≥ 1,000 seeded mutations (truncations, single-bit flips, random
+//!    byte splices) from [`mutation_schedule`].
+//!
+//! A decoder may reject a mutated input (any error is fine) or accept
+//! it (a mutation can be semantically neutral), but it must never
+//! panic. Unmutated payloads must round-trip bit-exactly.
+//!
+//! Everything is deterministic: the mutation streams come from the
+//! in-tree xorshift PRNG, so a failing seed reproduces exactly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use code_compression::brisc::compress::{compress as brisc_compress, BriscOptions};
+use code_compression::brisc::interp::BriscMachine;
+use code_compression::brisc::BriscImage;
+use code_compression::core::fault::mutation_schedule;
+use code_compression::corpus::benchmarks;
+use code_compression::flate::{gzip_compress, gzip_decompress, CompressionLevel};
+use code_compression::ir::Module;
+use code_compression::vm::codegen::compile_module;
+use code_compression::vm::isa::IsaConfig;
+use code_compression::wire::{compress as wire_compress, decompress as wire_decompress, WireOptions};
+
+/// Seeded mutations per payload. Three corpus programs per decoder
+/// puts every decoder comfortably past the 1,000-mutation floor.
+const MUTATIONS_PER_PAYLOAD: usize = 350;
+
+/// Three small corpus programs (smallest sources compile and mutate
+/// fastest; the decoders under attack are the same regardless).
+fn test_modules() -> Vec<(&'static str, Module)> {
+    let mut suite = benchmarks();
+    suite.sort_by_key(|b| b.source.len());
+    suite
+        .iter()
+        .take(3)
+        .map(|b| (b.name, b.compile().expect("corpus programs compile")))
+        .collect()
+}
+
+/// Runs `decode` over every prefix of `payload` and over the seeded
+/// mutation schedule, asserting that no input panics.
+fn attack(what: &str, payload: &[u8], seed: u64, decode: impl Fn(&[u8])) {
+    for len in 0..payload.len() {
+        let prefix = &payload[..len];
+        let r = catch_unwind(AssertUnwindSafe(|| decode(prefix)));
+        assert!(r.is_ok(), "{what}: decoder panicked on {len}-byte prefix");
+    }
+    for (i, m) in mutation_schedule(seed, payload.len(), MUTATIONS_PER_PAYLOAD)
+        .iter()
+        .enumerate()
+    {
+        let mutated = m.apply(payload);
+        let r = catch_unwind(AssertUnwindSafe(|| decode(&mutated)));
+        assert!(
+            r.is_ok(),
+            "{what}: decoder panicked on mutation {i} ({m:?}, seed {seed:#x})"
+        );
+    }
+}
+
+#[test]
+fn wire_decoder_is_total_under_mutation() {
+    for (i, (name, module)) in test_modules().iter().enumerate() {
+        let packed = wire_compress(module, WireOptions::default()).expect("wire compress");
+        let back = wire_decompress(&packed.bytes).expect("valid image decodes");
+        assert_eq!(&back, module, "{name}: wire round-trip not bit-exact");
+        attack(
+            &format!("wire/{name}"),
+            &packed.bytes,
+            0x57AB_0000 + i as u64,
+            |bytes| {
+                let _ = wire_decompress(bytes);
+            },
+        );
+    }
+}
+
+#[test]
+fn gzip_decoder_is_total_under_mutation() {
+    for (i, (name, module)) in test_modules().iter().enumerate() {
+        // Gzip the wire image: a realistic, DEFLATE-rich payload.
+        let inner = wire_compress(module, WireOptions::default())
+            .expect("wire compress")
+            .bytes;
+        let payload = gzip_compress(&inner, CompressionLevel::Best);
+        assert_eq!(
+            gzip_decompress(&payload).expect("valid member decodes"),
+            inner,
+            "{name}: gzip round-trip not bit-exact"
+        );
+        attack(
+            &format!("gzip/{name}"),
+            &payload,
+            0x6210_0000 + i as u64,
+            |bytes| {
+                let _ = gzip_decompress(bytes);
+            },
+        );
+    }
+}
+
+#[test]
+fn brisc_loader_and_interpreter_are_total_under_mutation() {
+    for (i, (name, module)) in test_modules().iter().enumerate() {
+        let vm = compile_module(module, IsaConfig::full()).expect("codegen");
+        let image = brisc_compress(&vm, BriscOptions::default())
+            .expect("brisc compress")
+            .image;
+        let payload = image.to_bytes();
+        assert_eq!(
+            BriscImage::from_bytes(&payload).expect("valid image loads"),
+            image,
+            "{name}: brisc image round-trip not bit-exact"
+        );
+        attack(
+            &format!("brisc/{name}"),
+            &payload,
+            0xB415_0000 + i as u64,
+            |bytes| {
+                // A mutated image that still loads must also be safe to
+                // *run*: the in-place interpreter decodes lazily, so the
+                // loader alone does not exercise the code stream.
+                if let Ok(img) = BriscImage::from_bytes(bytes) {
+                    if let Ok(mut m) = BriscMachine::new(&img, 1 << 16, 2_048) {
+                        let _ = m.run("main", &[]);
+                    }
+                }
+            },
+        );
+    }
+}

@@ -1,81 +1,117 @@
-//! Workspace-level property tests: random programs from the synthetic
-//! generator survive the entire pipeline with exact agreement.
+//! Workspace-level randomized (deterministic, seeded) tests: random
+//! programs from the synthetic generator survive the entire pipeline
+//! with exact agreement.
 
 use code_compression::brisc::interp::BriscMachine;
 use code_compression::brisc::{compress as brisc_compress, BriscOptions};
+use code_compression::core::fault::XorShift64;
 use code_compression::corpus::{synthetic, SynthConfig};
 use code_compression::front::compile;
 use code_compression::ir::eval::Evaluator;
 use code_compression::vm::codegen::compile_module;
 use code_compression::vm::interp::Machine;
 use code_compression::vm::isa::IsaConfig;
-use code_compression::wire::{compress as wire_compress, decompress, WireOptions};
-use proptest::prelude::*;
+use code_compression::wire::{compress as wire_compress, decompress, Coder, WireOptions};
 
+const CASES: u64 = 12;
 const MEM: u32 = 1 << 22;
 const FUEL: u64 = 1 << 26;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any generated program: IR evaluator, VM interpreter, and BRISC
-    /// in-place interpreter agree exactly.
-    #[test]
-    fn generated_programs_agree_across_tiers(seed in 0u64..10_000) {
+/// Any generated program: IR evaluator, VM interpreter, and BRISC
+/// in-place interpreter agree exactly.
+#[test]
+fn generated_programs_agree_across_tiers() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x4A00 + case);
+        let seed = rng.below(10_000);
         let src = synthetic(
             seed,
-            SynthConfig { functions: 10, statements_per_function: 6, globals: 4 },
+            SynthConfig {
+                functions: 10,
+                statements_per_function: 6,
+                globals: 4,
+            },
         );
         let ir = compile(&src).expect("generated programs compile");
-        let reference = Evaluator::new(&ir, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+        let reference = Evaluator::new(&ir, MEM, FUEL)
+            .unwrap()
+            .run("main", &[])
+            .unwrap();
 
         let vm = compile_module(&ir, IsaConfig::full()).unwrap();
-        let vm_out = Machine::new(&vm, MEM, FUEL).unwrap().run("main", &[]).unwrap();
-        prop_assert_eq!(vm_out.value, reference.value);
+        let vm_out = Machine::new(&vm, MEM, FUEL)
+            .unwrap()
+            .run("main", &[])
+            .unwrap();
+        assert_eq!(vm_out.value, reference.value);
 
         let report = brisc_compress(&vm, BriscOptions::default()).unwrap();
-        let out = BriscMachine::new(&report.image, MEM, FUEL).unwrap().run("main", &[]).unwrap();
-        prop_assert_eq!(out.value, reference.value);
+        let out = BriscMachine::new(&report.image, MEM, FUEL)
+            .unwrap()
+            .run("main", &[])
+            .unwrap();
+        assert_eq!(out.value, reference.value);
     }
+}
 
-    /// Any generated program round-trips through the wire format under
-    /// randomized pipeline options.
-    #[test]
-    fn generated_programs_wire_roundtrip(
-        seed in 0u64..10_000,
-        split in any::<bool>(),
-        mtf in any::<bool>(),
-        coder_sel in 0u8..3,
-        deflate in any::<bool>(),
-    ) {
+/// Any generated program round-trips through the wire format under
+/// randomized pipeline options.
+#[test]
+fn generated_programs_wire_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x4B00 + case);
+        let seed = rng.below(10_000);
         let src = synthetic(
             seed,
-            SynthConfig { functions: 6, statements_per_function: 5, globals: 3 },
+            SynthConfig {
+                functions: 6,
+                statements_per_function: 5,
+                globals: 3,
+            },
         );
         let ir = compile(&src).expect("generated programs compile");
-        let coder = match coder_sel {
-            0 => code_compression::wire::Coder::Raw,
-            1 => code_compression::wire::Coder::Huffman,
-            _ => code_compression::wire::Coder::Arithmetic,
+        let coder = match rng.below(3) {
+            0 => Coder::Raw,
+            1 => Coder::Huffman,
+            _ => Coder::Arithmetic,
         };
-        let options = WireOptions { split_streams: split, mtf, coder, deflate };
+        let options = WireOptions {
+            split_streams: rng.chance(1, 2),
+            mtf: rng.chance(1, 2),
+            coder,
+            deflate: rng.chance(1, 2),
+        };
         let packed = wire_compress(&ir, options).unwrap();
-        prop_assert_eq!(decompress(&packed.bytes).unwrap(), ir);
+        assert_eq!(decompress(&packed.bytes).unwrap(), ir);
     }
+}
 
-    /// De-tuned ISA variants compute the same values.
-    #[test]
-    fn generated_programs_agree_across_isa_variants(seed in 0u64..10_000) {
+/// De-tuned ISA variants compute the same values.
+#[test]
+fn generated_programs_agree_across_isa_variants() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x4C00 + case);
+        let seed = rng.below(10_000);
         let src = synthetic(
             seed,
-            SynthConfig { functions: 6, statements_per_function: 5, globals: 3 },
+            SynthConfig {
+                functions: 6,
+                statements_per_function: 5,
+                globals: 3,
+            },
         );
         let ir = compile(&src).expect("generated programs compile");
-        let reference = Evaluator::new(&ir, MEM, FUEL).unwrap().run("main", &[]).unwrap();
+        let reference = Evaluator::new(&ir, MEM, FUEL)
+            .unwrap()
+            .run("main", &[])
+            .unwrap();
         for (_, isa) in IsaConfig::variants() {
             let vm = compile_module(&ir, isa).unwrap();
-            let out = Machine::new(&vm, MEM, FUEL).unwrap().run("main", &[]).unwrap();
-            prop_assert_eq!(out.value, reference.value);
+            let out = Machine::new(&vm, MEM, FUEL)
+                .unwrap()
+                .run("main", &[])
+                .unwrap();
+            assert_eq!(out.value, reference.value);
         }
     }
 }

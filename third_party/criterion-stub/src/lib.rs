@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace must build with `--offline` and no registry cache, so
+//! the real criterion crate can never be resolved. This stub is patched
+//! over `crates.io` in the workspace manifest and mirrors the small API
+//! surface `benches/microbench.rs` uses: the `criterion_group!` /
+//! `criterion_main!` macros, the `Criterion` builder, benchmark groups,
+//! `Throughput`, and `Bencher::iter`. Measurements are simple wall-clock
+//! medians — good enough for a smoke signal, not for publication-grade
+//! statistics. Delete the `[patch.crates-io]` entry to use the real
+//! crate where a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness configuration, mirroring criterion's builder.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (per-sample budget here).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            config: self.clone(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    config: Criterion,
+}
+
+impl BenchmarkGroup {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints a single-line summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { median: None };
+        // Warm-up pass, then `sample_size` timed samples.
+        f(&mut bencher);
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            f(&mut bencher);
+            if let Some(m) = bencher.median.take() {
+                samples.push(m);
+            }
+        }
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        let rate = self.throughput.and_then(|t| match t {
+            Throughput::Bytes(b) => rate_str(b, median, "B/s"),
+            Throughput::Elements(e) => rate_str(e, median, "elem/s"),
+        });
+        match rate {
+            Some(r) => println!("{}/{id}: {median:?}/iter ({r})", self.name),
+            None => println!("{}/{id}: {median:?}/iter", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (no-op; matches criterion's API).
+    pub fn finish(self) {}
+}
+
+fn rate_str(units: u64, per_iter: Duration, suffix: &str) -> Option<String> {
+    let secs = per_iter.as_secs_f64();
+    if secs <= 0.0 {
+        return None;
+    }
+    Some(format!("{:.3e} {suffix}", units as f64 / secs))
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` and records the per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to settle caches, then a short timed batch.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u32;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= 3 && start.elapsed() >= Duration::from_millis(1) {
+                break;
+            }
+            if iters == u32::MAX {
+                break;
+            }
+        }
+        self.median = Some(start.elapsed() / iters);
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
