@@ -1,0 +1,146 @@
+//! Inflate throughput tracker: measures DEFLATE decode speed on
+//! corpus-derived payloads and records the result in
+//! `BENCH_inflate.json` so successive PRs have a perf trajectory.
+//!
+//! Usage (via `scripts/bench.sh`, from the repo root):
+//!
+//! ```text
+//! bench_inflate                   # measure, update "current", keep baseline
+//! bench_inflate --record-baseline # measure, (re)record the baseline too
+//! ```
+//!
+//! The JSON is deliberately flat and hand-parsed: the workspace builds
+//! offline with no serde, and the only field later runs need back is
+//! the baseline throughput.
+
+use codecomp_corpus::{benchmarks, synthetic, SynthConfig};
+use codecomp_flate::deflate::deflate_compress_fixed;
+use codecomp_flate::{deflate_compress, inflate, CompressionLevel};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OUT_PATH: &str = "BENCH_inflate.json";
+/// Decompressed payload size all throughput figures are measured on.
+const PAYLOAD_LEN: usize = 1 << 20;
+
+/// Corpus-derived plaintext: the bundled benchmark sources followed by
+/// *distinct* synthetic translation units up to [`PAYLOAD_LEN`] bytes.
+/// Distinct units keep the match/literal mix realistic — cycling one
+/// source would collapse the whole payload into maximal matches and
+/// measure the copy loop instead of Huffman decoding.
+fn corpus_payload() -> Vec<u8> {
+    let mut data = Vec::with_capacity(PAYLOAD_LEN + 4096);
+    for b in benchmarks() {
+        data.extend_from_slice(b.source.as_bytes());
+    }
+    let mut seed = 1u64;
+    while data.len() < PAYLOAD_LEN {
+        data.extend_from_slice(synthetic(seed, SynthConfig::default()).as_bytes());
+        seed += 1;
+    }
+    data.truncate(PAYLOAD_LEN);
+    data
+}
+
+/// Median wall-clock throughput of `f` in MiB/s over `samples` runs,
+/// where each run decodes `bytes_out` bytes.
+fn measure(bytes_out: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = times[times.len() / 2];
+    bytes_out as f64 / median / (1024.0 * 1024.0)
+}
+
+/// Extracts the number following `"key":` inside the named JSON section.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let end = tail.find('}').unwrap_or(tail.len());
+    let body = &tail[..end];
+    let k = body.find(&format!("\"{key}\""))?;
+    let after = &body[k..];
+    let colon = after.find(':')?;
+    let num: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+
+    let data = corpus_payload();
+    let fixed = deflate_compress_fixed(&data, CompressionLevel::Best);
+    let dynamic = deflate_compress(&data, CompressionLevel::Best);
+    assert_eq!(inflate(&fixed).expect("fixed payload decodes"), data);
+    assert_eq!(inflate(&dynamic).expect("dynamic payload decodes"), data);
+
+    let fixed_mib_s = measure(data.len(), 15, || {
+        inflate(&fixed).expect("decodes");
+    });
+    let dynamic_mib_s = measure(data.len(), 15, || {
+        inflate(&dynamic).expect("decodes");
+    });
+
+    let prior = std::fs::read_to_string(OUT_PATH).unwrap_or_default();
+    let (base_fixed, base_dynamic) = if record_baseline || prior.is_empty() {
+        (fixed_mib_s, dynamic_mib_s)
+    } else {
+        (
+            extract(&prior, "baseline", "fixed_mib_s").unwrap_or(fixed_mib_s),
+            extract(&prior, "baseline", "dynamic_mib_s").unwrap_or(dynamic_mib_s),
+        )
+    };
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"inflate\",").unwrap();
+    writeln!(
+        json,
+        "  \"payload\": \"corpus benchmark sources cycled to {PAYLOAD_LEN} bytes\","
+    )
+    .unwrap();
+    writeln!(json, "  \"samples\": 15,").unwrap();
+    writeln!(json, "  \"baseline\": {{").unwrap();
+    writeln!(json, "    \"decoder\": \"bit-at-a-time Huffman walk\",").unwrap();
+    writeln!(json, "    \"fixed_mib_s\": {base_fixed:.1},").unwrap();
+    writeln!(json, "    \"dynamic_mib_s\": {base_dynamic:.1}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"current\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"decoder\": \"two-level table + 64-bit reservoir\","
+    )
+    .unwrap();
+    writeln!(json, "    \"fixed_mib_s\": {fixed_mib_s:.1},").unwrap();
+    writeln!(json, "    \"dynamic_mib_s\": {dynamic_mib_s:.1}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(
+        json,
+        "  \"speedup_fixed\": {:.2},",
+        fixed_mib_s / base_fixed
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"speedup_dynamic\": {:.2}",
+        dynamic_mib_s / base_dynamic
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_inflate.json");
+    println!("inflate fixed:   {fixed_mib_s:.1} MiB/s (baseline {base_fixed:.1})");
+    println!("inflate dynamic: {dynamic_mib_s:.1} MiB/s (baseline {base_dynamic:.1})");
+    println!("wrote {OUT_PATH}");
+}

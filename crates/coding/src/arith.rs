@@ -19,9 +19,9 @@
 //! let mut model = AdaptiveModel::new(3);
 //! let mut enc = ArithEncoder::new();
 //! for &s in &data {
-//!     let (lo, hi) = model.bounds(s);
+//!     let (lo, hi) = model.bounds(s)?;
 //!     enc.encode(lo, hi, model.total())?;
-//!     model.update(s);
+//!     model.update(s)?;
 //! }
 //! let bytes = enc.finish();
 //!
@@ -29,9 +29,9 @@
 //! let mut dec = ArithDecoder::new(&bytes)?;
 //! for &expect in &data {
 //!     let point = dec.decode_point(model.total())?;
-//!     let (sym, lo, hi) = model.locate(point);
+//!     let (sym, lo, hi) = model.locate(point)?;
 //!     dec.consume(lo, hi, model.total())?;
-//!     model.update(sym);
+//!     model.update(sym)?;
 //!     assert_eq!(sym, expect);
 //! }
 //! # Ok(())
@@ -129,7 +129,7 @@ impl ArithEncoder {
                 alphabet: table.len(),
             });
         }
-        let (lo, hi) = table.bounds(symbol);
+        let (lo, hi) = table.bounds(symbol)?;
         self.encode(lo, hi, table.total())
     }
 
@@ -243,8 +243,8 @@ impl<'a> ArithDecoder<'a> {
     /// As for [`ArithDecoder::decode_point`] / [`ArithDecoder::consume`].
     pub fn decode_with_table(&mut self, table: &FrequencyTable) -> Result<usize, CodingError> {
         let point = self.decode_point(table.total())?;
-        let sym = table.symbol_for(point);
-        let (lo, hi) = table.bounds(sym);
+        let sym = table.symbol_for(point)?;
+        let (lo, hi) = table.bounds(sym)?;
         self.consume(lo, hi, table.total())?;
         Ok(sym)
     }
@@ -256,10 +256,14 @@ pub fn compress_bytes_adaptive(data: &[u8]) -> Vec<u8> {
     let mut model = AdaptiveModel::new(256);
     let mut enc = ArithEncoder::new();
     for &b in data {
-        let (lo, hi) = model.bounds(b as usize);
+        let (lo, hi) = model
+            .bounds(b as usize)
+            .expect("byte symbols fit the 256-symbol model");
         enc.encode(lo, hi, model.total())
             .expect("adaptive model always yields valid intervals");
-        model.update(b as usize);
+        model
+            .update(b as usize)
+            .expect("byte symbols fit the 256-symbol model");
     }
     enc.finish()
 }
@@ -275,9 +279,9 @@ pub fn decompress_bytes_adaptive(bytes: &[u8], len: usize) -> Result<Vec<u8>, Co
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         let point = dec.decode_point(model.total())?;
-        let (sym, lo, hi) = model.locate(point);
+        let (sym, lo, hi) = model.locate(point)?;
         dec.consume(lo, hi, model.total())?;
-        model.update(sym);
+        model.update(sym)?;
         out.push(sym as u8);
     }
     Ok(out)

@@ -9,6 +9,7 @@
 //! the paper's dedicated basic-block-entry context provided by reserving
 //! a context symbol.
 
+use crate::CodingError;
 use std::collections::HashMap;
 
 /// A cumulative frequency table over symbols `0..n`, for arithmetic coding.
@@ -75,19 +76,37 @@ impl FrequencyTable {
     }
 
     /// `(low, high)` cumulative bounds of `symbol`.
-    pub fn bounds(&self, symbol: usize) -> (u32, u32) {
-        (self.cumulative[symbol], self.cumulative[symbol + 1])
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::SymbolOutOfRange`] for a symbol outside the
+    /// alphabet.
+    pub fn bounds(&self, symbol: usize) -> Result<(u32, u32), CodingError> {
+        if symbol >= self.freqs.len() {
+            return Err(CodingError::SymbolOutOfRange {
+                symbol,
+                alphabet: self.freqs.len(),
+            });
+        }
+        Ok((self.cumulative[symbol], self.cumulative[symbol + 1]))
     }
 
     /// The symbol whose cumulative interval contains `point`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `point >= self.total()`.
-    pub fn symbol_for(&self, point: u32) -> usize {
-        assert!(point < self.total, "point beyond cumulative total");
+    /// [`CodingError::InvalidModel`] if `point >= self.total()` — a
+    /// corrupt stream can hand the decoder any point, so this is a
+    /// data error, not a programmer error.
+    pub fn symbol_for(&self, point: u32) -> Result<usize, CodingError> {
+        if point >= self.total {
+            return Err(CodingError::InvalidModel(format!(
+                "point {point} beyond cumulative total {}",
+                self.total
+            )));
+        }
         // Binary search over the cumulative bounds.
-        match self.cumulative.binary_search(&point) {
+        Ok(match self.cumulative.binary_search(&point) {
             Ok(mut i) => {
                 // `point` equals a boundary; skip zero-width intervals.
                 while self.cumulative[i + 1] == self.cumulative[i] {
@@ -96,16 +115,27 @@ impl FrequencyTable {
                 i
             }
             Err(i) => i - 1,
-        }
+        })
     }
 
     /// Increments `symbol` by `delta`, rebuilding the cumulative table.
     ///
     /// This is O(n); adaptive coders that update per symbol should prefer
     /// [`AdaptiveModel`].
-    pub fn bump(&mut self, symbol: usize, delta: u32) {
-        self.freqs[symbol] += delta;
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::SymbolOutOfRange`] for a symbol outside the
+    /// alphabet.
+    pub fn bump(&mut self, symbol: usize, delta: u32) -> Result<(), CodingError> {
+        let alphabet = self.freqs.len();
+        let f = self
+            .freqs
+            .get_mut(symbol)
+            .ok_or(CodingError::SymbolOutOfRange { symbol, alphabet })?;
+        *f += delta;
         *self = Self::from_freqs(std::mem::take(&mut self.freqs));
+        Ok(())
     }
 }
 
@@ -146,32 +176,63 @@ impl AdaptiveModel {
     }
 
     /// `(low, high)` cumulative bounds of `symbol` (computed by scan).
-    pub fn bounds(&self, symbol: usize) -> (u32, u32) {
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::SymbolOutOfRange`] for a symbol outside the
+    /// alphabet.
+    pub fn bounds(&self, symbol: usize) -> Result<(u32, u32), CodingError> {
+        if symbol >= self.freqs.len() {
+            return Err(CodingError::SymbolOutOfRange {
+                symbol,
+                alphabet: self.freqs.len(),
+            });
+        }
         let low: u32 = self.freqs[..symbol].iter().sum();
-        (low, low + self.freqs[symbol])
+        Ok((low, low + self.freqs[symbol]))
     }
 
     /// The symbol whose interval contains `point`, with its bounds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `point >= self.total()`.
-    pub fn locate(&self, point: u32) -> (usize, u32, u32) {
-        assert!(point < self.total, "point beyond cumulative total");
+    /// [`CodingError::InvalidModel`] if `point >= self.total()` — the
+    /// point comes from decoder state driven by untrusted input.
+    pub fn locate(&self, point: u32) -> Result<(usize, u32, u32), CodingError> {
+        if point >= self.total {
+            return Err(CodingError::InvalidModel(format!(
+                "point {point} beyond cumulative total {}",
+                self.total
+            )));
+        }
         let mut low = 0u32;
         for (sym, &f) in self.freqs.iter().enumerate() {
             if point < low + f {
-                return (sym, low, low + f);
+                return Ok((sym, low, low + f));
             }
             low += f;
         }
-        unreachable!("point < total guarantees a containing interval")
+        // point < total and the frequencies sum to total, so some
+        // interval above must have contained it.
+        Err(CodingError::InvalidModel(
+            "cumulative frequencies do not cover the total".into(),
+        ))
     }
 
     /// Records an occurrence of `symbol`, halving all counts when the
     /// total would exceed the coder's precision bound.
-    pub fn update(&mut self, symbol: usize) {
-        self.freqs[symbol] += self.increment;
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::SymbolOutOfRange`] for a symbol outside the
+    /// alphabet.
+    pub fn update(&mut self, symbol: usize) -> Result<(), CodingError> {
+        let alphabet = self.freqs.len();
+        let f = self
+            .freqs
+            .get_mut(symbol)
+            .ok_or(CodingError::SymbolOutOfRange { symbol, alphabet })?;
+        *f += self.increment;
         self.total += self.increment;
         if self.total > self.max_total {
             self.total = 0;
@@ -180,6 +241,7 @@ impl AdaptiveModel {
                 self.total += *f;
             }
         }
+        Ok(())
     }
 }
 
@@ -224,12 +286,19 @@ impl ContextModel {
 
     /// Accumulates counts from `stream` (symbols must be `< alphabet`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any symbol is out of range.
-    pub fn train(&mut self, stream: &[u32]) {
+    /// [`CodingError::SymbolOutOfRange`] for any symbol outside the
+    /// alphabet; counts accumulated before the offending symbol are
+    /// kept.
+    pub fn train(&mut self, stream: &[u32]) -> Result<(), CodingError> {
         for (i, &sym) in stream.iter().enumerate() {
-            assert!((sym as usize) < self.alphabet, "symbol out of range");
+            if sym as usize >= self.alphabet {
+                return Err(CodingError::SymbolOutOfRange {
+                    symbol: sym as usize,
+                    alphabet: self.alphabet,
+                });
+            }
             self.order0[sym as usize] += 1;
             if self.order > 0 && i >= self.order {
                 let ctx = stream[i - self.order..i].to_vec();
@@ -238,6 +307,7 @@ impl ContextModel {
                     .or_insert_with(|| vec![0; self.alphabet])[sym as usize] += 1;
             }
         }
+        Ok(())
     }
 
     /// Raw order-0 counts.
@@ -275,7 +345,9 @@ impl ContextModel {
             let ctx_start = i.saturating_sub(self.order);
             let counts = self.counts_for(&stream[ctx_start..i]);
             let total: u64 = counts.iter().map(|&c| c.max(1)).sum();
-            let c = counts[sym as usize].max(1);
+            // Out-of-alphabet symbols estimate as count 1 rather than
+            // panicking: the estimate is advisory, not a decode path.
+            let c = counts.get(sym as usize).copied().unwrap_or(0).max(1);
             bits += (total as f64 / c as f64).log2();
         }
         bits
@@ -290,18 +362,19 @@ mod tests {
     fn frequency_table_bounds_partition_the_range() {
         let t = FrequencyTable::with_smoothing(&[3, 0, 5]);
         assert_eq!(t.total(), 9); // 3 + 1 (smoothed) + 5
-        assert_eq!(t.bounds(0), (0, 3));
-        assert_eq!(t.bounds(1), (3, 4));
-        assert_eq!(t.bounds(2), (4, 9));
+        assert_eq!(t.bounds(0).unwrap(), (0, 3));
+        assert_eq!(t.bounds(1).unwrap(), (3, 4));
+        assert_eq!(t.bounds(2).unwrap(), (4, 9));
+        assert!(t.bounds(3).is_err());
     }
 
     #[test]
     fn symbol_for_inverts_bounds() {
         let t = FrequencyTable::with_smoothing(&[3, 1, 5, 2]);
         for sym in 0..4 {
-            let (lo, hi) = t.bounds(sym);
+            let (lo, hi) = t.bounds(sym).unwrap();
             for p in lo..hi {
-                assert_eq!(t.symbol_for(p), sym);
+                assert_eq!(t.symbol_for(p).unwrap(), sym);
             }
         }
     }
@@ -311,7 +384,7 @@ mod tests {
         let t = FrequencyTable::with_smoothing(&[u64::from(u32::MAX), 1]);
         assert!(t.total() <= 1 << 16);
         assert!(
-            t.bounds(1).1 > t.bounds(1).0,
+            t.bounds(1).unwrap().1 > t.bounds(1).unwrap().0,
             "rare symbol keeps nonzero width"
         );
     }
@@ -319,14 +392,14 @@ mod tests {
     #[test]
     fn adaptive_model_update_shifts_mass() {
         let mut m = AdaptiveModel::new(4);
-        let before = m.bounds(2);
+        let before = m.bounds(2).unwrap();
         for _ in 0..10 {
-            m.update(2);
+            m.update(2).unwrap();
         }
-        let after = m.bounds(2);
+        let after = m.bounds(2).unwrap();
         assert!(after.1 - after.0 > before.1 - before.0);
         // locate() agrees with bounds().
-        let (sym, lo, hi) = m.locate(after.0);
+        let (sym, lo, hi) = m.locate(after.0).unwrap();
         assert_eq!((sym, lo, hi), (2, after.0, after.1));
     }
 
@@ -334,11 +407,11 @@ mod tests {
     fn adaptive_model_rescale_keeps_all_symbols_codable() {
         let mut m = AdaptiveModel::new(3);
         for _ in 0..10_000 {
-            m.update(0);
+            m.update(0).unwrap();
         }
         assert!(m.total() <= 1 << 16);
         for s in 0..3 {
-            let (lo, hi) = m.bounds(s);
+            let (lo, hi) = m.bounds(s).unwrap();
             assert!(hi > lo);
         }
     }
@@ -348,7 +421,7 @@ mod tests {
         // Alternating stream: after 0 always comes 1 and vice versa.
         let stream: Vec<u32> = (0..100).map(|i| i % 2).collect();
         let mut m = ContextModel::new(1, 2);
-        m.train(&stream);
+        m.train(&stream).unwrap();
         let after0 = m.counts_for(&[0]);
         assert!(after0[1] > 0 && after0[0] == 0);
         let after1 = m.counts_for(&[1]);
@@ -358,7 +431,7 @@ mod tests {
     #[test]
     fn context_model_falls_back_to_order0() {
         let mut m = ContextModel::new(2, 4);
-        m.train(&[0, 1, 2, 3]);
+        m.train(&[0, 1, 2, 3]).unwrap();
         // Context never observed: falls back to order-0 counts.
         assert_eq!(m.counts_for(&[3, 3]), m.order0_counts());
         // Context shorter than order: same.
@@ -369,15 +442,20 @@ mod tests {
     fn higher_order_model_estimates_fewer_bits_on_structured_input() {
         let stream: Vec<u32> = (0..400).map(|i| (i % 4) as u32).collect();
         let mut m0 = ContextModel::new(0, 4);
-        m0.train(&stream);
+        m0.train(&stream).unwrap();
         let mut m1 = ContextModel::new(1, 4);
-        m1.train(&stream);
+        m1.train(&stream).unwrap();
         assert!(m1.estimate_bits(&stream) < m0.estimate_bits(&stream));
     }
 
     #[test]
-    #[should_panic(expected = "symbol out of range")]
-    fn train_panics_on_out_of_range() {
-        ContextModel::new(1, 2).train(&[5]);
+    fn train_rejects_out_of_range() {
+        assert_eq!(
+            ContextModel::new(1, 2).train(&[5]),
+            Err(CodingError::SymbolOutOfRange {
+                symbol: 5,
+                alphabet: 2
+            })
+        );
     }
 }

@@ -145,7 +145,7 @@ fn context_model_estimate_is_finite_and_positive() {
         let data: Vec<u32> = (0..len).map(|_| rng.below(8) as u32).collect();
         let order = rng.below(3) as usize;
         let mut m = ContextModel::new(order, 8);
-        m.train(&data);
+        m.train(&data).unwrap();
         let bits = m.estimate_bits(&data);
         assert!(bits.is_finite());
         assert!(bits >= 0.0);

@@ -267,6 +267,26 @@ pub fn deflate_compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
     w.finish()
 }
 
+/// Compresses `data` as a single fixed-Huffman block, regardless of
+/// whether stored or dynamic coding would be cheaper.
+///
+/// The cost-based [`deflate_compress`] only emits a fixed block when it
+/// wins, so benchmarks and the differential harness use this to obtain
+/// streams guaranteed to exercise the fixed-code decode path.
+pub fn deflate_compress_fixed(data: &[u8], level: CompressionLevel) -> Vec<u8> {
+    let tokens = lz77::tokenize(data, level.params());
+    let mut w = LsbBitWriter::new();
+    w.write_bits(1, 1); // BFINAL
+    w.write_bits(0b01, 2); // fixed
+    write_tokens(
+        &mut w,
+        &tokens,
+        &fixed_litlen_lengths(),
+        &fixed_dist_lengths(),
+    );
+    w.finish()
+}
+
 fn write_stored(w: &mut LsbBitWriter, data: &[u8]) {
     let chunks: Vec<&[u8]> = if data.is_empty() {
         vec![&[]]

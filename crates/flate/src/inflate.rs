@@ -1,23 +1,164 @@
-//! DEFLATE decoding (RFC 1951).
+//! DEFLATE decoding (RFC 1951) — the table-driven fast path.
+//!
+//! This is the hottest decode path in the reproduction: the paper's
+//! wire format finishes by gzipping its split streams, so every
+//! compressed image funnels through [`inflate`]. Decoding is built on
+//! two components:
+//!
+//! - a **64-bit bit reservoir** ([`BitSource`]) that refills from the
+//!   input a byte-batch at a time instead of pulling single bits, and
+//! - a **two-level Huffman lookup table** ([`Decoder`]): a root table
+//!   indexed by the next [`ROOT_BITS`] bits resolves every short code
+//!   in one probe; codes longer than the root width chain through a
+//!   per-prefix overflow subtable (at most one extra probe, since
+//!   DEFLATE codes are ≤ 15 bits).
+//!
+//! Correctness is pinned by `crate::reference` — a deliberately naive,
+//! table-free RFC 1951 decoder with no shared code — via the
+//! differential harness in `tests/differential.rs`. Both decoders
+//! follow the same **truncation rule** so their error categories can be
+//! compared: a symbol is resolved against the zero-padded tail of the
+//! stream; if the matched code needs more bits than the stream holds
+//! the error is `Truncated`, and if no code can match (possible only
+//! under a degenerate distance table) the error is `Corrupt`.
 
 use crate::deflate::{
     fixed_dist_lengths, fixed_litlen_lengths, CLC_ORDER, DIST_TABLE, LENGTH_TABLE,
 };
 use crate::FlateError;
-use codecomp_coding::bits::LsbBitReader;
 use codecomp_coding::huffman::canonical_codes;
 
-/// A Huffman decoding table for LSB-first DEFLATE streams.
+/// Root table index width. 10 bits resolves every fixed-tree code (≤ 9
+/// bits) and the vast majority of dynamic codes in one probe while
+/// keeping the root table at 1 Ki entries.
+const ROOT_BITS: u32 = 10;
+/// Table-entry flag marking a link from the root into a subtable.
+const LINK: u32 = 1 << 31;
+
+/// A byte-batched LSB-first bit reader with a 64-bit reservoir.
 ///
-/// Decoding walks bit by bit through the canonical code space; code
-/// lengths in DEFLATE are at most 15 so the walk is short.
+/// The reservoir always holds the next `count` unconsumed bits in its
+/// low-order positions; [`BitSource::refill`] tops it up to ≥ 56 bits
+/// (or to end of input), so a refill covers a whole litlen + extra +
+/// distance + extra sequence (15+5+15+13 = 48 bits worst case).
+#[derive(Debug)]
+struct BitSource<'a> {
+    data: &'a [u8],
+    /// Next byte of `data` to load into the reservoir.
+    next: usize,
+    /// The next `count` stream bits, LSB first; upper bits are zero.
+    bits: u64,
+    count: u32,
+}
+
+impl<'a> BitSource<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            next: 0,
+            bits: 0,
+            count: 0,
+        }
+    }
+
+    /// Tops the reservoir up to ≥ 56 bits or to end of input.
+    ///
+    /// The fast path loads 8 bytes in one unaligned read and advances
+    /// by however many whole bytes fit, so bytes at the top of the
+    /// load may be read again by the next refill — the OR is
+    /// idempotent because they carry identical values. Within 8 bytes
+    /// of the end it falls back to a byte loop, which keeps `count`
+    /// exact and the bits above it zero (the zero padding the decode
+    /// truncation rule relies on).
+    #[inline]
+    fn refill(&mut self) {
+        if self.next + 8 <= self.data.len() {
+            let chunk = u64::from_le_bytes(self.data[self.next..self.next + 8].try_into().unwrap());
+            self.bits |= chunk << self.count;
+            self.next += ((63 - self.count) >> 3) as usize;
+            self.count |= 56;
+        } else {
+            while self.count <= 56 {
+                match self.data.get(self.next) {
+                    Some(&b) => {
+                        self.bits |= u64::from(b) << self.count;
+                        self.count += 8;
+                        self.next += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Drops `n` already-available bits (`n <= self.count`).
+    #[inline]
+    fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.count);
+        self.bits >>= n;
+        self.count -= n;
+    }
+
+    /// Reads `n ≤ 32` bits LSB-first, failing with `Truncated` when the
+    /// stream holds fewer.
+    #[inline]
+    fn read_bits(&mut self, n: u32) -> Result<u32, FlateError> {
+        self.refill();
+        self.take_bits(n)
+    }
+
+    /// As [`BitSource::read_bits`] but without refilling: the caller
+    /// must have refilled and consumed at most 56 bits since. A
+    /// shortfall is then a genuine end-of-stream.
+    #[inline]
+    fn take_bits(&mut self, n: u32) -> Result<u32, FlateError> {
+        if self.count < n {
+            return Err(FlateError::Truncated);
+        }
+        let v = (self.bits & ((1u64 << n) - 1)) as u32;
+        self.consume(n);
+        Ok(v)
+    }
+
+    /// Skips forward to the next byte boundary of the underlying stream.
+    fn align_to_byte(&mut self) {
+        // The reservoir is filled in whole bytes, so the stream position
+        // is misaligned by exactly `count % 8` bits.
+        let drop = self.count % 8;
+        self.consume(drop);
+    }
+
+    /// Reads `len` whole bytes after aligning to a byte boundary.
+    fn read_aligned_bytes(&mut self, len: usize) -> Result<&'a [u8], FlateError> {
+        self.align_to_byte();
+        // Position of the first unconsumed byte in `data`.
+        let pos = self.next - (self.count / 8) as usize;
+        let end = pos.checked_add(len).ok_or(FlateError::Truncated)?;
+        if end > self.data.len() {
+            return Err(FlateError::Truncated);
+        }
+        self.next = end;
+        self.bits = 0;
+        self.count = 0;
+        Ok(&self.data[pos..end])
+    }
+}
+
+/// A two-level Huffman decoding table for LSB-first DEFLATE streams.
+///
+/// `table[0 .. 1<<root_bits]` is the root, indexed by the next
+/// `root_bits` stream bits (which hold the code's leading bits, since
+/// DEFLATE transmits codes MSB-first into LSB-first bit order). Root
+/// entries are either direct hits, links into an overflow subtable
+/// stored after the root, or invalid. Entry layout:
+///
+/// - `0`: invalid — no code matches this pattern (degenerate tables).
+/// - direct: `(symbol << 5) | code_len`.
+/// - link (root only): `LINK | (subtable_base << 5) | subtable_bits`.
 #[derive(Debug)]
 struct Decoder {
-    /// `(length, code) -> symbol`, stored as per-length sorted ranges.
-    count: [u32; 16],
-    first_code: [u32; 16],
-    first_index: [u32; 16],
-    symbols: Vec<u16>,
+    table: Vec<u32>,
+    root_bits: u32,
 }
 
 /// How strictly a code-length set must fill the code space.
@@ -34,11 +175,18 @@ enum Completeness {
     ExactOrDegenerate,
 }
 
+/// Reverses the low `len` bits of `code`.
+#[inline]
+fn reverse_bits(code: u32, len: u32) -> u32 {
+    code.reverse_bits() >> (32 - len)
+}
+
 impl Decoder {
     #[allow(clippy::needless_range_loop)] // Kraft accumulation is index-keyed
     fn from_lengths(lengths: &[u8], completeness: Completeness) -> Result<Self, FlateError> {
         let mut count = [0u32; 16];
         let mut used = 0u32;
+        let mut max_len = 0u32;
         for &l in lengths {
             if l > 15 {
                 return Err(FlateError::Corrupt("code length > 15".into()));
@@ -46,6 +194,7 @@ impl Decoder {
             if l > 0 {
                 count[l as usize] += 1;
                 used += 1;
+                max_len = max_len.max(u32::from(l));
             }
         }
         let mut kraft: u64 = 0;
@@ -61,43 +210,109 @@ impl Decoder {
                 "incomplete (undersubscribed) code lengths".into(),
             ));
         }
+
+        // Canonical first-code per length (MSB-first code values).
         let mut first_code = [0u32; 16];
-        let mut first_index = [0u32; 16];
         let mut code = 0u32;
-        let mut index = 0u32;
         for len in 1..16 {
             code = (code + count[len - 1]) << 1;
             first_code[len] = code;
-            first_index[len] = index;
-            index += count[len];
         }
-        let mut symbols = vec![0u16; index as usize];
-        let mut next = first_index;
+
+        let root_bits = max_len.clamp(1, ROOT_BITS);
+        let mut table = vec![0u32; 1 << root_bits];
+
+        // Pass 1: direct entries for codes that fit in the root, and the
+        // per-prefix maximum length of the codes that do not.
+        let mut next_code = first_code;
+        let mut sub_max: Vec<u32> = Vec::new();
+        let mut assigned: Vec<(u16, u32, u32)> = Vec::new(); // (sym, len, rev)
         for (sym, &l) in lengths.iter().enumerate() {
-            if l > 0 {
-                symbols[next[l as usize] as usize] = sym as u16;
-                next[l as usize] += 1;
+            if l == 0 {
+                continue;
+            }
+            let len = u32::from(l);
+            let rev = reverse_bits(next_code[l as usize], len);
+            next_code[l as usize] += 1;
+            assigned.push((sym as u16, len, rev));
+            if len <= root_bits {
+                let entry = ((sym as u32) << 5) | len;
+                let mut idx = rev as usize;
+                while idx < 1 << root_bits {
+                    table[idx] = entry;
+                    idx += 1 << len;
+                }
+            } else {
+                if sub_max.is_empty() {
+                    sub_max = vec![0u32; 1 << root_bits];
+                }
+                let prefix = (rev & ((1 << root_bits) - 1)) as usize;
+                sub_max[prefix] = sub_max[prefix].max(len - root_bits);
             }
         }
-        Ok(Self {
-            count,
-            first_code,
-            first_index,
-            symbols,
-        })
+
+        // Pass 2: allocate subtables and fill the long codes.
+        if !sub_max.is_empty() {
+            for prefix in 0..1usize << root_bits {
+                let sub_bits = sub_max[prefix];
+                if sub_bits == 0 {
+                    continue;
+                }
+                let base = table.len() as u32;
+                table.resize(table.len() + (1 << sub_bits), 0);
+                table[prefix] = LINK | (base << 5) | sub_bits;
+                for &(sym, len, rev) in &assigned {
+                    if len <= root_bits || (rev & ((1 << root_bits) - 1)) as usize != prefix {
+                        continue;
+                    }
+                    let entry = (u32::from(sym) << 5) | len;
+                    let sub_rev = (rev >> root_bits) as usize;
+                    let mut idx = sub_rev;
+                    while idx < 1 << sub_bits {
+                        table[base as usize + idx] = entry;
+                        idx += 1 << (len - root_bits);
+                    }
+                }
+            }
+        }
+
+        Ok(Self { table, root_bits })
     }
 
-    fn decode(&self, r: &mut LsbBitReader<'_>) -> Result<usize, FlateError> {
-        let mut code = 0u32;
-        for len in 1..16 {
-            code = (code << 1) | r.read_bits(1).map_err(|_| FlateError::Truncated)?;
-            let c = self.count[len];
-            if c > 0 && code >= self.first_code[len] && code < self.first_code[len] + c {
-                let idx = self.first_index[len] + (code - self.first_code[len]);
-                return Ok(usize::from(self.symbols[idx as usize]));
-            }
+    /// Decodes one symbol against the zero-padded stream tail.
+    ///
+    /// `Truncated` when the matched code is longer than the remaining
+    /// stream; `Corrupt` when no code matches (degenerate tables only —
+    /// complete codes match every pattern).
+    #[inline]
+    fn decode(&self, src: &mut BitSource<'_>) -> Result<usize, FlateError> {
+        src.refill();
+        self.decode_prefilled(src)
+    }
+
+    /// As [`Decoder::decode`] but without refilling; the caller must
+    /// guarantee a refill happened within the last 41 consumed bits
+    /// (56-bit reservoir minus the 15-bit worst-case code).
+    #[inline]
+    fn decode_prefilled(&self, src: &mut BitSource<'_>) -> Result<usize, FlateError> {
+        // At end of input the upper reservoir bits are zero, so short
+        // tails peek as zero-padded.
+        let mut e = self.table[(src.bits & ((1 << self.root_bits) - 1)) as usize];
+        if e & LINK != 0 {
+            let sub_bits = e & 0x1F;
+            let base = (e & !LINK) >> 5;
+            let sub_idx = (src.bits >> self.root_bits) & ((1 << sub_bits) - 1);
+            e = self.table[(base + sub_idx as u32) as usize];
         }
-        Err(FlateError::Corrupt("invalid Huffman code".into()))
+        if e == 0 {
+            return Err(FlateError::Corrupt("invalid Huffman code".into()));
+        }
+        let len = e & 0x1F;
+        if len > src.count {
+            return Err(FlateError::Truncated);
+        }
+        src.consume(len);
+        Ok((e >> 5) as usize)
     }
 }
 
@@ -134,11 +349,11 @@ pub const MAX_OUTPUT: usize = 1 << 28;
 /// [`FlateError::LimitExceeded`] once the output would pass
 /// `max_output`; otherwise as [`inflate`].
 pub fn inflate_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, FlateError> {
-    let mut r = LsbBitReader::new(data);
+    let mut r = BitSource::new(data);
     let mut out = Vec::new();
     loop {
-        let bfinal = r.read_bits(1).map_err(|_| FlateError::Truncated)? == 1;
-        let btype = r.read_bits(2).map_err(|_| FlateError::Truncated)?;
+        let bfinal = r.read_bits(1)? == 1;
+        let btype = r.read_bits(2)?;
         match btype {
             0b00 => inflate_stored(&mut r, &mut out, max_output)?,
             0b01 => {
@@ -159,13 +374,13 @@ pub fn inflate_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, Fla
 }
 
 fn inflate_stored(
-    r: &mut LsbBitReader<'_>,
+    r: &mut BitSource<'_>,
     out: &mut Vec<u8>,
     max_output: usize,
 ) -> Result<(), FlateError> {
     r.align_to_byte();
-    let len = r.read_bits(16).map_err(|_| FlateError::Truncated)? as u16;
-    let nlen = r.read_bits(16).map_err(|_| FlateError::Truncated)? as u16;
+    let len = r.read_bits(16)? as u16;
+    let nlen = r.read_bits(16)? as u16;
     if len != !nlen {
         return Err(FlateError::Corrupt("stored block LEN/NLEN mismatch".into()));
     }
@@ -174,21 +389,19 @@ fn inflate_stored(
             limit: max_output as u64,
         });
     }
-    let bytes = r
-        .read_aligned_bytes(usize::from(len))
-        .map_err(|_| FlateError::Truncated)?;
+    let bytes = r.read_aligned_bytes(usize::from(len))?;
     out.extend_from_slice(bytes);
     Ok(())
 }
 
 #[allow(clippy::same_item_push)] // RLE expansion genuinely repeats values
-fn read_dynamic_tables(r: &mut LsbBitReader<'_>) -> Result<(Decoder, Decoder), FlateError> {
-    let hlit = r.read_bits(5).map_err(|_| FlateError::Truncated)? as usize + 257;
-    let hdist = r.read_bits(5).map_err(|_| FlateError::Truncated)? as usize + 1;
-    let hclen = r.read_bits(4).map_err(|_| FlateError::Truncated)? as usize + 4;
+fn read_dynamic_tables(r: &mut BitSource<'_>) -> Result<(Decoder, Decoder), FlateError> {
+    let hlit = r.read_bits(5)? as usize + 257;
+    let hdist = r.read_bits(5)? as usize + 1;
+    let hclen = r.read_bits(4)? as usize + 4;
     let mut clc_lengths = [0u8; 19];
     for &o in CLC_ORDER.iter().take(hclen) {
-        clc_lengths[o] = r.read_bits(3).map_err(|_| FlateError::Truncated)? as u8;
+        clc_lengths[o] = r.read_bits(3)? as u8;
     }
     let clc = Decoder::from_lengths(&clc_lengths, Completeness::Exact)?;
     let mut lengths = Vec::with_capacity(hlit + hdist);
@@ -200,19 +413,19 @@ fn read_dynamic_tables(r: &mut LsbBitReader<'_>) -> Result<(Decoder, Decoder), F
                 let &last = lengths
                     .last()
                     .ok_or_else(|| FlateError::Corrupt("repeat with no previous length".into()))?;
-                let n = r.read_bits(2).map_err(|_| FlateError::Truncated)? + 3;
+                let n = r.read_bits(2)? + 3;
                 for _ in 0..n {
                     lengths.push(last);
                 }
             }
             17 => {
-                let n = r.read_bits(3).map_err(|_| FlateError::Truncated)? + 3;
+                let n = r.read_bits(3)? + 3;
                 for _ in 0..n {
                     lengths.push(0);
                 }
             }
             18 => {
-                let n = r.read_bits(7).map_err(|_| FlateError::Truncated)? + 11;
+                let n = r.read_bits(7)? + 11;
                 for _ in 0..n {
                     lengths.push(0);
                 }
@@ -231,14 +444,17 @@ fn read_dynamic_tables(r: &mut LsbBitReader<'_>) -> Result<(Decoder, Decoder), F
 }
 
 fn inflate_block(
-    r: &mut LsbBitReader<'_>,
+    r: &mut BitSource<'_>,
     lit: &Decoder,
     dist: &Decoder,
     out: &mut Vec<u8>,
     max_output: usize,
 ) -> Result<(), FlateError> {
     loop {
-        let sym = lit.decode(r)?;
+        // One refill covers the longest token: 15-bit litlen + 5 extra
+        // + 15-bit distance + 13 extra = 48 ≤ 56 reservoir bits.
+        r.refill();
+        let sym = lit.decode_prefilled(r)?;
         match sym {
             0..=255 => {
                 if out.len() >= max_output {
@@ -251,26 +467,32 @@ fn inflate_block(
             256 => return Ok(()),
             257..=285 => {
                 let (base, extra) = LENGTH_TABLE[sym - 257];
-                let len = base + r.read_bits(extra).map_err(|_| FlateError::Truncated)? as u16;
-                let dsym = dist.decode(r)?;
+                let len = usize::from(base) + r.take_bits(u32::from(extra))? as usize;
+                let dsym = dist.decode_prefilled(r)?;
                 if dsym >= 30 {
                     return Err(FlateError::Corrupt("invalid distance code".into()));
                 }
                 let (dbase, dextra) = DIST_TABLE[dsym];
-                let d = usize::from(dbase)
-                    + r.read_bits(dextra).map_err(|_| FlateError::Truncated)? as usize;
+                let d = usize::from(dbase) + r.take_bits(u32::from(dextra))? as usize;
                 if d == 0 || d > out.len() {
                     return Err(FlateError::Corrupt("distance beyond output start".into()));
                 }
-                if usize::from(len) > max_output.saturating_sub(out.len()) {
+                if len > max_output.saturating_sub(out.len()) {
                     return Err(FlateError::LimitExceeded {
                         limit: max_output as u64,
                     });
                 }
                 let start = out.len() - d;
-                for i in 0..usize::from(len) {
-                    let b = out[start + i];
-                    out.push(b);
+                if d >= len {
+                    // Non-overlapping copy: one memmove.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping (d < len): bytes must appear one at a
+                    // time, each copy reading what the previous wrote.
+                    for i in 0..len {
+                        let b = out[start + i];
+                        out.push(b);
+                    }
                 }
             }
             _ => return Err(FlateError::Corrupt("invalid literal/length symbol".into())),
@@ -287,7 +509,7 @@ pub fn check_tables_consistent(lengths: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::deflate::{deflate_compress, CompressionLevel};
+    use crate::deflate::{deflate_compress, deflate_compress_fixed, CompressionLevel};
 
     #[test]
     fn inflate_rejects_empty() {
@@ -327,6 +549,25 @@ mod tests {
         assert!(Decoder::from_lengths(&[1, 1], Completeness::Exact).is_ok());
         assert!(Decoder::from_lengths(&[1, 2, 2], Completeness::Exact).is_ok());
         assert!(Decoder::from_lengths(&[2, 2, 2, 2], Completeness::Exact).is_ok());
+    }
+
+    #[test]
+    fn table_decodes_every_symbol_of_a_long_code() {
+        // A complete code whose lengths span the root/subtable split
+        // (root is 10 bits): lengths 1,2,…,14,15,15 have Kraft sum
+        // exactly 1 and exercise both probe levels.
+        let lengths: Vec<u8> = (1u8..=14).chain([15, 15]).collect();
+        let dec = Decoder::from_lengths(&lengths, Completeness::Exact).unwrap();
+        // Encode each symbol with the writer and decode it back.
+        use codecomp_coding::bits::LsbBitWriter;
+        let codes = canonical_codes(&lengths).unwrap();
+        for (sym, (&code, &len)) in codes.iter().zip(&lengths).enumerate() {
+            let mut w = LsbBitWriter::new();
+            w.write_huffman_code(code, len);
+            let bytes = w.finish();
+            let mut src = BitSource::new(&bytes);
+            assert_eq!(dec.decode(&mut src).unwrap(), sym, "symbol {sym}");
+        }
     }
 
     #[test]
@@ -372,6 +613,13 @@ mod tests {
     }
 
     #[test]
+    fn forced_fixed_block_roundtrip() {
+        let data = b"overlapping matches overlap overlappingly".repeat(20);
+        let packed = deflate_compress_fixed(&data, CompressionLevel::Best);
+        assert_eq!(inflate(&packed).unwrap(), data);
+    }
+
+    #[test]
     fn truncated_stream_detected() {
         let data = b"hello world hello world hello world".repeat(10);
         let packed = deflate_compress(&data, CompressionLevel::Best);
@@ -397,5 +645,15 @@ mod tests {
         w.write_huffman_code(0, 5);
         let bytes = w.finish();
         assert!(matches!(inflate(&bytes), Err(FlateError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bit_source_aligned_reads() {
+        let data = [0b101u8, 0xAA, 0xBB, 0xCC];
+        let mut src = BitSource::new(&data);
+        assert_eq!(src.read_bits(3).unwrap(), 0b101);
+        assert_eq!(src.read_aligned_bytes(2).unwrap(), &[0xAA, 0xBB]);
+        assert_eq!(src.read_bits(8).unwrap(), 0xCC);
+        assert_eq!(src.read_bits(1), Err(FlateError::Truncated));
     }
 }

@@ -27,10 +27,12 @@ pub mod deflate;
 pub mod gzip;
 pub mod inflate;
 pub mod lz77;
+pub mod reference;
 
 pub use deflate::{deflate_compress, CompressionLevel};
 pub use gzip::{gzip_compress, gzip_decompress};
 pub use inflate::{inflate, inflate_with_limit};
+pub use reference::{reference_inflate, reference_inflate_with_limit};
 
 use std::error::Error;
 use std::fmt;

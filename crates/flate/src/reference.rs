@@ -1,0 +1,400 @@
+//! A deliberately naive RFC 1951 reference decoder.
+//!
+//! This is the oracle for the table-driven fast path in
+//! [`crate::inflate`], in the spirit of Senjak & Hofmann's verified
+//! Coq Deflate: slow but obviously correct, written straight off the
+//! RFC. Its value depends on **independence** — it shares *no* decoding
+//! machinery with the production path:
+//!
+//! - its own bit reader ([`Bits`]), one bit at a time, no reservoir;
+//! - its own canonical-code representation: a flat list of
+//!   `(symbol, length, code)` triples searched linearly per bit — no
+//!   lookup tables, no per-length index arithmetic;
+//! - its own header/stored/match handling, transcribed from the RFC
+//!   sections rather than from `inflate.rs`.
+//!
+//! The only shared items are the [`FlateError`] taxonomy (so the
+//! differential harness can compare error categories) and the RFC's
+//! own constant tables, which both decoders must transcribe anyway.
+//!
+//! Both decoders classify end-of-stream identically: a Huffman symbol
+//! is resolved against the zero-padded tail, `Truncated` if the
+//! matched code needs more bits than the stream holds, `Corrupt` if no
+//! code can match at all (possible only under a degenerate distance
+//! table). `tests/differential.rs` asserts byte-identical output on
+//! accept and same-category errors on reject.
+
+use crate::FlateError;
+
+/// Base lengths and extra-bit counts for length codes 257..=285
+/// (RFC 1951 §3.2.5), transcribed independently of `deflate.rs`.
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Base distances and extra-bit counts for distance codes 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12_289, 16_385, 24_577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Code-length-code transmission order (RFC 1951 §3.2.7).
+const CL_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// One-bit-at-a-time LSB-first reader over a byte slice.
+struct Bits<'a> {
+    data: &'a [u8],
+    /// Absolute bit index into `data`.
+    pos: usize,
+}
+
+impl<'a> Bits<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Bits { data, pos: 0 }
+    }
+
+    /// The next bit, or `None` past the end of the stream.
+    fn next(&mut self) -> Option<u8> {
+        let byte = *self.data.get(self.pos / 8)?;
+        let bit = (byte >> (self.pos % 8)) & 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads an `n`-bit little-endian integer field.
+    fn field(&mut self, n: u8) -> Result<u32, FlateError> {
+        let mut v = 0u32;
+        for i in 0..n {
+            let b = self.next().ok_or(FlateError::Truncated)?;
+            v |= u32::from(b) << i;
+        }
+        Ok(v)
+    }
+
+    /// Skips to the next byte boundary and copies `n` whole bytes.
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, FlateError> {
+        self.pos = self.pos.div_ceil(8) * 8;
+        let start = self.pos / 8;
+        let end = start.checked_add(n).ok_or(FlateError::Truncated)?;
+        if end > self.data.len() {
+            return Err(FlateError::Truncated);
+        }
+        self.pos = end * 8;
+        Ok(self.data[start..end].to_vec())
+    }
+}
+
+/// A canonical Huffman code as a bare list of `(symbol, length, code)`
+/// triples, searched linearly — no tables, no indices.
+struct Code {
+    entries: Vec<(u16, u8, u16)>,
+}
+
+impl Code {
+    /// Builds the canonical code for `lengths` per RFC 1951 §3.2.2,
+    /// validating the Kraft sum. `degenerate_ok` admits the §3.2.7
+    /// distance-table carve-out: at most one code present.
+    fn build(lengths: &[u8], degenerate_ok: bool) -> Result<Code, FlateError> {
+        let mut used = 0u64;
+        let mut kraft = 0u64; // in units of 2^-15
+        for &l in lengths {
+            if l > 15 {
+                return Err(FlateError::Corrupt("code length > 15".into()));
+            }
+            if l > 0 {
+                used += 1;
+                kraft += 1 << (15 - u32::from(l));
+            }
+        }
+        if kraft > 1 << 15 {
+            return Err(FlateError::Corrupt("oversubscribed code lengths".into()));
+        }
+        if kraft < 1 << 15 && !(degenerate_ok && used <= 1) {
+            return Err(FlateError::Corrupt(
+                "incomplete (undersubscribed) code lengths".into(),
+            ));
+        }
+        // §3.2.2: count codes per length, then assign numerically
+        // increasing codes in symbol order within each length.
+        let mut bl_count = [0u16; 16];
+        for &l in lengths {
+            bl_count[l as usize] += 1;
+        }
+        bl_count[0] = 0;
+        let mut next_code = [0u16; 16];
+        let mut code = 0u16;
+        for bits in 1..16 {
+            code = (code + bl_count[bits - 1]) << 1;
+            next_code[bits] = code;
+        }
+        let mut entries = Vec::new();
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                entries.push((sym as u16, l, next_code[l as usize]));
+                next_code[l as usize] += 1;
+            }
+        }
+        Ok(Code { entries })
+    }
+
+    /// Walks the stream one bit at a time until a code matches.
+    ///
+    /// Bits past the end of the stream read as zero; if the code that
+    /// finally matches used any such padding the stream was cut mid-
+    /// symbol (`Truncated`). If no code matches 15 real or padded bits,
+    /// no continuation of the stream could ever decode (`Corrupt`).
+    fn decode(&self, bits: &mut Bits<'_>) -> Result<u16, FlateError> {
+        let mut acc = 0u16;
+        let mut padded = false;
+        for len in 1..=15u8 {
+            let bit = match bits.next() {
+                Some(b) => b,
+                None => {
+                    padded = true;
+                    0
+                }
+            };
+            acc = (acc << 1) | u16::from(bit);
+            for &(sym, l, code) in &self.entries {
+                if l == len && code == acc {
+                    if padded {
+                        return Err(FlateError::Truncated);
+                    }
+                    return Ok(sym);
+                }
+            }
+        }
+        Err(FlateError::Corrupt("invalid Huffman code".into()))
+    }
+}
+
+/// The fixed literal/length code of §3.2.6.
+fn fixed_litlen() -> Result<Code, FlateError> {
+    let mut lengths = [8u8; 288];
+    for l in &mut lengths[144..256] {
+        *l = 9;
+    }
+    for l in &mut lengths[256..280] {
+        *l = 7;
+    }
+    Code::build(&lengths, false)
+}
+
+/// The fixed distance code: 32 five-bit codes (30–31 never valid in
+/// data but participate in construction).
+fn fixed_dist() -> Result<Code, FlateError> {
+    Code::build(&[5u8; 32], false)
+}
+
+/// Decompresses a raw DEFLATE stream with the naive reference decoder.
+///
+/// # Errors
+///
+/// As [`crate::inflate`]: `Truncated`, `Corrupt`, or `LimitExceeded`
+/// against the default [`crate::MAX_OUTPUT`] ceiling.
+pub fn reference_inflate(data: &[u8]) -> Result<Vec<u8>, FlateError> {
+    reference_inflate_with_limit(data, crate::inflate::MAX_OUTPUT)
+}
+
+/// [`reference_inflate`] with an explicit output ceiling.
+///
+/// # Errors
+///
+/// [`FlateError::LimitExceeded`] once the output would pass
+/// `max_output`; otherwise as [`reference_inflate`].
+pub fn reference_inflate_with_limit(
+    data: &[u8],
+    max_output: usize,
+) -> Result<Vec<u8>, FlateError> {
+    let mut bits = Bits::new(data);
+    let mut out = Vec::new();
+    loop {
+        let bfinal = bits.field(1)?;
+        let btype = bits.field(2)?;
+        match btype {
+            0b00 => stored_block(&mut bits, &mut out, max_output)?,
+            0b01 => {
+                let lit = fixed_litlen()?;
+                let dist = fixed_dist()?;
+                coded_block(&mut bits, &lit, &dist, &mut out, max_output)?;
+            }
+            0b10 => {
+                let (lit, dist) = dynamic_codes(&mut bits)?;
+                coded_block(&mut bits, &lit, &dist, &mut out, max_output)?;
+            }
+            _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+/// §3.2.4: a stored (uncompressed) block.
+fn stored_block(
+    bits: &mut Bits<'_>,
+    out: &mut Vec<u8>,
+    max_output: usize,
+) -> Result<(), FlateError> {
+    bits.pos = bits.pos.div_ceil(8) * 8;
+    let len = bits.field(16)? as u16;
+    let nlen = bits.field(16)? as u16;
+    if len != !nlen {
+        return Err(FlateError::Corrupt("stored block LEN/NLEN mismatch".into()));
+    }
+    if usize::from(len) > max_output.saturating_sub(out.len()) {
+        return Err(FlateError::LimitExceeded {
+            limit: max_output as u64,
+        });
+    }
+    let payload = bits.bytes(usize::from(len))?;
+    out.extend_from_slice(&payload);
+    Ok(())
+}
+
+/// §3.2.7: reads the code-length code, then the literal/length and
+/// distance code lengths it encodes.
+fn dynamic_codes(bits: &mut Bits<'_>) -> Result<(Code, Code), FlateError> {
+    let hlit = bits.field(5)? as usize + 257;
+    let hdist = bits.field(5)? as usize + 1;
+    let hclen = bits.field(4)? as usize + 4;
+    let mut cl_lengths = [0u8; 19];
+    for &slot in CL_ORDER.iter().take(hclen) {
+        cl_lengths[slot] = bits.field(3)? as u8;
+    }
+    let cl_code = Code::build(&cl_lengths, false)?;
+    let mut lengths: Vec<u8> = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        match cl_code.decode(bits)? {
+            sym @ 0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths
+                    .last()
+                    .ok_or_else(|| FlateError::Corrupt("repeat with no previous length".into()))?;
+                let n = bits.field(2)? + 3;
+                lengths.extend(std::iter::repeat_n(prev, n as usize));
+            }
+            17 => {
+                let n = bits.field(3)? + 3;
+                lengths.extend(std::iter::repeat_n(0, n as usize));
+            }
+            18 => {
+                let n = bits.field(7)? + 11;
+                lengths.extend(std::iter::repeat_n(0, n as usize));
+            }
+            _ => return Err(FlateError::Corrupt("invalid code-length symbol".into())),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err(FlateError::Corrupt("code length overrun".into()));
+    }
+    let lit = Code::build(&lengths[..hlit], false)?;
+    let dist = Code::build(&lengths[hlit..], true)?;
+    Ok((lit, dist))
+}
+
+/// §3.2.3: the literal/match decode loop shared by fixed and dynamic
+/// blocks.
+fn coded_block(
+    bits: &mut Bits<'_>,
+    lit: &Code,
+    dist: &Code,
+    out: &mut Vec<u8>,
+    max_output: usize,
+) -> Result<(), FlateError> {
+    loop {
+        let sym = lit.decode(bits)?;
+        if sym < 256 {
+            if out.len() >= max_output {
+                return Err(FlateError::LimitExceeded {
+                    limit: max_output as u64,
+                });
+            }
+            out.push(sym as u8);
+        } else if sym == 256 {
+            return Ok(());
+        } else if (257..=285).contains(&sym) {
+            let idx = usize::from(sym) - 257;
+            let len =
+                usize::from(LEN_BASE[idx]) + bits.field(LEN_EXTRA[idx])? as usize;
+            let dsym = dist.decode(bits)?;
+            if dsym >= 30 {
+                return Err(FlateError::Corrupt("invalid distance code".into()));
+            }
+            let didx = usize::from(dsym);
+            let d = usize::from(DIST_BASE[didx]) + bits.field(DIST_EXTRA[didx])? as usize;
+            if d == 0 || d > out.len() {
+                return Err(FlateError::Corrupt("distance beyond output start".into()));
+            }
+            if len > max_output.saturating_sub(out.len()) {
+                return Err(FlateError::LimitExceeded {
+                    limit: max_output as u64,
+                });
+            }
+            // Byte-at-a-time copy re-deriving the source index after
+            // every push: the §3.2.3 overlap semantics (d < len
+            // repeats the window) fall out with no special case.
+            for _ in 0..len {
+                let byte = out[out.len() - d];
+                out.push(byte);
+            }
+        } else {
+            return Err(FlateError::Corrupt("invalid literal/length symbol".into()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::{deflate_compress, deflate_compress_fixed, CompressionLevel};
+
+    #[test]
+    fn reference_roundtrips_compressor_output() {
+        let data = b"a reference decoder decodes reference output".repeat(8);
+        for level in [CompressionLevel::Fast, CompressionLevel::Best] {
+            assert_eq!(
+                reference_inflate(&deflate_compress(&data, level)).unwrap(),
+                data
+            );
+            assert_eq!(
+                reference_inflate(&deflate_compress_fixed(&data, level)).unwrap(),
+                data
+            );
+        }
+    }
+
+    #[test]
+    fn reference_decodes_handmade_stored_block() {
+        let bytes = [0x01, 0x03, 0x00, 0xFC, 0xFF, b'a', b'b', b'c'];
+        assert_eq!(reference_inflate(&bytes).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn reference_rejects_empty_and_reserved() {
+        assert_eq!(reference_inflate(&[]), Err(FlateError::Truncated));
+        assert!(matches!(
+            reference_inflate(&[0b0000_0111]),
+            Err(FlateError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn reference_enforces_limit() {
+        let data = vec![7u8; 2048];
+        let packed = deflate_compress(&data, CompressionLevel::Best);
+        assert_eq!(reference_inflate_with_limit(&packed, 2048).unwrap(), data);
+        assert!(matches!(
+            reference_inflate_with_limit(&packed, 2047),
+            Err(FlateError::LimitExceeded { .. })
+        ));
+    }
+}

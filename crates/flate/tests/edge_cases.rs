@@ -3,7 +3,7 @@
 
 use codecomp_flate::{
     deflate_compress, gzip_compress, gzip_decompress, inflate, inflate_with_limit,
-    CompressionLevel, FlateError,
+    reference_inflate_with_limit, CompressionLevel, FlateError,
 };
 
 #[test]
@@ -40,4 +40,54 @@ fn inflate_output_ceiling() {
         inflate_with_limit(&packed, data.len() - 1),
         Err(FlateError::LimitExceeded { .. })
     ));
+}
+
+/// A limit exactly at the output size accepts; one below rejects with
+/// `LimitExceeded` — never `Corrupt`, since the stream itself is fine.
+/// Checked across all block types (stored, fixed, dynamic, match-heavy)
+/// and mirrored by the reference decoder.
+#[test]
+fn limit_boundary_is_exact_for_every_block_type() {
+    let payloads: Vec<(&str, Vec<u8>)> = vec![
+        // Short incompressible input → stored block.
+        ("stored", (0u8..=63).collect()),
+        // Match-heavy input → length/distance codes cross the boundary.
+        ("matches", b"boundary ".repeat(400)),
+        // Mixed text → dynamic Huffman.
+        ("dynamic", b"the limit is checked before each byte lands".repeat(40)),
+    ];
+    for (name, data) in &payloads {
+        for level in [CompressionLevel::Fast, CompressionLevel::Best] {
+            let packed = deflate_compress(data, level);
+            for decode in [inflate_with_limit, reference_inflate_with_limit] {
+                assert_eq!(
+                    &decode(&packed, data.len()).unwrap(),
+                    data,
+                    "{name}: exactly-at-limit decode"
+                );
+                assert_eq!(
+                    decode(&packed, data.len() - 1),
+                    Err(FlateError::LimitExceeded {
+                        limit: data.len() as u64 - 1
+                    }),
+                    "{name}: one-under-limit decode"
+                );
+            }
+        }
+    }
+}
+
+/// Limit zero: any stream producing output must report `LimitExceeded`,
+/// while a stream producing nothing decodes to the empty vector.
+#[test]
+fn limit_zero_only_admits_empty_output() {
+    let nonempty = deflate_compress(b"x", CompressionLevel::Best);
+    let empty = deflate_compress(&[], CompressionLevel::Best);
+    for decode in [inflate_with_limit, reference_inflate_with_limit] {
+        assert_eq!(
+            decode(&nonempty, 0),
+            Err(FlateError::LimitExceeded { limit: 0 })
+        );
+        assert_eq!(decode(&empty, 0).unwrap(), Vec::<u8>::new());
+    }
 }

@@ -48,12 +48,9 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`WireError::Corrupt`] at end of input.
+    /// [`WireError::Truncated`] at end of input.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or_else(|| WireError::Corrupt("unexpected end of input".into()))?;
+        let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
         self.pos += 1;
         Ok(b)
     }
@@ -62,13 +59,13 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`WireError::Corrupt`] at end of input.
+    /// [`WireError::Truncated`] at end of input.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| WireError::Corrupt("unexpected end of input".into()))?;
+            .ok_or(WireError::Truncated)?;
         let s = &self.bytes[self.pos..end];
         self.pos = end;
         Ok(s)
@@ -78,7 +75,8 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`WireError::Corrupt`] on truncation or overlong encodings.
+    /// [`WireError::Truncated`] on truncation, [`WireError::Corrupt`] on
+    /// overlong encodings.
     pub fn uvarint(&mut self) -> Result<u64, WireError> {
         let mut v = 0u64;
         let mut shift = 0u32;
@@ -109,7 +107,8 @@ impl<'a> Cursor<'a> {
     ///
     /// # Errors
     ///
-    /// [`WireError::Corrupt`] on truncation or invalid UTF-8.
+    /// [`WireError::Truncated`] on truncation, [`WireError::Corrupt`] on
+    /// invalid UTF-8.
     pub fn string(&mut self) -> Result<String, WireError> {
         let len = self.uvarint()? as usize;
         let bytes = self.take(len)?;

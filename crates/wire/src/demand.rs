@@ -132,7 +132,8 @@ impl DemandImage {
     ///
     /// # Errors
     ///
-    /// [`WireError::Corrupt`] on malformed input.
+    /// [`WireError::Truncated`] if the bytes end before the declared
+    /// structure does; [`WireError::Corrupt`] on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<DemandImage, WireError> {
         let mut c = Cursor::new(bytes);
         if c.take(4)? != MAGIC {
@@ -140,7 +141,10 @@ impl DemandImage {
         }
         let options = options_from_byte(c.u8()?)?;
         let nglobals = c.uvarint()? as usize;
-        let mut globals = Vec::with_capacity(nglobals);
+        // Counts are attacker-controlled: cap the preallocation by what
+        // the input could possibly hold so a corrupt varint cannot
+        // demand an absurd allocation up front.
+        let mut globals = Vec::with_capacity(nglobals.min(c.remaining()));
         for _ in 0..nglobals {
             let name = c.string()?;
             let size = c.uvarint()? as u32;
@@ -152,7 +156,7 @@ impl DemandImage {
             });
         }
         let nunits = c.uvarint()? as usize;
-        let mut units = Vec::with_capacity(nunits);
+        let mut units = Vec::with_capacity(nunits.min(c.remaining()));
         for _ in 0..nunits {
             let name = c.string()?;
             let len = c.uvarint()? as usize;

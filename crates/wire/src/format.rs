@@ -591,9 +591,9 @@ fn encode_indices(
             let mut model = AdaptiveModel::new(alphabet);
             let mut enc = ArithEncoder::new();
             for &i in indices {
-                let (lo, hi) = model.bounds(i as usize);
+                let (lo, hi) = model.bounds(i as usize)?;
                 enc.encode(lo, hi, model.total())?;
-                model.update(i as usize);
+                model.update(i as usize)?;
             }
             let bytes = enc.finish();
             put_uvarint(out, bytes.len() as u64);
@@ -648,9 +648,9 @@ fn decode_indices(
             let mut out = Vec::with_capacity(count);
             for _ in 0..count {
                 let point = dec.decode_point(model.total())?;
-                let (sym, lo, hi) = model.locate(point);
+                let (sym, lo, hi) = model.locate(point)?;
                 dec.consume(lo, hi, model.total())?;
-                model.update(sym);
+                model.update(sym)?;
                 out.push(sym as u32);
             }
             Ok(out)

@@ -42,6 +42,8 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum WireError {
+    /// The image ends before the structure it declares.
+    Truncated,
     /// The compressed image is malformed.
     Corrupt(String),
     /// A lower layer failed.
@@ -51,6 +53,7 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            WireError::Truncated => write!(f, "wire image ended prematurely"),
             WireError::Corrupt(m) => write!(f, "corrupt wire image: {m}"),
             WireError::Layer(m) => write!(f, "{m}"),
         }
@@ -63,6 +66,7 @@ impl From<WireError> for codecomp_core::DecodeError {
     fn from(e: WireError) -> Self {
         use codecomp_core::DecodeError;
         match e {
+            WireError::Truncated => DecodeError::Truncated,
             WireError::Corrupt(m) | WireError::Layer(m) => DecodeError::malformed(m),
         }
     }
@@ -70,13 +74,19 @@ impl From<WireError> for codecomp_core::DecodeError {
 
 impl From<codecomp_flate::FlateError> for WireError {
     fn from(e: codecomp_flate::FlateError) -> Self {
-        WireError::Layer(format!("deflate: {e}"))
+        match e {
+            codecomp_flate::FlateError::Truncated => WireError::Truncated,
+            other => WireError::Layer(format!("deflate: {other}")),
+        }
     }
 }
 
 impl From<codecomp_coding::CodingError> for WireError {
     fn from(e: codecomp_coding::CodingError) -> Self {
-        WireError::Layer(format!("coding: {e}"))
+        match e {
+            codecomp_coding::CodingError::UnexpectedEof => WireError::Truncated,
+            other => WireError::Layer(format!("coding: {other}")),
+        }
     }
 }
 

@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alphabet = split.patterns.len().max(1);
     for order in 0..3 {
         let mut model = ContextModel::new(order, alphabet);
-        model.train(&split.pattern_stream);
+        model.train(&split.pattern_stream)?;
         let bits = model.estimate_bits(&split.pattern_stream);
         println!(
             "  order-{order}: {:.2} bits/symbol over {} symbols ({} contexts)",

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Inflate perf tracker: measures decode throughput on the corpus
+# payloads and updates BENCH_inflate.json (keeping the recorded
+# baseline unless --record-baseline is passed). Run from anywhere;
+# works fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --offline -p codecomp-bench --bin bench_inflate -- "$@"

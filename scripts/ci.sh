@@ -13,4 +13,12 @@ cargo test -q --offline
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+# Differential smoke: the full suite already ran under `cargo test`
+# with the default mutation budget; re-run the seeded fuzz here with a
+# reduced, fixed budget (6 payloads x 84 mutations ~= 500 cases) as a
+# fast deterministic gate that the two inflate implementations agree.
+echo "==> differential fuzz smoke (~500 mutations)"
+CODECOMP_DIFF_MUTATIONS=84 cargo test -q --offline --test differential \
+    seeded_mutations -- --nocapture
+
 echo "==> ci.sh: all checks passed"

@@ -1,8 +1,10 @@
 //! Fault-injection harness: every decoder must be *total*.
 //!
-//! For each corpus program we build the three serialized artifacts the
-//! toolchain ships — a wire-format image, a gzip member, and a BRISC
-//! image — then attack each decoder two ways:
+//! For each corpus program we build the serialized artifacts the
+//! toolchain ships — a wire-format image, a function-at-a-time demand
+//! image, a gzip member, and a BRISC image (fed to both the lazy
+//! interpreter and the eager translator) — then attack each decoder
+//! two ways:
 //!
 //! 1. truncation at **every** prefix boundary of the payload, and
 //! 2. ≥ 1,000 seeded mutations (truncations, single-bit flips, random
@@ -19,6 +21,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use code_compression::brisc::compress::{compress as brisc_compress, BriscOptions};
 use code_compression::brisc::interp::BriscMachine;
+use code_compression::brisc::translate::translate;
 use code_compression::brisc::BriscImage;
 use code_compression::core::fault::mutation_schedule;
 use code_compression::corpus::benchmarks;
@@ -26,7 +29,9 @@ use code_compression::flate::{gzip_compress, gzip_decompress, CompressionLevel};
 use code_compression::ir::Module;
 use code_compression::vm::codegen::compile_module;
 use code_compression::vm::isa::IsaConfig;
-use code_compression::wire::{compress as wire_compress, decompress as wire_decompress, WireOptions};
+use code_compression::wire::{
+    compress as wire_compress, decompress as wire_decompress, DemandImage, WireError, WireOptions,
+};
 
 /// Seeded mutations per payload. Three corpus programs per decoder
 /// puts every decoder comfortably past the 1,000-mutation floor.
@@ -101,6 +106,70 @@ fn gzip_decoder_is_total_under_mutation() {
             0x6210_0000 + i as u64,
             |bytes| {
                 let _ = gzip_decompress(bytes);
+            },
+        );
+    }
+}
+
+#[test]
+fn demand_image_decoder_is_total_under_mutation() {
+    for (i, (name, module)) in test_modules().iter().enumerate() {
+        let image = DemandImage::build(module, WireOptions::default()).expect("demand build");
+        let payload = image.to_bytes();
+        assert_eq!(
+            DemandImage::from_bytes(&payload)
+                .expect("valid image parses")
+                .load_all()
+                .expect("valid image loads"),
+            *module,
+            "{name}: demand round-trip not bit-exact"
+        );
+        // Truncation must be *diagnosed as truncation*: every strict
+        // prefix fails cleanly with `Truncated`, never an index panic
+        // and never a mistaken structural error.
+        for len in 0..payload.len() {
+            assert_eq!(
+                DemandImage::from_bytes(&payload[..len]).expect_err("prefix must not parse"),
+                WireError::Truncated,
+                "demand/{name}: {len}-byte prefix misclassified"
+            );
+        }
+        attack(
+            &format!("demand/{name}"),
+            &payload,
+            0xDE4A_0000 + i as u64,
+            |bytes| {
+                // A mutated image that still parses must also survive
+                // full unit decompression.
+                if let Ok(img) = DemandImage::from_bytes(bytes) {
+                    let _ = img.load_all();
+                }
+            },
+        );
+    }
+}
+
+#[test]
+fn brisc_translator_is_total_under_mutation() {
+    for (i, (name, module)) in test_modules().iter().enumerate() {
+        let vm = compile_module(module, IsaConfig::full()).expect("codegen");
+        let image = brisc_compress(&vm, BriscOptions::default())
+            .expect("brisc compress")
+            .image;
+        let payload = image.to_bytes();
+        translate(&image).expect("valid image translates");
+        attack(
+            &format!("brisc-translate/{name}"),
+            &payload,
+            0xB415_1000 + i as u64,
+            |bytes| {
+                // The translator decodes the full code stream eagerly,
+                // so it reaches bytes the lazy interpreter may never
+                // touch; a loadable-but-mutated image must still fail
+                // (or succeed) without panicking.
+                if let Ok(img) = BriscImage::from_bytes(bytes) {
+                    let _ = translate(&img);
+                }
             },
         );
     }
