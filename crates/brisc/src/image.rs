@@ -181,6 +181,42 @@ impl BriscImage {
         })
     }
 
+    /// Linearly decodes function `idx`'s entire body without executing
+    /// it, charging one fuel step per item — the load-time scan behind
+    /// quarantine decisions.
+    ///
+    /// # Errors
+    ///
+    /// [`BriscError::Corrupt`] if any item fails to decode,
+    /// [`BriscError::Limit`] when `budget` trips.
+    pub fn validate_function(
+        &self,
+        idx: usize,
+        budget: &codecomp_core::Budget,
+    ) -> Result<(), BriscError> {
+        let f = self
+            .functions
+            .get(idx)
+            .ok_or_else(|| BriscError::Corrupt(format!("no function index {idx}")))?;
+        let mut pos = f.start as usize;
+        let end = pos + f.len as usize;
+        let mut ctx = BLOCK_START;
+        while pos < end {
+            budget.charge_fuel(1)?;
+            let local = (pos - f.start as usize) as u32;
+            let effective = if self.is_extra_leader(idx, local) {
+                BLOCK_START
+            } else {
+                ctx
+            };
+            let item = self.decode_at(pos, effective)?;
+            let last_ends = item.insts.last().is_some_and(Inst::ends_block);
+            ctx = if last_ends { BLOCK_START } else { item.entry };
+            pos += item.size;
+        }
+        Ok(())
+    }
+
     fn read_field(&self, kind: FieldKind, bits: &mut BitReader<'_>) -> Result<Field, BriscError> {
         let eof = |_| BriscError::Corrupt("operand bits truncated".into());
         Ok(match kind {
@@ -468,8 +504,22 @@ impl<'a> Rd<'a> {
         Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
     }
 
+    /// A varint declaring an in-memory count or length, checked into
+    /// `usize`: a value above `usize::MAX` (possible on 32-bit hosts)
+    /// is structurally corrupt, never silently truncated.
+    fn usize_varint(&mut self) -> Result<usize, BriscError> {
+        usize::try_from(self.uvarint()?)
+            .map_err(|_| BriscError::Corrupt("declared length exceeds address space".into()))
+    }
+
+    /// A varint whose value must fit the image's 32-bit offset space.
+    fn u32_varint(&mut self) -> Result<u32, BriscError> {
+        u32::try_from(self.uvarint()?)
+            .map_err(|_| BriscError::Corrupt("value exceeds 32 bits".into()))
+    }
+
     fn string(&mut self) -> Result<String, BriscError> {
-        let len = self.uvarint()? as usize;
+        let len = self.usize_varint()?;
         String::from_utf8(self.take(len)?.to_vec())
             .map_err(|_| BriscError::Corrupt("string is not UTF-8".into()))
     }
@@ -518,7 +568,7 @@ pub fn serialize_entry(entry: &DictEntry) -> Vec<u8> {
 }
 
 fn deserialize_entry(r: &mut Rd<'_>) -> Result<DictEntry, BriscError> {
-    let n = r.uvarint()? as usize;
+    let n = r.usize_varint()?;
     if n == 0 || n > 16 {
         return Err(BriscError::Corrupt(format!("bad pattern count {n}")));
     }
@@ -570,17 +620,24 @@ pub fn serialize_markov(markov: &MarkovTables) -> Vec<u8> {
     out
 }
 
-fn deserialize_markov(r: &mut Rd<'_>) -> Result<MarkovTables, BriscError> {
-    let n = r.uvarint()? as usize;
+fn deserialize_markov(
+    r: &mut Rd<'_>,
+    budget: &codecomp_core::Budget,
+) -> Result<MarkovTables, BriscError> {
+    let n = r.usize_varint()?;
+    budget.check_table_entries(n as u64)?;
+    budget.charge_fuel(n as u64)?;
     // Each list takes at least two bytes (context + count), each
     // successor at least one.
     let mut lists = Vec::with_capacity(n.min(r.remaining() / 2));
     for _ in 0..n {
-        let ctx = r.uvarint()? as u32;
-        let m = r.uvarint()? as usize;
+        let ctx = r.u32_varint()?;
+        let m = r.usize_varint()?;
+        budget.check_table_entries(m as u64)?;
+        budget.charge_fuel(m as u64)?;
         let mut succ = Vec::with_capacity(m.min(r.remaining()));
         for _ in 0..m {
-            succ.push(r.uvarint()? as u32);
+            succ.push(r.u32_varint()?);
         }
         lists.push((ctx, succ));
     }
@@ -644,46 +701,72 @@ impl BriscImage {
     ///
     /// [`BriscError::Corrupt`] on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<BriscImage, BriscError> {
+        Self::from_bytes_budgeted(bytes, &codecomp_core::Budget::default())
+    }
+
+    /// Budget-governed [`Self::from_bytes`]: the header inflate, the
+    /// dictionary / Markov / global / function table sizes, and the code
+    /// blob are all checked against `budget` before allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::from_bytes`], plus [`BriscError::Limit`] when the
+    /// budget trips.
+    pub fn from_bytes_budgeted(
+        bytes: &[u8],
+        budget: &codecomp_core::Budget,
+    ) -> Result<BriscImage, BriscError> {
         let mut outer = Rd { bytes, pos: 0 };
         if outer.take(4)? != b"CCBR" {
             return Err(BriscError::Corrupt("bad magic".into()));
         }
         let order0 = outer.u8()? != 0;
-        let header_len = outer.uvarint()? as usize;
+        let header_len = outer.usize_varint()?;
         let packed_header = outer.take(header_len)?;
-        let header = codecomp_flate::inflate(packed_header)
-            .map_err(|e| BriscError::Corrupt(format!("header: {e}")))?;
+        let header =
+            codecomp_flate::inflate_budgeted(packed_header, budget).map_err(|e| match e {
+                codecomp_flate::FlateError::LimitExceeded { limit } => BriscError::Limit {
+                    what: "header inflate output/fuel".into(),
+                    limit,
+                },
+                other => BriscError::Corrupt(format!("header: {other}")),
+            })?;
         let mut r = Rd {
             bytes: &header,
             pos: 0,
         };
-        let bad_u32 = || BriscError::Corrupt("value exceeds 32 bits".into());
-        let ndict = r.uvarint()? as usize;
+        let ndict = r.usize_varint()?;
+        budget.check_table_entries(ndict as u64)?;
+        budget.charge_fuel(ndict as u64)?;
         // Every entry takes at least two bytes (pattern count + base op).
         let mut dictionary = Vec::with_capacity(ndict.min(r.remaining() / 2));
         for _ in 0..ndict {
             dictionary.push(deserialize_entry(&mut r)?);
         }
-        let markov = deserialize_markov(&mut r)?;
-        let nglobals = r.uvarint()? as usize;
+        let markov = deserialize_markov(&mut r, budget)?;
+        let nglobals = r.usize_varint()?;
+        budget.check_table_entries(nglobals as u64)?;
+        budget.charge_fuel(nglobals as u64)?;
         let mut globals = Vec::with_capacity(nglobals.min(r.remaining() / 3));
         for _ in 0..nglobals {
             let name = r.string()?;
-            let size = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
-            let init_len = r.uvarint()? as usize;
+            let size = r.u32_varint()?;
+            let init_len = r.usize_varint()?;
             globals.push(VmGlobal {
                 name,
                 size,
                 init: r.take(init_len)?.to_vec(),
             });
         }
-        let nfuncs = r.uvarint()? as usize;
+        let nfuncs = r.usize_varint()?;
+        budget.check_table_entries(nfuncs as u64)?;
+        budget.charge_fuel(nfuncs as u64)?;
         let mut functions = Vec::with_capacity(nfuncs.min(r.remaining() / 4));
         for _ in 0..nfuncs {
             let name = r.string()?;
-            let param_count = r.uvarint()? as usize;
-            let frame_size = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
-            let nsaved = r.uvarint()? as usize;
+            let param_count = r.usize_varint()?;
+            let frame_size = r.u32_varint()?;
+            let nsaved = r.usize_varint()?;
             if nsaved > usize::from(Reg::COUNT) {
                 return Err(BriscError::Corrupt("too many saved registers".into()));
             }
@@ -695,13 +778,13 @@ impl BriscImage {
                 }
                 saved_regs.push(Reg::new(n));
             }
-            let start = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
-            let len = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
-            let nleaders = r.uvarint()? as usize;
+            let start = r.u32_varint()?;
+            let len = r.u32_varint()?;
+            let nleaders = r.usize_varint()?;
             let mut extra_leaders = Vec::with_capacity(nleaders.min(r.remaining()));
             let mut prev = 0u32;
             for _ in 0..nleaders {
-                let delta = u32::try_from(r.uvarint()?).map_err(|_| bad_u32())?;
+                let delta = r.u32_varint()?;
                 prev = prev
                     .checked_add(delta)
                     .ok_or_else(|| BriscError::Corrupt("leader offset overflow".into()))?;
@@ -720,7 +803,8 @@ impl BriscImage {
         if r.pos != header.len() {
             return Err(BriscError::Corrupt("trailing header bytes".into()));
         }
-        let code_len = outer.uvarint()? as usize;
+        let code_len = outer.usize_varint()?;
+        budget.check_output_bytes(code_len as u64)?;
         let code = outer.take(code_len)?.to_vec();
         if outer.pos != bytes.len() {
             return Err(BriscError::Corrupt("trailing bytes".into()));
@@ -872,6 +956,90 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] = b'Y';
         assert!(BriscImage::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn oversized_markov_values_rejected_not_truncated() {
+        // A context id or successor above u32::MAX must surface as
+        // Corrupt, never be silently cast down to a valid-looking id.
+        let budget = codecomp_core::Budget::default();
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, 1); // one list
+        put_uvarint(&mut bytes, u64::MAX); // context id too big for u32
+        put_uvarint(&mut bytes, 0); // no successors
+        let mut r = Rd {
+            bytes: &bytes,
+            pos: 0,
+        };
+        assert!(matches!(
+            deserialize_markov(&mut r, &budget),
+            Err(BriscError::Corrupt(_))
+        ));
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, 1);
+        put_uvarint(&mut bytes, 7); // context
+        put_uvarint(&mut bytes, 1); // one successor
+        put_uvarint(&mut bytes, u64::from(u32::MAX) + 1); // successor too big
+        let mut r = Rd {
+            bytes: &bytes,
+            pos: 0,
+        };
+        assert!(matches!(
+            deserialize_markov(&mut r, &budget),
+            Err(BriscError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_lengths_rejected() {
+        // u32_varint / usize_varint refuse values past their range.
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, u64::from(u32::MAX) + 1);
+        let mut r = Rd {
+            bytes: &bytes,
+            pos: 0,
+        };
+        assert!(matches!(r.u32_varint(), Err(BriscError::Corrupt(_))));
+        // A huge string length must fail cleanly (truncation), not wrap.
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, u64::MAX / 2);
+        bytes.push(b'x');
+        let mut r = Rd {
+            bytes: &bytes,
+            pos: 0,
+        };
+        assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn table_limit_trips_as_limit_not_corrupt() {
+        let img = tiny_image();
+        let bytes = img.to_bytes();
+        let limits = codecomp_core::DecodeLimits {
+            max_table_entries: 1, // the dictionary alone has 4 entries
+            ..codecomp_core::DecodeLimits::default()
+        };
+        let err =
+            BriscImage::from_bytes_budgeted(&bytes, &codecomp_core::Budget::new(limits))
+                .unwrap_err();
+        assert!(matches!(err, BriscError::Limit { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn validation_scan_accepts_good_functions_and_meters_fuel() {
+        let img = tiny_image();
+        let budget = codecomp_core::Budget::default();
+        img.validate_function(0, &budget).unwrap();
+        // The tiny program has 4 items, so the scan spends exactly 4 fuel.
+        assert_eq!(budget.usage().fuel_spent, 4);
+        let starved = codecomp_core::Budget::new(codecomp_core::DecodeLimits {
+            decode_fuel: 3,
+            ..codecomp_core::DecodeLimits::default()
+        });
+        assert!(matches!(
+            img.validate_function(0, &starved),
+            Err(BriscError::Limit { .. })
+        ));
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub struct BriscMachine<'a> {
     instructions: u64,
     items_decoded: u64,
     calls: u64,
+    /// Per-function quarantine records from the governed load scan.
+    quarantine: Vec<Option<codecomp_core::DecodeError>>,
     /// Per-code-byte touch map for working-set measurement.
     pub code_touched: Vec<bool>,
 }
@@ -69,6 +71,7 @@ impl<'a> BriscMachine<'a> {
         }
         Ok(Self {
             code_touched: vec![false; image.code.len()],
+            quarantine: vec![None; image.functions.len()],
             image,
             mem,
             regs: [0; 16],
@@ -78,6 +81,75 @@ impl<'a> BriscMachine<'a> {
             items_decoded: 0,
             calls: 0,
         })
+    }
+
+    /// [`Self::new`] plus a load-time validation scan of every function
+    /// under `limits` (each probed with its own fresh meter, so one
+    /// oversized function cannot drain its siblings'). Functions that
+    /// fail are *quarantined* instead of failing the whole image:
+    /// execution that reaches one traps with
+    /// [`BriscError::Quarantined`], and everything else runs normally.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn new_governed(
+        image: &'a BriscImage,
+        mem_size: u32,
+        fuel: u64,
+        limits: codecomp_core::DecodeLimits,
+    ) -> Result<Self, BriscError> {
+        let mut m = Self::new(image, mem_size, fuel)?;
+        for i in 0..image.functions.len() {
+            let budget = codecomp_core::Budget::new(limits);
+            if let Err(e) = image.validate_function(i, &budget) {
+                m.quarantine[i] = Some(codecomp_core::DecodeError::from(e));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Quarantined functions with the failure that poisoned each.
+    pub fn quarantined_functions(&self) -> Vec<(String, codecomp_core::DecodeError)> {
+        self.quarantine
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| {
+                q.as_ref()
+                    .map(|c| (self.image.functions[i].name.clone(), c.clone()))
+            })
+            .collect()
+    }
+
+    /// Re-validates one quarantined function under `limits` — the
+    /// recovery path for a function that only failed on limits. On
+    /// success its quarantine record is cleared; a function that fails
+    /// again stays quarantined with the fresh cause.
+    ///
+    /// # Errors
+    ///
+    /// [`BriscError::Exec`] for unknown names; the validation failure
+    /// itself when the function still does not decode.
+    pub fn revalidate(
+        &mut self,
+        name: &str,
+        limits: codecomp_core::DecodeLimits,
+    ) -> Result<(), BriscError> {
+        let idx = self
+            .image
+            .function_index(name)
+            .ok_or_else(|| BriscError::Exec(format!("undefined function {name}")))?;
+        let budget = codecomp_core::Budget::new(limits);
+        match self.image.validate_function(idx, &budget) {
+            Ok(()) => {
+                self.quarantine[idx] = None;
+                Ok(())
+            }
+            Err(e) => {
+                self.quarantine[idx] = Some(codecomp_core::DecodeError::from(e.clone()));
+                Err(e)
+            }
+        }
     }
 
     /// Runs `entry` with the given arguments.
@@ -112,15 +184,21 @@ impl<'a> BriscMachine<'a> {
                 return Err(BriscError::Exec("fuel exhausted".into()));
             }
             self.fuel -= 1;
+            let func = self
+                .image
+                .function_at(pc)
+                .ok_or_else(|| BriscError::Exec(format!("pc {pc} outside all functions")))?;
+            if let Some(cause) = &self.quarantine[func] {
+                return Err(BriscError::Quarantined {
+                    name: self.image.functions[func].name.clone(),
+                    cause: cause.clone(),
+                });
+            }
             let item = self.image.decode_at(pc, ctx)?;
             self.items_decoded += 1;
             for b in &mut self.code_touched[pc..pc + item.size] {
                 *b = true;
             }
-            let func = self
-                .image
-                .function_at(pc)
-                .ok_or_else(|| BriscError::Exec(format!("pc {pc} outside all functions")))?;
             let func_start = self.image.functions[func].start as usize;
 
             let mut transfer: Option<(usize, u32)> = None; // (new pc, new ctx)
@@ -155,7 +233,12 @@ impl<'a> BriscMachine<'a> {
                 }
                 None => {
                     let next = pc + item.size;
-                    let last = item.insts.last().expect("items are nonempty");
+                    // Serialized entries always hold at least one pattern,
+                    // but a decoded dictionary handed in directly may not.
+                    let last = item
+                        .insts
+                        .last()
+                        .ok_or_else(|| BriscError::Corrupt("empty dictionary entry".into()))?;
                     let next_local = (next - func_start) as u32;
                     ctx = if last.ends_block() || self.image.is_extra_leader(func, next_local) {
                         BLOCK_START
@@ -628,6 +711,70 @@ mod tests {
         let report = compress(&vm, BriscOptions::default()).unwrap();
         let mut m = BriscMachine::new(&report.image, 1 << 20, 1000).unwrap();
         assert!(matches!(m.run("main", &[]), Err(BriscError::Exec(_))));
+    }
+
+    #[test]
+    fn governed_machine_quarantines_and_recovers() {
+        let src = "
+            int f(int x) { return x + 1; }
+            int g(int x) { int i; int s = 0; for (i = 0; i < x; i++) s += i * i * x + i; return s; }
+            int h(int x) { return g(x) + f(x); }
+            int main() { return f(41); }
+        ";
+        let ir = compile(src).unwrap();
+        let vm = compile_module(&ir, IsaConfig::full()).unwrap();
+        let report = compress(&vm, BriscOptions::default()).unwrap();
+        let image = &report.image;
+
+        // Per-function decode cost under a generous meter; the scan's
+        // fuel spend is deterministic, so it doubles as the boundary.
+        let mut fuels = std::collections::HashMap::new();
+        for (i, f) in image.functions.iter().enumerate() {
+            let b = codecomp_core::Budget::default();
+            image.validate_function(i, &b).unwrap();
+            fuels.insert(f.name.clone(), b.usage().fuel_spent);
+        }
+        let g_fuel = fuels["g"];
+        assert!(
+            fuels.iter().all(|(n, &v)| n == "g" || v < g_fuel),
+            "g must be the most expensive function: {fuels:?}"
+        );
+        let limits = codecomp_core::DecodeLimits {
+            decode_fuel: g_fuel - 1,
+            ..codecomp_core::DecodeLimits::default()
+        };
+
+        // Exactly g is quarantined, as a limit trip (never Malformed).
+        let mut m = BriscMachine::new_governed(image, 1 << 20, 1 << 24, limits).unwrap();
+        let q = m.quarantined_functions();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, "g");
+        assert!(matches!(
+            q[0].1,
+            codecomp_core::DecodeError::LimitExceeded { .. }
+        ));
+
+        // The rest of the module runs normally.
+        assert_eq!(m.run("main", &[]).unwrap().value, 42);
+
+        // Reaching the quarantined function traps cleanly.
+        let mut m2 = BriscMachine::new_governed(image, 1 << 20, 1 << 24, limits).unwrap();
+        let err = m2.run("h", &[3]).unwrap_err();
+        assert!(
+            matches!(err, BriscError::Quarantined { ref name, .. } if name == "g"),
+            "got {err:?}"
+        );
+
+        // Raising the budget recovers it.
+        let mut m3 = BriscMachine::new_governed(image, 1 << 20, 1 << 24, limits).unwrap();
+        m3.revalidate("g", codecomp_core::DecodeLimits::default())
+            .unwrap();
+        assert!(m3.quarantined_functions().is_empty());
+        let expect = Machine::new(&vm, 1 << 20, 1 << 26)
+            .unwrap()
+            .run("h", &[3])
+            .unwrap();
+        assert_eq!(m3.run("h", &[3]).unwrap().value, expect.value);
     }
 
     #[test]

@@ -72,6 +72,20 @@ pub enum BriscError {
     Corrupt(String),
     /// Execution failed.
     Exec(String),
+    /// A decode budget tripped ([`codecomp_core::limits::DecodeLimits`]).
+    Limit {
+        /// Which limit tripped.
+        what: String,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// Execution reached a function quarantined by a decode failure.
+    Quarantined {
+        /// The quarantined function.
+        name: String,
+        /// Why its code failed to validate.
+        cause: codecomp_core::DecodeError,
+    },
 }
 
 impl fmt::Display for BriscError {
@@ -80,6 +94,12 @@ impl fmt::Display for BriscError {
             BriscError::Compress(m) => write!(f, "brisc compression error: {m}"),
             BriscError::Corrupt(m) => write!(f, "corrupt brisc image: {m}"),
             BriscError::Exec(m) => write!(f, "brisc execution error: {m}"),
+            BriscError::Limit { what, limit } => {
+                write!(f, "limit exceeded: {what} (limit {limit})")
+            }
+            BriscError::Quarantined { name, cause } => {
+                write!(f, "function {name} is quarantined: {cause}")
+            }
         }
     }
 }
@@ -95,6 +115,20 @@ impl From<BriscError> for codecomp_core::DecodeError {
             }
             BriscError::Corrupt(m) | BriscError::Exec(m) => DecodeError::malformed(m),
             BriscError::Compress(m) => DecodeError::Internal(m),
+            BriscError::Limit { what, limit } => DecodeError::LimitExceeded { what, limit },
+            // The quarantine already wraps the original decode failure.
+            BriscError::Quarantined { cause, .. } => cause,
+        }
+    }
+}
+
+impl From<codecomp_core::DecodeError> for BriscError {
+    fn from(e: codecomp_core::DecodeError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            DecodeError::Truncated => BriscError::Corrupt("unexpected end of image".into()),
+            DecodeError::LimitExceeded { what, limit } => BriscError::Limit { what, limit },
+            other => BriscError::Corrupt(other.to_string()),
         }
     }
 }

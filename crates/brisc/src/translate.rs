@@ -24,6 +24,20 @@ use std::collections::BTreeSet;
 ///
 /// [`BriscError::Corrupt`] on undecodable images.
 pub fn translate(image: &BriscImage) -> Result<VmProgram, BriscError> {
+    translate_budgeted(image, &codecomp_core::Budget::default())
+}
+
+/// Budget-governed [`translate`]: one fuel step is charged per decoded
+/// item, so a caller can bound the translation work an untrusted image
+/// can demand.
+///
+/// # Errors
+///
+/// As [`translate`], plus [`BriscError::Limit`] when `budget` trips.
+pub fn translate_budgeted(
+    image: &BriscImage,
+    budget: &codecomp_core::Budget,
+) -> Result<VmProgram, BriscError> {
     let mut program = VmProgram::new();
     program.globals = image
         .globals
@@ -43,6 +57,7 @@ pub fn translate(image: &BriscImage) -> Result<VmProgram, BriscError> {
         let end = (f.start + f.len) as usize;
         let mut ctx = BLOCK_START;
         while pos < end {
+            budget.charge_fuel(1)?;
             let local = (pos - f.start as usize) as u32;
             let effective = if image.is_extra_leader(fi, local) {
                 BLOCK_START

@@ -75,6 +75,13 @@ pub enum CodingError {
     },
     /// Arithmetic-coder model misuse, such as a zero-total model.
     InvalidModel(String),
+    /// A decode budget tripped ([`codecomp_core::limits::DecodeLimits`]).
+    LimitExceeded {
+        /// Which limit tripped.
+        what: String,
+        /// The configured ceiling.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CodingError {
@@ -90,11 +97,36 @@ impl fmt::Display for CodingError {
                 write!(f, "length limit {limit} too small for {symbols} symbols")
             }
             CodingError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            CodingError::LimitExceeded { what, limit } => {
+                write!(f, "limit exceeded: {what} (limit {limit})")
+            }
         }
     }
 }
 
 impl Error for CodingError {}
+
+impl From<CodingError> for codecomp_core::DecodeError {
+    fn from(e: CodingError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            CodingError::UnexpectedEof => DecodeError::Truncated,
+            CodingError::LimitExceeded { what, limit } => DecodeError::LimitExceeded { what, limit },
+            other => DecodeError::malformed(other.to_string()),
+        }
+    }
+}
+
+impl From<codecomp_core::DecodeError> for CodingError {
+    fn from(e: codecomp_core::DecodeError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            DecodeError::Truncated => CodingError::UnexpectedEof,
+            DecodeError::LimitExceeded { what, limit } => CodingError::LimitExceeded { what, limit },
+            other => CodingError::InvalidModel(other.to_string()),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

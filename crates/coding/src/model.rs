@@ -160,6 +160,19 @@ impl AdaptiveModel {
         }
     }
 
+    /// Budget-governed [`Self::new`]: the alphabet size `n` (one table
+    /// row per symbol) is checked against the table-entry ceiling
+    /// before the table is allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::LimitExceeded`] if `n` exceeds the budget's
+    /// `max_table_entries`.
+    pub fn with_budget(n: usize, budget: &codecomp_core::Budget) -> Result<Self, CodingError> {
+        budget.check_table_entries(n as u64)?;
+        Ok(Self::new(n))
+    }
+
     /// Number of symbols.
     pub fn len(&self) -> usize {
         self.freqs.len()

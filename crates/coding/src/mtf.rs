@@ -11,6 +11,8 @@
 //! A classic MTF transform over a fixed alphabet ([`mtf_encode_classic`])
 //! is also provided for ablation experiments.
 
+use crate::CodingError;
+
 /// Output of [`mtf_encode`]: recency indices plus the first-occurrence table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MtfEncoded<T> {
@@ -87,6 +89,23 @@ pub fn mtf_decode<T: Clone + PartialEq>(encoded: &MtfEncoded<T>) -> Option<Vec<T
     Some(out)
 }
 
+/// Budget-governed [`mtf_decode`]: the index count is checked against
+/// the stream-symbol ceiling and charged as decode fuel; a corrupt
+/// encoding surfaces as [`CodingError::InvalidCode`] instead of `None`.
+///
+/// # Errors
+///
+/// [`CodingError::LimitExceeded`] when the budget trips,
+/// [`CodingError::InvalidCode`] when the encoding is corrupt.
+pub fn mtf_decode_budgeted<T: Clone + PartialEq>(
+    encoded: &MtfEncoded<T>,
+    budget: &codecomp_core::Budget,
+) -> Result<Vec<T>, CodingError> {
+    budget.check_stream_symbols(encoded.indices.len() as u64)?;
+    budget.charge_fuel(encoded.indices.len() as u64)?;
+    mtf_decode(encoded).ok_or(CodingError::InvalidCode)
+}
+
 /// Classic MTF transform over the alphabet `0..alphabet`.
 ///
 /// The recency list is initialized to the identity permutation, so no
@@ -118,6 +137,24 @@ pub fn mtf_decode_classic(indices: &[u32], alphabet: u32) -> Option<Vec<u32>> {
         out.push(sym);
     }
     Some(out)
+}
+
+/// Budget-governed [`mtf_decode_classic`]: the recency list is one
+/// table of `alphabet` entries and the indices are one stream.
+///
+/// # Errors
+///
+/// [`CodingError::LimitExceeded`] when the budget trips,
+/// [`CodingError::InvalidCode`] on an out-of-alphabet index.
+pub fn mtf_decode_classic_budgeted(
+    indices: &[u32],
+    alphabet: u32,
+    budget: &codecomp_core::Budget,
+) -> Result<Vec<u32>, CodingError> {
+    budget.check_table_entries(u64::from(alphabet))?;
+    budget.check_stream_symbols(indices.len() as u64)?;
+    budget.charge_fuel(indices.len() as u64)?;
+    mtf_decode_classic(indices, alphabet).ok_or(CodingError::InvalidCode)
 }
 
 #[cfg(test)]

@@ -70,17 +70,6 @@ impl From<crate::CoreError> for DecodeError {
     }
 }
 
-// `codecomp-coding` sits below this crate in the dependency order, so
-// its fold into the taxonomy lives here rather than there.
-impl From<codecomp_coding::CodingError> for DecodeError {
-    fn from(e: codecomp_coding::CodingError) -> Self {
-        match e {
-            codecomp_coding::CodingError::UnexpectedEof => DecodeError::Truncated,
-            other => DecodeError::malformed(other.to_string()),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,9 @@
 
 //! - [`error`]: the shared [`DecodeError`] taxonomy every decoder in the
 //!   workspace folds into at its public boundary.
+//! - [`limits`]: per-call decode resource governance — [`DecodeLimits`]
+//!   knobs plus the shared [`Budget`] handle threaded through every
+//!   decode entry point in the workspace.
 //! - [`fault`]: seeded fault injection (xorshift PRNG + byte mutators)
 //!   backing the workspace fault-injection harness.
 
@@ -26,10 +29,12 @@ pub mod dict;
 pub mod entropy;
 pub mod error;
 pub mod fault;
+pub mod limits;
 pub mod streams;
 pub mod treepat;
 
 pub use error::DecodeError;
+pub use limits::{Budget, DecodeLimits, DecodeUsage};
 pub use streams::{SplitStreams, StreamKey};
 pub use treepat::TreePattern;
 

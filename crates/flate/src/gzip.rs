@@ -2,8 +2,9 @@
 
 use crate::crc32::crc32;
 use crate::deflate::{deflate_compress, CompressionLevel};
-use crate::inflate::inflate;
+use crate::inflate::{inflate, inflate_budgeted};
 use crate::FlateError;
+use codecomp_core::Budget;
 
 const MAGIC: [u8; 2] = [0x1F, 0x8B];
 const CM_DEFLATE: u8 = 8;
@@ -50,6 +51,22 @@ pub fn gzip_compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
 /// [`FlateError::ChecksumMismatch`] when the CRC trailer disagrees, and
 /// DEFLATE errors from the body.
 pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
+    gzip_decompress_governed(data, None)
+}
+
+/// Budget-governed [`gzip_decompress`]: the DEFLATE body is decoded
+/// through [`inflate_budgeted`], so the budget's output ceiling and
+/// fuel meter apply.
+///
+/// # Errors
+///
+/// As [`gzip_decompress`], plus [`FlateError::LimitExceeded`] when the
+/// budget trips.
+pub fn gzip_decompress_budgeted(data: &[u8], budget: &Budget) -> Result<Vec<u8>, FlateError> {
+    gzip_decompress_governed(data, Some(budget))
+}
+
+fn gzip_decompress_governed(data: &[u8], budget: Option<&Budget>) -> Result<Vec<u8>, FlateError> {
     if data.len() < 18 {
         return Err(FlateError::BadHeader(
             "shorter than minimal gzip member".into(),
@@ -96,7 +113,10 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, FlateError> {
         return Err(FlateError::Truncated);
     }
     let body = &data[pos..data.len() - 8];
-    let decoded = inflate(body)?;
+    let decoded = match budget {
+        Some(b) => inflate_budgeted(body, b)?,
+        None => inflate(body)?,
+    };
     let trailer = &data[data.len() - 8..];
     let stored_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
     let stored_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);

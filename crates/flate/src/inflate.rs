@@ -338,8 +338,10 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, FlateError> {
 
 /// Default output ceiling for [`inflate`]: far beyond any legitimate
 /// payload in this system, small enough to stop a decompression bomb
-/// from exhausting memory.
-pub const MAX_OUTPUT: usize = 1 << 28;
+/// from exhausting memory. Mirrors `DecodeLimits::default()` — the
+/// per-call budget is the enforcement mechanism; this is only the
+/// value the convenience entry point passes it.
+pub const MAX_OUTPUT: usize = codecomp_core::limits::DEFAULT_MAX_OUTPUT_BYTES as usize;
 
 /// Decompresses a raw DEFLATE stream, refusing to produce more than
 /// `max_output` bytes.
@@ -349,9 +351,38 @@ pub const MAX_OUTPUT: usize = 1 << 28;
 /// [`FlateError::LimitExceeded`] once the output would pass
 /// `max_output`; otherwise as [`inflate`].
 pub fn inflate_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, FlateError> {
+    inflate_governed(data, max_output, None)
+}
+
+/// Budget-governed [`inflate`]: the output ceiling comes from the
+/// budget's `max_output_bytes`, and decode fuel is charged per block —
+/// one unit per block plus one per output byte it produced — so total
+/// spend for a given payload is deterministic.
+///
+/// # Errors
+///
+/// [`FlateError::LimitExceeded`] when the output ceiling or the fuel
+/// meter trips; otherwise as [`inflate`].
+pub fn inflate_budgeted(
+    data: &[u8],
+    budget: &codecomp_core::Budget,
+) -> Result<Vec<u8>, FlateError> {
+    let max_output = usize::try_from(budget.limits().max_output_bytes).unwrap_or(usize::MAX);
+    let out = inflate_governed(data, max_output, Some(budget))?;
+    // Record the high-water mark (cannot trip: len ≤ max_output).
+    budget.check_output_bytes(out.len() as u64)?;
+    Ok(out)
+}
+
+fn inflate_governed(
+    data: &[u8],
+    max_output: usize,
+    budget: Option<&codecomp_core::Budget>,
+) -> Result<Vec<u8>, FlateError> {
     let mut r = BitSource::new(data);
     let mut out = Vec::new();
     loop {
+        let block_start = out.len();
         let bfinal = r.read_bits(1)? == 1;
         let btype = r.read_bits(2)?;
         match btype {
@@ -366,6 +397,11 @@ pub fn inflate_with_limit(data: &[u8], max_output: usize) -> Result<Vec<u8>, Fla
                 inflate_block(&mut r, &lit, &dist, &mut out, max_output)?;
             }
             _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
+        }
+        if let Some(b) = budget {
+            // Charged after the block so the hot loop stays free of
+            // atomics; the batch total is exact and reproducible.
+            b.charge_fuel(1 + (out.len() - block_start) as u64)?;
         }
         if bfinal {
             return Ok(out);

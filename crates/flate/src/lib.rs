@@ -30,9 +30,9 @@ pub mod lz77;
 pub mod reference;
 
 pub use deflate::{deflate_compress, CompressionLevel};
-pub use gzip::{gzip_compress, gzip_decompress};
-pub use inflate::{inflate, inflate_with_limit};
-pub use reference::{reference_inflate, reference_inflate_with_limit};
+pub use gzip::{gzip_compress, gzip_decompress, gzip_decompress_budgeted};
+pub use inflate::{inflate, inflate_budgeted, inflate_with_limit};
+pub use reference::{reference_inflate, reference_inflate_budgeted, reference_inflate_with_limit};
 
 use std::error::Error;
 use std::fmt;
@@ -92,6 +92,17 @@ impl From<FlateError> for codecomp_core::DecodeError {
 }
 
 impl Error for FlateError {}
+
+impl From<codecomp_core::DecodeError> for FlateError {
+    fn from(e: codecomp_core::DecodeError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            DecodeError::Truncated => FlateError::Truncated,
+            DecodeError::LimitExceeded { limit, .. } => FlateError::LimitExceeded { limit },
+            other => FlateError::Corrupt(other.to_string()),
+        }
+    }
+}
 
 impl From<codecomp_coding::CodingError> for FlateError {
     fn from(e: codecomp_coding::CodingError) -> Self {

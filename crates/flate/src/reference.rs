@@ -204,6 +204,48 @@ pub fn reference_inflate(data: &[u8]) -> Result<Vec<u8>, FlateError> {
     reference_inflate_with_limit(data, crate::inflate::MAX_OUTPUT)
 }
 
+/// Budget-governed [`reference_inflate`]: mirrors
+/// [`crate::inflate::inflate_budgeted`] — the output ceiling comes from
+/// the budget and fuel is charged one unit per output byte plus one per
+/// block, so the two implementations stay differentially comparable
+/// under identical budgets.
+///
+/// # Errors
+///
+/// As [`reference_inflate`], plus [`FlateError::LimitExceeded`] when
+/// the budget trips.
+pub fn reference_inflate_budgeted(
+    data: &[u8],
+    budget: &codecomp_core::Budget,
+) -> Result<Vec<u8>, FlateError> {
+    let max_output = usize::try_from(budget.limits().max_output_bytes).unwrap_or(usize::MAX);
+    let mut bits = Bits::new(data);
+    let mut out = Vec::new();
+    loop {
+        let block_start = out.len();
+        let bfinal = bits.field(1)?;
+        let btype = bits.field(2)?;
+        match btype {
+            0b00 => stored_block(&mut bits, &mut out, max_output)?,
+            0b01 => {
+                let lit = fixed_litlen()?;
+                let dist = fixed_dist()?;
+                coded_block(&mut bits, &lit, &dist, &mut out, max_output)?;
+            }
+            0b10 => {
+                let (lit, dist) = dynamic_codes(&mut bits)?;
+                coded_block(&mut bits, &lit, &dist, &mut out, max_output)?;
+            }
+            _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
+        }
+        budget.charge_fuel(1 + (out.len() - block_start) as u64)?;
+        if bfinal == 1 {
+            budget.check_output_bytes(out.len() as u64)?;
+            return Ok(out);
+        }
+    }
+}
+
 /// [`reference_inflate`] with an explicit output ceiling.
 ///
 /// # Errors

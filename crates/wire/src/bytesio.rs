@@ -103,6 +103,22 @@ impl<'a> Cursor<'a> {
         Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
     }
 
+    /// Reads a varint declaring an in-memory count or length, checked
+    /// into `usize`.
+    ///
+    /// Every length in the format is bounded by the input that carries
+    /// it, so a value above `usize::MAX` (possible on 32-bit hosts) is
+    /// structurally corrupt, not merely truncated.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cursor::uvarint`], plus [`WireError::Corrupt`] when the
+    /// value does not fit a `usize`.
+    pub fn usize_varint(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.uvarint()?)
+            .map_err(|_| WireError::Corrupt("declared length exceeds address space".into()))
+    }
+
     /// Reads a length-prefixed string.
     ///
     /// # Errors
@@ -110,7 +126,7 @@ impl<'a> Cursor<'a> {
     /// [`WireError::Truncated`] on truncation, [`WireError::Corrupt`] on
     /// invalid UTF-8.
     pub fn string(&mut self) -> Result<String, WireError> {
-        let len = self.uvarint()? as usize;
+        let len = self.usize_varint()?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| WireError::Corrupt("string is not UTF-8".into()))

@@ -9,22 +9,13 @@ use codecomp_coding::model::AdaptiveModel;
 use codecomp_coding::mtf::{mtf_decode, mtf_encode, MtfEncoded};
 use codecomp_core::streams::SplitStreams;
 use codecomp_core::treepat::TreePattern;
-use codecomp_flate::{deflate_compress, inflate, CompressionLevel};
+use codecomp_core::Budget;
+use codecomp_flate::{deflate_compress, inflate_budgeted, CompressionLevel};
 use codecomp_ir::binary::{byte_for_op, desc_for_byte, desc_to_op};
 use codecomp_ir::op::{Literal, Opcode};
 use codecomp_ir::tree::{Function, Global, Module, Tree};
 
 const MAGIC: &[u8; 4] = b"CCWF";
-
-/// Maximum decoded symbols per index stream. An attacker-supplied count
-/// above this is rejected before any decode work happens; the adaptive
-/// arithmetic coder can represent near-zero bits per symbol, so without
-/// this cap a tiny payload could demand unbounded decode effort.
-const MAX_STREAM_LEN: usize = 1 << 22;
-
-/// Maximum nesting depth when decoding a serialized tree pattern;
-/// bounds stack use against hand-crafted deeply-nested inputs.
-const MAX_PATTERN_DEPTH: usize = 128;
 
 /// Index-coder selection for the MTF index streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -203,29 +194,44 @@ pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, Wir
     })
 }
 
-/// Decompresses a wire image back into the original module.
+/// Decompresses a wire image back into the original module under the
+/// default [`codecomp_core::DecodeLimits`] (historical behaviour).
 ///
 /// # Errors
 ///
 /// [`WireError::Corrupt`] on malformed images.
 pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
+    decompress_budgeted(bytes, &Budget::default())
+}
+
+/// Budget-governed [`decompress`]: every stage — section DEFLATE,
+/// stream symbol counts, table sizes, pattern nesting, decode fuel —
+/// is checked against `budget`, and usage high-water marks are
+/// recorded on it.
+///
+/// # Errors
+///
+/// [`WireError::Limit`] when a budget knob trips (never misreported as
+/// `Corrupt`); otherwise as [`decompress`].
+pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, WireError> {
     let mut c = Cursor::new(bytes);
     if c.take(4)? != MAGIC {
         return Err(WireError::Corrupt("bad magic".into()));
     }
     let options = WireOptions::from_byte(c.u8()?)?;
-    let n_sections = c.uvarint()? as usize;
+    let n_sections = c.usize_varint()?;
     // Cap pre-allocation by what the input could possibly hold (every
     // section needs at least two bytes); the loop still reads exactly
     // `n_sections` entries or errors on truncation.
     let mut sections: Vec<(String, Vec<u8>)> = Vec::with_capacity(n_sections.min(c.remaining() / 2));
     for _ in 0..n_sections {
         let key = c.string()?;
-        let len = c.uvarint()? as usize;
+        let len = c.usize_varint()?;
         let payload = c.take(len)?;
         let raw = if options.deflate {
-            inflate(payload)?
+            inflate_budgeted(payload, budget)?
         } else {
+            budget.check_output_bytes(payload.len() as u64)?;
             payload.to_vec()
         };
         sections.push((key, raw));
@@ -251,39 +257,44 @@ pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
 
     // Meta.
     let mut mc = Cursor::new(&meta);
-    let nglobals = mc.uvarint()? as usize;
+    let nglobals = mc.usize_varint()?;
+    budget.check_table_entries(nglobals as u64)?;
+    budget.charge_fuel(nglobals as u64)?;
     let mut globals = Vec::with_capacity(nglobals.min(mc.remaining() / 3));
     for _ in 0..nglobals {
         let name = mc.string()?;
         let size = u32::try_from(mc.uvarint()?)
             .map_err(|_| WireError::Corrupt("global size out of range".into()))?;
-        let init_len = mc.uvarint()? as usize;
+        let init_len = mc.usize_varint()?;
         globals.push(Global {
             name,
             size,
             init: mc.take(init_len)?.to_vec(),
         });
     }
-    let nfuncs = mc.uvarint()? as usize;
+    let nfuncs = mc.usize_varint()?;
+    budget.check_table_entries(nfuncs as u64)?;
+    budget.charge_fuel(nfuncs as u64)?;
     let mut func_meta = Vec::with_capacity(nfuncs.min(mc.remaining() / 4));
     for _ in 0..nfuncs {
         let name = mc.string()?;
-        let params = mc.uvarint()? as usize;
+        let params = mc.usize_varint()?;
         let frame = u32::try_from(mc.uvarint()?)
             .map_err(|_| WireError::Corrupt("frame size out of range".into()))?;
-        let stmts = mc.uvarint()? as usize;
+        let stmts = mc.usize_varint()?;
         func_meta.push((name, params, frame, stmts));
     }
 
     // Patterns.
     let mut pc = Cursor::new(&pat_raw);
-    let (patterns, pattern_stream) = decode_symbol_stream(&mut pc, options, decode_pattern)?;
+    let (patterns, pattern_stream) =
+        decode_symbol_stream(&mut pc, options, budget, |c| decode_pattern(c, budget))?;
 
     // Literal streams.
     let mut literal_sections: Vec<(String, Vec<Literal>)> = Vec::new();
     for (key, raw) in iter {
         let mut lc = Cursor::new(&raw);
-        let lits = decode_literal_stream(&mut lc, options)?;
+        let lits = decode_literal_stream(&mut lc, options, budget)?;
         literal_sections.push((key, lits));
     }
 
@@ -358,9 +369,9 @@ fn encode_pattern(out: &mut Vec<u8>, pat: &TreePattern) -> Result<(), WireError>
     emit(out, pat)
 }
 
-fn decode_pattern(c: &mut Cursor<'_>) -> Result<TreePattern, WireError> {
-    let count = c.uvarint()? as usize;
-    let (pat, used) = decode_pattern_node(c, 0)?;
+fn decode_pattern(c: &mut Cursor<'_>, budget: &Budget) -> Result<TreePattern, WireError> {
+    let count = c.usize_varint()?;
+    let (pat, used) = decode_pattern_node(c, 0, budget)?;
     if used != count {
         return Err(WireError::Corrupt(format!(
             "pattern node count mismatch: header {count}, actual {used}"
@@ -369,12 +380,13 @@ fn decode_pattern(c: &mut Cursor<'_>) -> Result<TreePattern, WireError> {
     Ok(pat)
 }
 
-fn decode_pattern_node(c: &mut Cursor<'_>, depth: usize) -> Result<(TreePattern, usize), WireError> {
-    if depth > MAX_PATTERN_DEPTH {
-        return Err(WireError::Corrupt(format!(
-            "pattern nesting deeper than {MAX_PATTERN_DEPTH}"
-        )));
-    }
+fn decode_pattern_node(
+    c: &mut Cursor<'_>,
+    depth: u32,
+    budget: &Budget,
+) -> Result<(TreePattern, usize), WireError> {
+    // Bounds stack use against hand-crafted deeply-nested inputs.
+    budget.check_pattern_depth(depth)?;
     let byte = c.u8()?;
     let desc = desc_for_byte(byte)
         .ok_or_else(|| WireError::Corrupt(format!("unknown operator byte {byte}")))?;
@@ -386,7 +398,7 @@ fn decode_pattern_node(c: &mut Cursor<'_>, depth: usize) -> Result<(TreePattern,
     let mut kids = Vec::with_capacity(arity);
     let mut used = 1usize;
     for _ in 0..arity {
-        let (k, n) = decode_pattern_node(c, depth + 1)?;
+        let (k, n) = decode_pattern_node(c, depth + 1, budget)?;
         used += n;
         kids.push(k);
     }
@@ -483,9 +495,12 @@ fn encode_symbol_stream(
 fn decode_symbol_stream<T>(
     c: &mut Cursor<'_>,
     options: WireOptions,
+    budget: &Budget,
     mut read_entry: impl FnMut(&mut Cursor<'_>) -> Result<T, WireError>,
 ) -> Result<(Vec<T>, Vec<u32>), WireError> {
-    let table_len = c.uvarint()? as usize;
+    let table_len = c.usize_varint()?;
+    budget.check_table_entries(table_len as u64)?;
+    budget.charge_fuel(table_len as u64)?;
     let mut table = Vec::with_capacity(table_len.min(c.remaining()));
     for _ in 0..table_len {
         table.push(read_entry(c)?);
@@ -495,7 +510,7 @@ fn decode_symbol_stream<T>(
     } else {
         table_len
     };
-    let indices = decode_indices(c, alphabet.max(1), options.coder)?;
+    let indices = decode_indices(c, alphabet.max(1), options.coder, budget)?;
     let occurrences = if options.mtf {
         let enc = MtfEncoded {
             indices,
@@ -544,8 +559,9 @@ fn encode_literal_stream(
 fn decode_literal_stream(
     c: &mut Cursor<'_>,
     options: WireOptions,
+    budget: &Budget,
 ) -> Result<Vec<Literal>, WireError> {
-    let (table, occurrences) = decode_symbol_stream(c, options, decode_literal)?;
+    let (table, occurrences) = decode_symbol_stream(c, options, budget, decode_literal)?;
     occurrences
         .into_iter()
         .map(|o| {
@@ -607,16 +623,18 @@ fn decode_indices(
     c: &mut Cursor<'_>,
     alphabet: usize,
     coder: Coder,
+    budget: &Budget,
 ) -> Result<Vec<u32>, WireError> {
-    let count = c.uvarint()? as usize;
+    let count = c.usize_varint()?;
     if count == 0 {
         return Ok(Vec::new());
     }
-    if count > MAX_STREAM_LEN {
-        return Err(WireError::Corrupt(format!(
-            "index stream of {count} symbols exceeds the {MAX_STREAM_LEN} limit"
-        )));
-    }
+    // An attacker-supplied count above the stream-symbol ceiling is
+    // rejected before any decode work happens; the adaptive arithmetic
+    // coder can represent near-zero bits per symbol, so without this
+    // cap a tiny payload could demand unbounded decode effort.
+    budget.check_stream_symbols(count as u64)?;
+    budget.charge_fuel(count as u64)?;
     match coder {
         Coder::Raw => {
             let mut out = Vec::with_capacity(count.min(c.remaining()));
@@ -630,7 +648,7 @@ fn decode_indices(
         }
         Coder::Huffman => {
             let lengths = c.take(alphabet)?.to_vec();
-            let nbytes = c.uvarint()? as usize;
+            let nbytes = c.usize_varint()?;
             let bits = c.take(nbytes)?;
             let dec = HuffmanDecoder::from_lengths(&lengths)?;
             let mut r = BitReader::new(bits);
@@ -641,9 +659,9 @@ fn decode_indices(
             Ok(out)
         }
         Coder::Arithmetic => {
-            let nbytes = c.uvarint()? as usize;
+            let nbytes = c.usize_varint()?;
             let bytes = c.take(nbytes)?;
-            let mut model = AdaptiveModel::new(alphabet);
+            let mut model = AdaptiveModel::with_budget(alphabet, budget)?;
             let mut dec = ArithDecoder::new(bytes)?;
             let mut out = Vec::with_capacity(count);
             for _ in 0..count {

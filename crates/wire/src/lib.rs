@@ -32,8 +32,8 @@ mod bytesio;
 pub mod demand;
 mod format;
 
-pub use demand::DemandImage;
-pub use format::{compress, decompress, Coder, WireOptions, WireReport};
+pub use demand::{DemandError, DemandImage, DemandLoader, DemandReport, SalvageReport};
+pub use format::{compress, decompress, decompress_budgeted, Coder, WireOptions, WireReport};
 
 use std::error::Error;
 use std::fmt;
@@ -48,6 +48,13 @@ pub enum WireError {
     Corrupt(String),
     /// A lower layer failed.
     Layer(String),
+    /// A decode budget tripped ([`codecomp_core::limits::DecodeLimits`]).
+    Limit {
+        /// Which limit tripped.
+        what: String,
+        /// The configured ceiling.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -56,6 +63,9 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "wire image ended prematurely"),
             WireError::Corrupt(m) => write!(f, "corrupt wire image: {m}"),
             WireError::Layer(m) => write!(f, "{m}"),
+            WireError::Limit { what, limit } => {
+                write!(f, "limit exceeded: {what} (limit {limit})")
+            }
         }
     }
 }
@@ -68,6 +78,18 @@ impl From<WireError> for codecomp_core::DecodeError {
         match e {
             WireError::Truncated => DecodeError::Truncated,
             WireError::Corrupt(m) | WireError::Layer(m) => DecodeError::malformed(m),
+            WireError::Limit { what, limit } => DecodeError::LimitExceeded { what, limit },
+        }
+    }
+}
+
+impl From<codecomp_core::DecodeError> for WireError {
+    fn from(e: codecomp_core::DecodeError) -> Self {
+        use codecomp_core::DecodeError;
+        match e {
+            DecodeError::Truncated => WireError::Truncated,
+            DecodeError::LimitExceeded { what, limit } => WireError::Limit { what, limit },
+            other => WireError::Corrupt(other.to_string()),
         }
     }
 }
@@ -76,6 +98,13 @@ impl From<codecomp_flate::FlateError> for WireError {
     fn from(e: codecomp_flate::FlateError) -> Self {
         match e {
             codecomp_flate::FlateError::Truncated => WireError::Truncated,
+            // A budget trip in the DEFLATE stage stays a limit error:
+            // the boundary tests rely on shrunk limits never being
+            // misreported as structural corruption.
+            codecomp_flate::FlateError::LimitExceeded { limit } => WireError::Limit {
+                what: "deflate stage output/fuel".into(),
+                limit,
+            },
             other => WireError::Layer(format!("deflate: {other}")),
         }
     }
@@ -85,6 +114,9 @@ impl From<codecomp_coding::CodingError> for WireError {
     fn from(e: codecomp_coding::CodingError) -> Self {
         match e {
             codecomp_coding::CodingError::UnexpectedEof => WireError::Truncated,
+            codecomp_coding::CodingError::LimitExceeded { what, limit } => {
+                WireError::Limit { what, limit }
+            }
             other => WireError::Layer(format!("coding: {other}")),
         }
     }

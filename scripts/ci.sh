@@ -21,4 +21,15 @@ echo "==> differential fuzz smoke (~500 mutations)"
 CODECOMP_DIFF_MUTATIONS=84 cargo test -q --offline --test differential \
     seeded_mutations -- --nocapture
 
+# Low-limits fault-injection smoke: decode every corpus program under
+# starved DecodeLimits (all knobs below the measured footprint) and
+# hammer the decoded-structure mutators. Every failure must surface as
+# a clean Limit/Corrupt error — never a panic, never a misclassified
+# Malformed. Runtime is printed so regressions in this gate are visible.
+echo "==> low-limits fault-injection smoke (full corpus)"
+smoke_start=$SECONDS
+cargo test -q --offline --test limits
+cargo test -q --offline --test fault_injection mutated_
+echo "==> low-limits smoke took $((SECONDS - smoke_start))s"
+
 echo "==> ci.sh: all checks passed"

@@ -15,6 +15,7 @@
 use code_compression::brisc::interp::BriscMachine;
 use code_compression::brisc::translate::translate;
 use code_compression::brisc::{compress as brisc_compress, BriscImage, BriscOptions};
+use code_compression::core::{Budget, DecodeLimits};
 use code_compression::front::compile;
 use code_compression::ir::binary::{decode_module, encode_module};
 use code_compression::ir::eval::Evaluator;
@@ -22,7 +23,7 @@ use code_compression::ir::Module;
 use code_compression::vm::codegen::compile_module;
 use code_compression::vm::interp::Machine;
 use code_compression::vm::isa::IsaConfig;
-use code_compression::wire::{compress as wire_compress, decompress, WireOptions};
+use code_compression::wire::{compress as wire_compress, decompress, decompress_budgeted, WireOptions};
 use std::process::ExitCode;
 
 const MEM: u32 = 1 << 24;
@@ -69,15 +70,39 @@ fn usage() -> Result<ExitCode, AnyError> {
         "usage:
   codecomp compile <src.c> [-o out.ccir]
   codecomp dis <src.c|.ccir>
-  codecomp run <src.c|.ccir|.ccwf|.ccbr> [--tier ir|vm|brisc|jit] [--fuel N] [-- args...]
+  codecomp run <src.c|.ccir|.ccwf|.ccbr> [--tier ir|vm|brisc|jit]
+               [--fuel N] [--max-output N] [--max-resident N] [-- args...]
   codecomp wire pack <src.c|.ccir> [-o out.ccwf]
   codecomp wire unpack <in.ccwf> [-o out.ccir]
   codecomp wire info <in.ccwf>
   codecomp brisc pack <src.c|.ccir> [-o out.ccbr]
-  codecomp brisc run <in.ccbr> [--fuel N] [-- args...]
-  codecomp brisc info <in.ccbr>"
+  codecomp brisc run <in.ccbr> [--fuel N] [--max-output N] [-- args...]
+  codecomp brisc info <in.ccbr>
+
+sizes accept k/m/g suffixes: --fuel 64k, --max-output 1m, --max-resident 2g"
     );
     Ok(ExitCode::FAILURE)
+}
+
+/// Parses a size with an optional `k`/`m`/`g` suffix (`64k`, `1m`, `2g`).
+fn parse_size(flag: &str, s: &str) -> Result<u64, AnyError> {
+    let (digits, mult) = match s.char_indices().last() {
+        Some((i, c)) if c.is_ascii_alphabetic() => {
+            let mult: u64 = match c.to_ascii_lowercase() {
+                'k' => 1 << 10,
+                'm' => 1 << 20,
+                'g' => 1 << 30,
+                _ => return Err(format!("{flag}: unknown size suffix {c:?} (use k/m/g)").into()),
+            };
+            (&s[..i], mult)
+        }
+        _ => (s, 1),
+    };
+    let n = digits
+        .parse::<u64>()
+        .map_err(|_| format!("{flag} expects a size like 500, 64k, 1m or 2g, got {s:?}"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("{flag}: size {s:?} overflows").into())
 }
 
 /// Splits `args` into (positional, -o value, --tier value, trailing args).
@@ -86,7 +111,23 @@ struct Parsed<'a> {
     output: Option<&'a str>,
     tier: Option<&'a str>,
     fuel: Option<u64>,
+    max_output: Option<u64>,
+    max_resident: Option<u64>,
     trailing: Vec<i64>,
+}
+
+impl Parsed<'_> {
+    /// The decode limits the command line asked for (defaults elsewhere).
+    fn decode_limits(&self) -> DecodeLimits {
+        let mut limits = DecodeLimits::default();
+        if let Some(o) = self.max_output {
+            limits.max_output_bytes = o;
+        }
+        if let Some(r) = self.max_resident {
+            limits.max_resident_bytes = r;
+        }
+        limits
+    }
 }
 
 fn parse(args: &[String]) -> Result<Parsed<'_>, AnyError> {
@@ -95,6 +136,8 @@ fn parse(args: &[String]) -> Result<Parsed<'_>, AnyError> {
         output: None,
         tier: None,
         fuel: None,
+        max_output: None,
+        max_resident: None,
         trailing: Vec::new(),
     };
     let mut it = args.iter().map(String::as_str).peekable();
@@ -104,10 +147,15 @@ fn parse(args: &[String]) -> Result<Parsed<'_>, AnyError> {
             "--tier" => p.tier = Some(it.next().ok_or("--tier needs a value")?),
             "--fuel" => {
                 let v = it.next().ok_or("--fuel needs a value")?;
-                p.fuel = Some(
-                    v.parse::<u64>()
-                        .map_err(|_| format!("--fuel must be an integer, got {v:?}"))?,
-                );
+                p.fuel = Some(parse_size("--fuel", v)?);
+            }
+            "--max-output" => {
+                let v = it.next().ok_or("--max-output needs a value")?;
+                p.max_output = Some(parse_size("--max-output", v)?);
+            }
+            "--max-resident" => {
+                let v = it.next().ok_or("--max-resident needs a value")?;
+                p.max_resident = Some(parse_size("--max-resident", v)?);
             }
             "--" => {
                 for t in it.by_ref() {
@@ -180,14 +228,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, AnyError> {
     };
     let tier = p.tier.unwrap_or("vm");
 
-    // Compressed images run directly.
+    // Compressed images run directly, under the requested decode limits.
     let fuel = p.fuel.unwrap_or(FUEL);
+    let limits = p.decode_limits();
     if input.ends_with(".ccbr") {
-        return run_brisc_image(input, &p.trailing, fuel);
+        return run_brisc_image(input, &p.trailing, fuel, limits);
     }
     if input.ends_with(".ccwf") {
         let bytes = std::fs::read(input)?;
-        let module = decompress(&bytes)?;
+        let module = decompress_budgeted(&bytes, &Budget::new(limits))?;
         return finish(run_module(&module, tier, &p.trailing, fuel)?);
     }
     let module = load_module(input)?;
@@ -308,10 +357,20 @@ fn cmd_brisc_pack(args: &[String]) -> Result<ExitCode, AnyError> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn run_brisc_image(path: &str, args: &[i64], fuel: u64) -> Result<ExitCode, AnyError> {
+fn run_brisc_image(
+    path: &str,
+    args: &[i64],
+    fuel: u64,
+    limits: DecodeLimits,
+) -> Result<ExitCode, AnyError> {
     let bytes = std::fs::read(path)?;
-    let image = BriscImage::from_bytes(&bytes)?;
-    let mut machine = BriscMachine::new(&image, MEM, fuel)?;
+    let image = BriscImage::from_bytes_budgeted(&bytes, &Budget::new(limits))?;
+    // The governed machine quarantines functions that fail the load
+    // scan; execution only fails if it actually reaches one.
+    let mut machine = BriscMachine::new_governed(&image, MEM, fuel, limits)?;
+    for (name, cause) in machine.quarantined_functions() {
+        eprintln!("codecomp: warning: function {name} quarantined: {cause}");
+    }
     let out = machine.run("main", args)?;
     print!("{}", String::from_utf8_lossy(&out.output));
     println!("=> {}", out.value);
@@ -323,7 +382,7 @@ fn cmd_brisc_run(args: &[String]) -> Result<ExitCode, AnyError> {
     let [input] = p.positional[..] else {
         return usage();
     };
-    run_brisc_image(input, &p.trailing, p.fuel.unwrap_or(FUEL))
+    run_brisc_image(input, &p.trailing, p.fuel.unwrap_or(FUEL), p.decode_limits())
 }
 
 fn cmd_brisc_info(args: &[String]) -> Result<ExitCode, AnyError> {

@@ -105,6 +105,54 @@ fn cli_errors_are_reported() {
 }
 
 #[test]
+fn cli_size_suffixes_and_decode_limits() {
+    let dir = workdir();
+    std::fs::write(dir.join("sizes.c"), SOURCE).unwrap();
+
+    // --fuel accepts human-readable suffixes.
+    let (stdout, stderr, ok) = run(&["run", "sizes.c", "--fuel", "64k"], &dir);
+    assert!(ok, "suffixed --fuel failed: {stderr}");
+    assert!(stdout.contains("=> 42"), "{stdout}");
+    let (stdout, _, ok) = run(&["run", "sizes.c", "--fuel", "1m"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("=> 42"), "{stdout}");
+
+    // Unknown suffixes and junk are rejected with a clear message.
+    let (_, stderr, ok) = run(&["run", "sizes.c", "--fuel", "12q"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("suffix"), "{stderr}");
+    let (_, stderr, ok) = run(&["run", "sizes.c", "--max-output", "lots"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("size"), "{stderr}");
+
+    // A starved --max-output trips as a limit on compressed inputs; a
+    // generous one succeeds.
+    let (_, stderr, ok) = run(&["wire", "pack", "sizes.c"], &dir);
+    assert!(ok, "wire pack failed: {stderr}");
+    let (_, stderr, ok) = run(&["run", "sizes.ccwf", "--max-output", "2"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("limit"), "{stderr}");
+    let (stdout, stderr, ok) = run(&["run", "sizes.ccwf", "--max-output", "1m"], &dir);
+    assert!(ok, "generous --max-output failed: {stderr}");
+    assert!(stdout.contains("=> 42"), "{stdout}");
+
+    // Same for BRISC images, including --max-resident passthrough.
+    let (_, stderr, ok) = run(&["brisc", "pack", "sizes.c"], &dir);
+    assert!(ok, "brisc pack failed: {stderr}");
+    let (_, stderr, ok) = run(&["brisc", "run", "sizes.ccbr", "--max-output", "2"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("limit"), "{stderr}");
+    let (stdout, stderr, ok) = run(
+        &["run", "sizes.ccbr", "--max-output", "1m", "--max-resident", "2g"],
+        &dir,
+    );
+    assert!(ok, "generous brisc limits failed: {stderr}");
+    assert!(stdout.contains("=> 42"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_program_arguments() {
     let dir = workdir();
     std::fs::write(

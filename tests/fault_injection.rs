@@ -20,10 +20,16 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use code_compression::brisc::compress::{compress as brisc_compress, BriscOptions};
+use code_compression::brisc::entry::DictEntry;
 use code_compression::brisc::interp::BriscMachine;
+use code_compression::brisc::markov::{MarkovTables, BLOCK_START};
 use code_compression::brisc::translate::translate;
 use code_compression::brisc::BriscImage;
-use code_compression::core::fault::mutation_schedule;
+use code_compression::coding::mtf::{
+    mtf_decode, mtf_decode_budgeted, mtf_decode_classic, mtf_decode_classic_budgeted, MtfEncoded,
+};
+use code_compression::core::fault::{mutation_schedule, XorShift64};
+use code_compression::core::{Budget, DecodeLimits};
 use code_compression::corpus::benchmarks;
 use code_compression::flate::{gzip_compress, gzip_decompress, CompressionLevel};
 use code_compression::ir::Module;
@@ -172,6 +178,193 @@ fn brisc_translator_is_total_under_mutation() {
                 }
             },
         );
+    }
+}
+
+/// One seeded structural mutation of an already-*decoded* image — the
+/// second half of the totality contract: consumers must survive not
+/// just hostile bytes but hostile decoded structures (dictionaries,
+/// Markov tables, function metadata) handed to them directly.
+fn mutate_decoded_image(img: &BriscImage, rng: &mut XorShift64) -> BriscImage {
+    let mut m = img.clone();
+    match rng.below(9) {
+        0 => {
+            if !m.dictionary.is_empty() {
+                let i = rng.range_usize(0, m.dictionary.len() - 1);
+                m.dictionary.remove(i);
+            }
+        }
+        1 => {
+            if m.dictionary.len() >= 2 {
+                let i = rng.range_usize(0, m.dictionary.len() - 1);
+                let j = rng.range_usize(0, m.dictionary.len() - 1);
+                m.dictionary[i] = m.dictionary[j].clone();
+            }
+        }
+        2 => {
+            // An empty entry violates the serialized invariant; decoded
+            // consumers must still reject it without panicking.
+            if !m.dictionary.is_empty() {
+                let i = rng.range_usize(0, m.dictionary.len() - 1);
+                m.dictionary[i] = DictEntry {
+                    patterns: Vec::new(),
+                };
+            }
+        }
+        3 => {
+            // A Markov successor pointing past the dictionary.
+            let mut lists: Vec<(u32, Vec<u32>)> = m
+                .markov
+                .iter_sorted()
+                .iter()
+                .map(|(c, s)| (*c, s.to_vec()))
+                .collect();
+            if !lists.is_empty() {
+                let i = rng.range_usize(0, lists.len() - 1);
+                lists[i].1.push(rng.below(1 << 16) as u32);
+            }
+            m.markov = MarkovTables::from_lists(lists);
+        }
+        4 => {
+            // Drop a whole context list.
+            let mut lists: Vec<(u32, Vec<u32>)> = m
+                .markov
+                .iter_sorted()
+                .iter()
+                .map(|(c, s)| (*c, s.to_vec()))
+                .collect();
+            if !lists.is_empty() {
+                let i = rng.range_usize(0, lists.len() - 1);
+                lists.remove(i);
+            }
+            m.markov = MarkovTables::from_lists(lists);
+        }
+        5 => {
+            // Corrupt one function's code bounds.
+            if !m.functions.is_empty() {
+                let i = rng.range_usize(0, m.functions.len() - 1);
+                m.functions[i].start = rng.below(2 * m.code.len() as u64 + 2) as u32;
+                m.functions[i].len = rng.below(2 * m.code.len() as u64 + 2) as u32;
+            }
+        }
+        6 => {
+            // Bogus extra-leader offsets (wrong contexts at decode).
+            if !m.functions.is_empty() {
+                let i = rng.range_usize(0, m.functions.len() - 1);
+                m.functions[i].extra_leaders = vec![rng.below(1 << 16) as u32];
+            }
+        }
+        7 => {
+            // Bit flips inside the code blob.
+            if !m.code.is_empty() {
+                for _ in 0..4 {
+                    let i = rng.range_usize(0, m.code.len() - 1);
+                    m.code[i] ^= 1 << rng.below(8);
+                }
+            }
+        }
+        _ => {
+            let keep = rng.below(m.code.len() as u64 + 1) as usize;
+            m.code.truncate(keep);
+        }
+    }
+    m
+}
+
+#[test]
+fn mutated_decoded_brisc_structures_do_not_panic() {
+    for (i, (name, module)) in test_modules().iter().enumerate() {
+        let vm = compile_module(module, IsaConfig::full()).expect("codegen");
+        let image = brisc_compress(&vm, BriscOptions::default())
+            .expect("brisc compress")
+            .image;
+        let mut rng = XorShift64::new(0xDEC0_0000 + i as u64);
+        for step in 0..MUTATIONS_PER_PAYLOAD {
+            let mutated = mutate_decoded_image(&image, &mut rng);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let _ = translate(&mutated);
+                if let Ok(mut m) = BriscMachine::new(&mutated, 1 << 16, 2_048) {
+                    let _ = m.run("main", &[]);
+                }
+                // The governed path (validation scan + quarantine) must
+                // be just as total.
+                let limits = DecodeLimits {
+                    decode_fuel: 4_096,
+                    ..DecodeLimits::default()
+                };
+                if let Ok(mut m) = BriscMachine::new_governed(&mutated, 1 << 16, 2_048, limits) {
+                    let _ = m.run("main", &[]);
+                }
+            }));
+            assert!(
+                r.is_ok(),
+                "brisc-decoded/{name}: panic on structural mutation {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mutated_mtf_state_does_not_panic() {
+    let generous = Budget::default();
+    let starved = Budget::new(DecodeLimits {
+        decode_fuel: 4,
+        max_stream_symbols: 4,
+        max_table_entries: 4,
+        ..DecodeLimits::default()
+    });
+    let mut rng = XorShift64::new(0x3A7F_0001);
+    for _ in 0..2_000 {
+        let n = rng.below(24) as usize;
+        let indices: Vec<u32> = (0..n).map(|_| rng.below(40) as u32).collect();
+        let tlen = rng.below(12) as usize;
+        let table: Vec<u32> = (0..tlen).map(|_| rng.below(300) as u32).collect();
+        let enc = MtfEncoded {
+            indices: indices.clone(),
+            table,
+        };
+        let alphabet = rng.below(48) as u32;
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ = mtf_decode(&enc);
+            let _ = mtf_decode_budgeted(&enc, &generous);
+            let _ = mtf_decode_budgeted(&enc, &starved);
+            let _ = mtf_decode_classic(&indices, alphabet);
+            let _ = mtf_decode_classic_budgeted(&indices, alphabet, &generous);
+            let _ = mtf_decode_classic_budgeted(&indices, alphabet, &starved);
+        }));
+        assert!(r.is_ok(), "mtf decoder panicked on fuzzed state");
+    }
+}
+
+#[test]
+fn mutated_markov_tables_do_not_panic() {
+    let mut rng = XorShift64::new(0x3A7F_0002);
+    for step in 0..1_500 {
+        let nlists = rng.below(6) as usize;
+        let lists: Vec<(u32, Vec<u32>)> = (0..nlists)
+            .map(|_| {
+                let ctx = if rng.chance(1, 4) {
+                    BLOCK_START
+                } else {
+                    rng.below(300) as u32
+                };
+                let n = rng.below(10) as usize;
+                (ctx, (0..n).map(|_| rng.below(300) as u32).collect())
+            })
+            .collect();
+        let tables = MarkovTables::from_lists(lists);
+        let code: Vec<u8> = (0..rng.below(12)).map(|_| rng.next_u64() as u8).collect();
+        // The cursor may start at or past the end of the code.
+        let mut pos = rng.below(code.len() as u64 + 3) as usize;
+        let ctx = if rng.chance(1, 2) {
+            BLOCK_START
+        } else {
+            rng.below(300) as u32
+        };
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ = tables.decode_opcode(ctx, &code, &mut pos);
+        }));
+        assert!(r.is_ok(), "markov decoder panicked on fuzzed tables ({step})");
     }
 }
 
