@@ -1,0 +1,140 @@
+//! BRISC perf tracker: measures image load (decode + validate) and
+//! in-place interpretation speed on the bundled corpus and records the
+//! result (plus a full telemetry registry dump) in `BENCH_brisc.json`.
+//!
+//! Usage (via `scripts/bench.sh`, from the repo root):
+//!
+//! ```text
+//! bench_brisc                   # measure, update "current", keep baseline
+//! bench_brisc --record-baseline # measure, (re)record the baseline too
+//! ```
+
+use codecomp_bench::{subjects, Scale};
+use codecomp_brisc::interp::BriscMachine;
+use codecomp_brisc::{compress, BriscImage, BriscOptions};
+use codecomp_core::telemetry;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OUT_PATH: &str = "BENCH_brisc.json";
+const SAMPLES: usize = 9;
+const MEM: u32 = 1 << 22;
+const FUEL: u64 = 1 << 32;
+
+/// Median wall-clock rate of `f` in `units`-per-second terms, where one
+/// run of `f` covers `units` of work (bytes or instructions).
+fn measure(units: f64, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    units / times[times.len() / 2]
+}
+
+/// Extracts the number following `"key":` inside the named JSON section.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let end = tail.find('}').unwrap_or(tail.len());
+    let body = &tail[..end];
+    let k = body.find(&format!("\"{key}\""))?;
+    let after = &body[k..];
+    let colon = after.find(':')?;
+    let num: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    telemetry::install(telemetry::Collector::metrics_only());
+
+    let subjects = subjects(Scale::CorpusOnly);
+    let images: Vec<Vec<u8>> = subjects
+        .iter()
+        .map(|s| {
+            compress(&s.vm, BriscOptions::default())
+                .expect("corpus brisc-compresses")
+                .image
+                .to_bytes()
+        })
+        .collect();
+    let image_bytes: usize = images.iter().map(Vec::len).sum();
+
+    // Load rate: deserialize every image (MiB/s of image bytes).
+    let load_mib_s = measure(image_bytes as f64 / (1024.0 * 1024.0), || {
+        for img in &images {
+            BriscImage::from_bytes(img).expect("loads");
+        }
+    });
+
+    // Interpretation rate: run every benchmark's `main` to completion
+    // and rate the total dispatched instructions (million instrs/s).
+    let loaded: Vec<BriscImage> = images
+        .iter()
+        .map(|img| BriscImage::from_bytes(img).expect("loads"))
+        .collect();
+    let total_instrs: u64 = loaded
+        .iter()
+        .map(|image| {
+            let mut m = BriscMachine::new(image, MEM, FUEL).expect("machine");
+            m.run("main", &[]).expect("corpus runs").instructions
+        })
+        .sum();
+    let interp_mips = measure(total_instrs as f64 / 1.0e6, || {
+        for image in &loaded {
+            let mut m = BriscMachine::new(image, MEM, FUEL).expect("machine");
+            m.run("main", &[]).expect("corpus runs");
+        }
+    });
+
+    let prior = std::fs::read_to_string(OUT_PATH).unwrap_or_default();
+    let (base_load, base_interp) = if record_baseline || prior.is_empty() {
+        (load_mib_s, interp_mips)
+    } else {
+        (
+            extract(&prior, "baseline", "load_mib_s").unwrap_or(load_mib_s),
+            extract(&prior, "baseline", "interp_mips").unwrap_or(interp_mips),
+        )
+    };
+
+    let metrics_json = telemetry::collector()
+        .expect("collector installed above")
+        .metrics
+        .snapshot()
+        .to_json();
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"brisc\",").unwrap();
+    writeln!(
+        json,
+        "  \"payload\": \"bundled corpus, {} images, {image_bytes} image bytes, {total_instrs} instrs\",",
+        subjects.len()
+    )
+    .unwrap();
+    writeln!(json, "  \"samples\": {SAMPLES},").unwrap();
+    writeln!(json, "  \"baseline\": {{").unwrap();
+    writeln!(json, "    \"load_mib_s\": {base_load:.2},").unwrap();
+    writeln!(json, "    \"interp_mips\": {base_interp:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"current\": {{").unwrap();
+    writeln!(json, "    \"load_mib_s\": {load_mib_s:.2},").unwrap();
+    writeln!(json, "    \"interp_mips\": {interp_mips:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"metrics\": {metrics_json}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_brisc.json");
+    println!("brisc load:   {load_mib_s:.2} MiB/s (baseline {base_load:.2})");
+    println!("brisc interp: {interp_mips:.2} M instrs/s (baseline {base_interp:.2})");
+    println!("wrote {OUT_PATH}");
+}

@@ -13,6 +13,7 @@
 //! offline with no serde, and the only field later runs need back is
 //! the baseline throughput.
 
+use codecomp_core::telemetry;
 use codecomp_corpus::{benchmarks, synthetic, SynthConfig};
 use codecomp_flate::deflate::deflate_compress_fixed;
 use codecomp_flate::{deflate_compress, inflate, CompressionLevel};
@@ -59,6 +60,22 @@ fn measure(bytes_out: usize, samples: usize, mut f: impl FnMut()) -> f64 {
     bytes_out as f64 / median / (1024.0 * 1024.0)
 }
 
+/// Best-of-`samples` throughput of `f` in MiB/s — min time rather than
+/// median, so additive system noise cancels. Used for the telemetry
+/// overhead comparison, where both sides are measured the same way and
+/// the quantity of interest is the small multiplicative difference.
+fn measure_best(bytes_out: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let best = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    bytes_out as f64 / best / (1024.0 * 1024.0)
+}
+
 /// Extracts the number following `"key":` inside the named JSON section.
 fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
     let sec = json.find(&format!("\"{section}\""))?;
@@ -91,6 +108,31 @@ fn main() {
     let dynamic_mib_s = measure(data.len(), 15, || {
         inflate(&dynamic).expect("decodes");
     });
+
+    // Re-measure with the telemetry collector installed (a process-wide
+    // one-way switch, so this must come after the plain runs). The
+    // delta is the whole observability tax on the hottest loop;
+    // best-of-N on both sides keeps scheduler noise out of it.
+    let best_fixed = measure_best(data.len(), 25, || {
+        inflate(&fixed).expect("decodes");
+    });
+    let best_dynamic = measure_best(data.len(), 25, || {
+        inflate(&dynamic).expect("decodes");
+    });
+    telemetry::install(telemetry::Collector::metrics_only());
+    let tele_fixed_mib_s = measure_best(data.len(), 25, || {
+        inflate(&fixed).expect("decodes");
+    });
+    let tele_dynamic_mib_s = measure_best(data.len(), 25, || {
+        inflate(&dynamic).expect("decodes");
+    });
+    let overhead_pct =
+        (1.0 - (tele_fixed_mib_s + tele_dynamic_mib_s) / (best_fixed + best_dynamic)) * 100.0;
+    let metrics_json = telemetry::collector()
+        .expect("collector installed above")
+        .metrics
+        .snapshot()
+        .to_json();
 
     let prior = std::fs::read_to_string(OUT_PATH).unwrap_or_default();
     let (base_fixed, base_dynamic) = if record_baseline || prior.is_empty() {
@@ -125,6 +167,11 @@ fn main() {
     writeln!(json, "    \"fixed_mib_s\": {fixed_mib_s:.1},").unwrap();
     writeln!(json, "    \"dynamic_mib_s\": {dynamic_mib_s:.1}").unwrap();
     writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"telemetry\": {{").unwrap();
+    writeln!(json, "    \"fixed_mib_s\": {tele_fixed_mib_s:.1},").unwrap();
+    writeln!(json, "    \"dynamic_mib_s\": {tele_dynamic_mib_s:.1},").unwrap();
+    writeln!(json, "    \"overhead_pct\": {overhead_pct:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
     writeln!(
         json,
         "  \"speedup_fixed\": {:.2},",
@@ -133,14 +180,19 @@ fn main() {
     .unwrap();
     writeln!(
         json,
-        "  \"speedup_dynamic\": {:.2}",
+        "  \"speedup_dynamic\": {:.2},",
         dynamic_mib_s / base_dynamic
     )
     .unwrap();
+    writeln!(json, "  \"metrics\": {metrics_json}").unwrap();
     writeln!(json, "}}").unwrap();
 
     std::fs::write(OUT_PATH, &json).expect("write BENCH_inflate.json");
     println!("inflate fixed:   {fixed_mib_s:.1} MiB/s (baseline {base_fixed:.1})");
     println!("inflate dynamic: {dynamic_mib_s:.1} MiB/s (baseline {base_dynamic:.1})");
+    println!(
+        "with collector:  {tele_fixed_mib_s:.1} / {tele_dynamic_mib_s:.1} MiB/s \
+         ({overhead_pct:.2}% overhead)"
+    );
     println!("wrote {OUT_PATH}");
 }

@@ -1,0 +1,120 @@
+//! Wire codec perf tracker: measures encode and decode throughput on
+//! the bundled corpus and records the result (plus a full telemetry
+//! registry dump) in `BENCH_wire.json`.
+//!
+//! Usage (via `scripts/bench.sh`, from the repo root):
+//!
+//! ```text
+//! bench_wire                   # measure, update "current", keep baseline
+//! bench_wire --record-baseline # measure, (re)record the baseline too
+//! ```
+
+use codecomp_bench::{subjects, Scale};
+use codecomp_core::telemetry;
+use codecomp_wire::{compress, decompress, WireOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OUT_PATH: &str = "BENCH_wire.json";
+const SAMPLES: usize = 9;
+
+/// Median wall-clock throughput of `f` in MiB/s for `bytes` of work.
+fn measure(bytes: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    bytes as f64 / times[times.len() / 2] / (1024.0 * 1024.0)
+}
+
+/// Extracts the number following `"key":` inside the named JSON section.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let end = tail.find('}').unwrap_or(tail.len());
+    let body = &tail[..end];
+    let k = body.find(&format!("\"{key}\""))?;
+    let after = &body[k..];
+    let colon = after.find(':')?;
+    let num: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    telemetry::install(telemetry::Collector::metrics_only());
+
+    let subjects = subjects(Scale::CorpusOnly);
+    let images: Vec<Vec<u8>> = subjects
+        .iter()
+        .map(|s| {
+            compress(&s.ir, WireOptions::default())
+                .expect("corpus wire-compresses")
+                .bytes
+        })
+        .collect();
+    let wire_bytes: usize = images.iter().map(Vec::len).sum();
+    // Throughput denominators: encode is rated over the produced wire
+    // bytes, decode over the wire bytes consumed.
+    let encode_mib_s = measure(wire_bytes, || {
+        for s in &subjects {
+            compress(&s.ir, WireOptions::default()).expect("encodes");
+        }
+    });
+    let decode_mib_s = measure(wire_bytes, || {
+        for img in &images {
+            decompress(img).expect("decodes");
+        }
+    });
+
+    let prior = std::fs::read_to_string(OUT_PATH).unwrap_or_default();
+    let (base_enc, base_dec) = if record_baseline || prior.is_empty() {
+        (encode_mib_s, decode_mib_s)
+    } else {
+        (
+            extract(&prior, "baseline", "encode_mib_s").unwrap_or(encode_mib_s),
+            extract(&prior, "baseline", "decode_mib_s").unwrap_or(decode_mib_s),
+        )
+    };
+
+    let metrics_json = telemetry::collector()
+        .expect("collector installed above")
+        .metrics
+        .snapshot()
+        .to_json();
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"wire\",").unwrap();
+    writeln!(
+        json,
+        "  \"payload\": \"bundled corpus, {} modules, {wire_bytes} wire bytes\",",
+        subjects.len()
+    )
+    .unwrap();
+    writeln!(json, "  \"samples\": {SAMPLES},").unwrap();
+    writeln!(json, "  \"baseline\": {{").unwrap();
+    writeln!(json, "    \"encode_mib_s\": {base_enc:.2},").unwrap();
+    writeln!(json, "    \"decode_mib_s\": {base_dec:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"current\": {{").unwrap();
+    writeln!(json, "    \"encode_mib_s\": {encode_mib_s:.2},").unwrap();
+    writeln!(json, "    \"decode_mib_s\": {decode_mib_s:.2}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"metrics\": {metrics_json}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_wire.json");
+    println!("wire encode: {encode_mib_s:.2} MiB/s (baseline {base_enc:.2})");
+    println!("wire decode: {decode_mib_s:.2} MiB/s (baseline {base_dec:.2})");
+    println!("wrote {OUT_PATH}");
+}

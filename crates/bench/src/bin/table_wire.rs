@@ -4,15 +4,22 @@
 //! by up to 4.9× and beats gzip except on the smallest input
 //! (`lcc 315636 → 64475`, `gcc 1381304 → 287260`, `wcp 61036 → 16013`).
 //!
+//! Wire sizes are read back from the telemetry registry (the
+//! `wire.encode.total_bytes` gauge the encoder publishes) and checked
+//! against the packed image, so the table and the metrics pipeline can
+//! never drift apart.
+//!
 //! Usage: `table_wire [--full]` — `--full` adds the large synthetic
 //! programs (slower).
 
 use codecomp_bench::{factor, subjects, Scale, Table};
+use codecomp_core::telemetry;
 use codecomp_flate::{gzip_compress, CompressionLevel};
 use codecomp_vm::native::fixed_width_bytes;
 use codecomp_wire::{compress, WireOptions};
 
 fn main() {
+    telemetry::install(telemetry::Collector::metrics_only());
     let scale = if std::env::args().any(|a| a == "--full") {
         Scale::WithSynthetic
     } else {
@@ -31,9 +38,22 @@ fn main() {
     for s in subjects(scale) {
         let native = fixed_width_bytes(&s.vm);
         let gz = gzip_compress(&native, CompressionLevel::Best).len();
-        let wire = compress(&s.ir, WireOptions::default())
-            .expect("wire compression succeeds")
-            .total();
+        let packed = compress(&s.ir, WireOptions::default()).expect("wire compression succeeds");
+        // The registry gauge is the source of truth for the table; the
+        // packed image keeps it honest.
+        let snap = telemetry::collector()
+            .expect("collector installed above")
+            .metrics
+            .snapshot();
+        let wire = snap
+            .gauge("wire.encode.total_bytes")
+            .expect("wire encoder publishes total_bytes") as usize;
+        assert_eq!(
+            wire,
+            packed.total(),
+            "{}: registry wire.encode.total_bytes disagrees with the packed image",
+            s.name
+        );
         table.row(&[
             s.name.clone(),
             native.len().to_string(),

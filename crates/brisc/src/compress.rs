@@ -106,6 +106,7 @@ struct CFunc {
 /// [`BriscError`] on programs outside the representable envelope
 /// (functions over 64 KiB of compressed code, > 65280 functions, …).
 pub fn compress(program: &VmProgram, options: BriscOptions) -> Result<BriscReport, BriscError> {
+    let _span = codecomp_core::telemetry::span("brisc.compress");
     let input_bytes = codecomp_vm::encode::code_segment_size(program);
     let mut dictionary: Vec<DictEntry> = Vec::new();
     let mut dict_index: HashMap<DictEntry, u32> = HashMap::new();
@@ -244,6 +245,14 @@ pub fn compress(program: &VmProgram, options: BriscOptions) -> Result<BriscRepor
     }
     let globals = program.globals.clone();
     let image = assemble_with(dictionary, out_funcs, globals, options.order0)?;
+    {
+        use codecomp_core::telemetry as t;
+        t::gauge_set("brisc.dictionary_entries", image.dictionary.len() as u64);
+        t::gauge_set("brisc.base_entries", base_entries as u64);
+        t::counter_add("brisc.compress.programs", 1);
+        t::counter_add("brisc.compress.input_bytes", input_bytes as u64);
+        t::counter_add("brisc.compress.candidates_tested", candidates_tested as u64);
+    }
     Ok(BriscReport {
         dictionary_entries: image.dictionary.len(),
         base_entries,

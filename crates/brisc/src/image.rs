@@ -817,6 +817,11 @@ impl BriscImage {
                 )));
             }
         }
+        codecomp_core::telemetry::gauge_set(
+            "brisc.dictionary_entries",
+            dictionary.len() as u64,
+        );
+        codecomp_core::telemetry::counter_add("brisc.image.loads", 1);
         Ok(BriscImage {
             dictionary,
             markov,

@@ -103,7 +103,18 @@ impl<'a> BriscMachine<'a> {
         for i in 0..image.functions.len() {
             let budget = codecomp_core::Budget::new(limits);
             if let Err(e) = image.validate_function(i, &budget) {
-                m.quarantine[i] = Some(codecomp_core::DecodeError::from(e));
+                let cause = codecomp_core::DecodeError::from(e);
+                if codecomp_core::telemetry::enabled() {
+                    codecomp_core::telemetry::counter_add("brisc.interp.quarantines", 1);
+                    codecomp_core::telemetry::event(
+                        "brisc.quarantine",
+                        vec![
+                            ("function", image.functions[i].name.as_str().into()),
+                            ("cause", cause.to_string().into()),
+                        ],
+                    );
+                }
+                m.quarantine[i] = Some(cause);
             }
         }
         Ok(m)
@@ -143,6 +154,10 @@ impl<'a> BriscMachine<'a> {
         match self.image.validate_function(idx, &budget) {
             Ok(()) => {
                 self.quarantine[idx] = None;
+                codecomp_core::telemetry::event(
+                    "brisc.revalidate",
+                    vec![("function", name.into()), ("recovered", true.into())],
+                );
                 Ok(())
             }
             Err(e) => {
@@ -159,6 +174,27 @@ impl<'a> BriscMachine<'a> {
     /// [`BriscError::Exec`] on faults or fuel exhaustion;
     /// [`BriscError::Corrupt`] if decoding fails mid-run.
     pub fn run(&mut self, entry: &str, args: &[i64]) -> Result<BriscOutcome, BriscError> {
+        let _span = codecomp_core::telemetry::span("brisc.run");
+        let (fuel_before, instrs_before) = (self.fuel, self.instructions);
+        let result = self.run_inner(entry, args);
+        if codecomp_core::telemetry::enabled() {
+            use codecomp_core::telemetry as t;
+            t::counter_add("brisc.interp.dispatches", self.instructions - instrs_before);
+            t::counter_add("brisc.interp.fuel_consumed", fuel_before - self.fuel);
+            if let Err(BriscError::Quarantined { name, cause }) = &result {
+                t::event(
+                    "brisc.quarantine_trap",
+                    vec![
+                        ("function", name.as_str().into()),
+                        ("cause", cause.to_string().into()),
+                    ],
+                );
+            }
+        }
+        result
+    }
+
+    fn run_inner(&mut self, entry: &str, args: &[i64]) -> Result<BriscOutcome, BriscError> {
         let entry_idx = self
             .image
             .function_index(entry)

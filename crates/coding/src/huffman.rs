@@ -317,9 +317,13 @@ impl HuffmanEncoder {
         I: IntoIterator<Item = usize>,
     {
         let mut w = BitWriter::new();
+        let mut count: u64 = 0;
         for s in symbols {
             self.encode_into(s, &mut w)?;
+            count += 1;
         }
+        codecomp_core::telemetry::counter_add("coding.huffman.bits_emitted", w.bit_len());
+        codecomp_core::telemetry::counter_add("coding.huffman.symbols", count);
         Ok(w.finish())
     }
 }

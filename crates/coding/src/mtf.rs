@@ -55,6 +55,19 @@ pub fn mtf_encode<T: Clone + PartialEq>(stream: &[T]) -> MtfEncoded<T> {
             }
         }
     }
+    if codecomp_core::telemetry::enabled() {
+        // Index 0 is a first occurrence (dictionary miss); k > 0 is a
+        // hit at recency distance k — the paper's locality argument in
+        // histogram form.
+        let misses = table.len() as u64;
+        codecomp_core::telemetry::counter_add("coding.mtf.misses", misses);
+        codecomp_core::telemetry::counter_add("coding.mtf.hits", indices.len() as u64 - misses);
+        let mut distances = codecomp_core::telemetry::LocalHistogram::default();
+        for &idx in indices.iter().filter(|&&idx| idx > 0) {
+            distances.record(u64::from(idx));
+        }
+        codecomp_core::telemetry::histogram_merge("coding.mtf.hit_distance", &distances);
+    }
     MtfEncoded { indices, table }
 }
 

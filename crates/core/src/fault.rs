@@ -95,8 +95,27 @@ impl Mutation {
     ///
     /// Out-of-range offsets are clamped so any (mutation, payload) pair
     /// is usable; an empty payload passes through unchanged except for
-    /// truncation (which is a no-op on it anyway).
+    /// truncation (which is a no-op on it anyway). When a trace sink is
+    /// installed, each application emits a `fault.mutation` event so
+    /// flight recordings tie a decoder failure to the exact corruption
+    /// that provoked it.
     pub fn apply(&self, data: &[u8]) -> Vec<u8> {
+        if crate::telemetry::enabled() {
+            let (kind, offset, amount) = match *self {
+                Mutation::Truncate { len } => ("truncate", len, 0),
+                Mutation::BitFlip { offset, bit } => ("bit_flip", offset, usize::from(bit)),
+                Mutation::Splice { offset, len, .. } => ("splice", offset, len),
+            };
+            crate::telemetry::event(
+                "fault.mutation",
+                vec![
+                    ("kind", kind.into()),
+                    ("offset", offset.into()),
+                    ("amount", amount.into()),
+                    ("payload_len", data.len().into()),
+                ],
+            );
+        }
         let mut out = data.to_vec();
         match *self {
             Mutation::Truncate { len } => out.truncate(len),

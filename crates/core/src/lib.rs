@@ -24,6 +24,9 @@
 //!   decode entry point in the workspace.
 //! - [`fault`]: seeded fault injection (xorshift PRNG + byte mutators)
 //!   backing the workspace fault-injection harness.
+//! - [`telemetry`]: zero-dependency observability — the metrics
+//!   [`telemetry::Registry`] and structured [`telemetry::TraceSink`]
+//!   every pipeline stage reports into when a collector is installed.
 
 pub mod dict;
 pub mod entropy;
@@ -31,6 +34,7 @@ pub mod error;
 pub mod fault;
 pub mod limits;
 pub mod streams;
+pub mod telemetry;
 pub mod treepat;
 
 pub use error::DecodeError;

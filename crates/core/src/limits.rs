@@ -29,6 +29,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::DecodeError;
+use crate::telemetry;
+
+/// Builds the limit error and, when tracing is on, emits a
+/// `limit.trip` event so flight recordings show which budget refused.
+fn trip(what: &'static str, limit: u64) -> DecodeError {
+    telemetry::event(
+        "limit.trip",
+        vec![("what", what.into()), ("limit", limit.into())],
+    );
+    DecodeError::limit(what, limit)
+}
 
 /// Default ceiling on a single decoded output (matches the historical
 /// `flate::MAX_OUTPUT`).
@@ -200,7 +211,7 @@ impl Budget {
     pub fn charge_fuel(&self, steps: u64) -> Result<(), DecodeError> {
         let prev = self.counters.fuel_spent.fetch_add(steps, Ordering::Relaxed);
         if prev.saturating_add(steps) > self.limits.decode_fuel {
-            return Err(DecodeError::limit("decode fuel", self.limits.decode_fuel));
+            return Err(trip("decode fuel", self.limits.decode_fuel));
         }
         Ok(())
     }
@@ -213,10 +224,7 @@ impl Budget {
             .peak_output_bytes
             .fetch_max(bytes, Ordering::Relaxed);
         if bytes > self.limits.max_output_bytes {
-            return Err(DecodeError::limit(
-                "decoded output bytes",
-                self.limits.max_output_bytes,
-            ));
+            return Err(trip("decoded output bytes", self.limits.max_output_bytes));
         }
         Ok(())
     }
@@ -228,10 +236,7 @@ impl Budget {
             .peak_stream_symbols
             .fetch_max(symbols, Ordering::Relaxed);
         if symbols > self.limits.max_stream_symbols {
-            return Err(DecodeError::limit(
-                "stream symbols",
-                self.limits.max_stream_symbols,
-            ));
+            return Err(trip("stream symbols", self.limits.max_stream_symbols));
         }
         Ok(())
     }
@@ -243,7 +248,7 @@ impl Budget {
             .peak_pattern_depth
             .fetch_max(u64::from(depth), Ordering::Relaxed);
         if depth > self.limits.max_pattern_depth {
-            return Err(DecodeError::limit(
+            return Err(trip(
                 "pattern nesting depth",
                 u64::from(self.limits.max_pattern_depth),
             ));
@@ -258,10 +263,7 @@ impl Budget {
             .peak_table_entries
             .fetch_max(entries, Ordering::Relaxed);
         if entries > self.limits.max_table_entries {
-            return Err(DecodeError::limit(
-                "table entries",
-                self.limits.max_table_entries,
-            ));
+            return Err(trip("table entries", self.limits.max_table_entries));
         }
         Ok(())
     }
@@ -279,7 +281,7 @@ impl Budget {
             self.counters
                 .resident_bytes
                 .fetch_sub(bytes, Ordering::Relaxed);
-            return Err(DecodeError::limit(
+            return Err(trip(
                 "demand-resident bytes",
                 self.limits.max_resident_bytes,
             ));
@@ -288,6 +290,30 @@ impl Budget {
             .peak_resident_bytes
             .fetch_max(now, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Publishes every meter and high-water mark as a `limits.*` gauge
+    /// in the installed telemetry registry (no-op when disabled).
+    ///
+    /// Publication is explicit, not woven into the decode paths:
+    /// unrelated budgets decoding in parallel (e.g. the test harness)
+    /// must not race each other on the process-wide gauges. The CLI and
+    /// the demand loader call this once per governed operation.
+    pub fn publish_telemetry(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let u = self.usage();
+        telemetry::gauge_set("limits.fuel_spent", u.fuel_spent);
+        telemetry::gauge_set("limits.resident_bytes", u.resident_bytes);
+        telemetry::gauge_max("limits.peak_resident_bytes", u.peak_resident_bytes);
+        telemetry::gauge_max("limits.peak_output_bytes", u.peak_output_bytes);
+        telemetry::gauge_max("limits.peak_stream_symbols", u.peak_stream_symbols);
+        telemetry::gauge_max(
+            "limits.peak_pattern_depth",
+            u64::from(u.peak_pattern_depth),
+        );
+        telemetry::gauge_max("limits.peak_table_entries", u.peak_table_entries);
     }
 
     /// Releases `bytes` of demand-resident memory (eviction).

@@ -33,6 +33,11 @@ impl SplitStreams {
         let mut index: BTreeMap<TreePattern, u32> = BTreeMap::new();
         let mut pattern_stream = Vec::with_capacity(trees.len());
         let mut literals: BTreeMap<StreamKey, Vec<Literal>> = BTreeMap::new();
+        // This is the one place that already walks every IR node of a
+        // compiled program, so per-operator-class attribution lives
+        // here rather than in the ir crate (which core depends on).
+        let telemetry_on = crate::telemetry::enabled();
+        let mut class_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
         for tree in trees {
             let pat = TreePattern::of(tree);
             let sym = *index.entry(pat.clone()).or_insert_with(|| {
@@ -41,6 +46,16 @@ impl SplitStreams {
             });
             pattern_stream.push(sym);
             collect_literals(tree, &mut literals);
+            if telemetry_on {
+                count_classes(tree, &mut class_counts);
+            }
+        }
+        if telemetry_on {
+            for (class, n) in &class_counts {
+                crate::telemetry::counter_add(&format!("ir.nodes.{class}"), *n);
+            }
+            crate::telemetry::counter_add("core.split.trees", trees.len() as u64);
+            crate::telemetry::counter_add("core.split.patterns", patterns.len() as u64);
         }
         SplitStreams {
             patterns,
@@ -83,6 +98,13 @@ impl SplitStreams {
     /// Total number of literals across all streams.
     pub fn literal_count(&self) -> usize {
         self.literals.values().map(Vec::len).sum()
+    }
+}
+
+fn count_classes(tree: &Tree, counts: &mut BTreeMap<&'static str, u64>) {
+    *counts.entry(tree.op().opcode.class()).or_insert(0) += 1;
+    for k in tree.kids() {
+        count_classes(k, counts);
     }
 }
 

@@ -374,6 +374,35 @@ pub fn inflate_budgeted(
     Ok(out)
 }
 
+/// Hot-loop-local decode statistics: plain integers bumped inside
+/// [`inflate_block`] (no atomics, no name lookups) and flushed to the
+/// telemetry registry once per [`inflate_governed`] call. The match-
+/// length histogram is only populated when a collector is installed;
+/// the two counters are cheap enough to maintain unconditionally.
+#[derive(Default)]
+struct InflateStats {
+    enabled: bool,
+    literals: u64,
+    matches: u64,
+    stored_bytes: u64,
+    match_len: codecomp_core::telemetry::LocalHistogram,
+}
+
+impl InflateStats {
+    fn flush(&self, output_bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        use codecomp_core::telemetry as t;
+        t::counter_add("flate.inflate.calls", 1);
+        t::counter_add("flate.inflate.literals", self.literals);
+        t::counter_add("flate.inflate.matches", self.matches);
+        t::counter_add("flate.inflate.stored_bytes", self.stored_bytes);
+        t::counter_add("flate.inflate.output_bytes", output_bytes);
+        t::histogram_merge("flate.inflate.match_len", &self.match_len);
+    }
+}
+
 fn inflate_governed(
     data: &[u8],
     max_output: usize,
@@ -381,20 +410,27 @@ fn inflate_governed(
 ) -> Result<Vec<u8>, FlateError> {
     let mut r = BitSource::new(data);
     let mut out = Vec::new();
+    let mut stats = InflateStats {
+        enabled: codecomp_core::telemetry::enabled(),
+        ..InflateStats::default()
+    };
     loop {
         let block_start = out.len();
         let bfinal = r.read_bits(1)? == 1;
         let btype = r.read_bits(2)?;
         match btype {
-            0b00 => inflate_stored(&mut r, &mut out, max_output)?,
+            0b00 => {
+                inflate_stored(&mut r, &mut out, max_output)?;
+                stats.stored_bytes += (out.len() - block_start) as u64;
+            }
             0b01 => {
                 let lit = Decoder::from_lengths(&fixed_litlen_lengths(), Completeness::Exact)?;
                 let dist = Decoder::from_lengths(&fixed_dist_lengths(), Completeness::Exact)?;
-                inflate_block(&mut r, &lit, &dist, &mut out, max_output)?;
+                inflate_block(&mut r, &lit, &dist, &mut out, max_output, &mut stats)?;
             }
             0b10 => {
                 let (lit, dist) = read_dynamic_tables(&mut r)?;
-                inflate_block(&mut r, &lit, &dist, &mut out, max_output)?;
+                inflate_block(&mut r, &lit, &dist, &mut out, max_output, &mut stats)?;
             }
             _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
         }
@@ -404,6 +440,7 @@ fn inflate_governed(
             b.charge_fuel(1 + (out.len() - block_start) as u64)?;
         }
         if bfinal {
+            stats.flush(out.len() as u64);
             return Ok(out);
         }
     }
@@ -485,6 +522,7 @@ fn inflate_block(
     dist: &Decoder,
     out: &mut Vec<u8>,
     max_output: usize,
+    stats: &mut InflateStats,
 ) -> Result<(), FlateError> {
     loop {
         // One refill covers the longest token: 15-bit litlen + 5 extra
@@ -499,11 +537,16 @@ fn inflate_block(
                     });
                 }
                 out.push(sym as u8);
+                stats.literals += 1;
             }
             256 => return Ok(()),
             257..=285 => {
                 let (base, extra) = LENGTH_TABLE[sym - 257];
                 let len = usize::from(base) + r.take_bits(u32::from(extra))? as usize;
+                stats.matches += 1;
+                if stats.enabled {
+                    stats.match_len.record(len as u64);
+                }
                 let dsym = dist.decode_prefilled(r)?;
                 if dsym >= 30 {
                     return Err(FlateError::Corrupt("invalid distance code".into()));

@@ -70,6 +70,9 @@ struct ChainFinder<'a> {
     head: Vec<i64>,
     prev: Vec<i64>,
     params: MatchParams,
+    /// Chain links followed per search — the profile the deflate
+    /// match-finder optimisation needs. `None` when telemetry is off.
+    probe_depth: Option<codecomp_core::telemetry::LocalHistogram>,
 }
 
 impl<'a> ChainFinder<'a> {
@@ -79,6 +82,8 @@ impl<'a> ChainFinder<'a> {
             head: vec![-1; HASH_SIZE],
             prev: vec![-1; data.len()],
             params,
+            probe_depth: codecomp_core::telemetry::enabled()
+                .then(codecomp_core::telemetry::LocalHistogram::default),
         }
     }
 
@@ -91,7 +96,7 @@ impl<'a> ChainFinder<'a> {
     }
 
     /// Longest match starting at `pos`, if at least `MIN_MATCH` long.
-    fn longest_match(&self, pos: usize) -> Option<(usize, usize)> {
+    fn longest_match(&mut self, pos: usize) -> Option<(usize, usize)> {
         if pos + MIN_MATCH > self.data.len() {
             return None;
         }
@@ -123,6 +128,9 @@ impl<'a> ChainFinder<'a> {
             }
             cand = self.prev[c];
             chain -= 1;
+        }
+        if let Some(h) = &mut self.probe_depth {
+            h.record((self.params.max_chain - chain) as u64);
         }
         if best_len >= MIN_MATCH {
             Some((best_len, best_dist))
@@ -184,6 +192,17 @@ pub fn tokenize(data: &[u8], params: MatchParams) -> Vec<Token> {
                 pos += 1;
             }
         }
+    }
+    if let Some(depths) = finder.probe_depth.take() {
+        use codecomp_core::telemetry as t;
+        let matches = tokens
+            .iter()
+            .filter(|tok| matches!(tok, Token::Match { .. }))
+            .count() as u64;
+        t::counter_add("flate.deflate.match_tokens", matches);
+        t::counter_add("flate.deflate.literal_tokens", tokens.len() as u64 - matches);
+        t::counter_add("flate.deflate.input_bytes", data.len() as u64);
+        t::histogram_merge("flate.deflate.probe_depth", &depths);
     }
     tokens
 }

@@ -43,10 +43,21 @@ use std::fmt;
 /// [`FrontError`] describing the first lexical, syntactic, or semantic
 /// problem, with a line number.
 pub fn compile(source: &str) -> Result<Module, FrontError> {
+    let _span = codecomp_core::telemetry::span("front.compile");
     let tokens = lexer::lex(source)?;
     let program = parser::parse(&tokens)?;
     sema::check(&program)?;
-    gen::generate(&program)
+    let module = gen::generate(&program)?;
+    if codecomp_core::telemetry::enabled() {
+        use codecomp_core::telemetry as t;
+        t::counter_add("front.tokens", tokens.len() as u64);
+        t::counter_add(
+            "front.decls",
+            (module.functions.len() + module.globals.len()) as u64,
+        );
+        t::counter_add("front.modules", 1);
+    }
+    Ok(module)
 }
 
 /// A front-end diagnostic.

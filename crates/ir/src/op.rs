@@ -369,6 +369,34 @@ impl Opcode {
         }
     }
 
+    /// Coarse operator class, used for per-class telemetry attribution
+    /// (`ir.nodes.<class>` counters) and ablation grouping.
+    pub fn class(self) -> &'static str {
+        match self {
+            Opcode::Cnst => "const",
+            Opcode::AddrG | Opcode::AddrF | Opcode::AddrL => "addr",
+            Opcode::Indir | Opcode::Asgn => "mem",
+            Opcode::Cvt => "cvt",
+            Opcode::Neg
+            | Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::Div
+            | Opcode::Mod => "arith",
+            Opcode::BCom | Opcode::BAnd | Opcode::BOr | Opcode::BXor => "bitwise",
+            Opcode::Lsh | Opcode::Rsh => "shift",
+            Opcode::Eq
+            | Opcode::Ne
+            | Opcode::Lt
+            | Opcode::Le
+            | Opcode::Gt
+            | Opcode::Ge
+            | Opcode::Jump
+            | Opcode::LabelDef => "branch",
+            Opcode::Arg | Opcode::Call | Opcode::Ret => "call",
+        }
+    }
+
     /// Whether this opcode is a conditional branch.
     pub fn is_branch(self) -> bool {
         matches!(

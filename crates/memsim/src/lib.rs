@@ -177,6 +177,7 @@ pub enum Overlap {
 
 /// End-to-end time from request to workload completion.
 pub fn total_time(plan: &DeliveryPlan, channel: &Channel, cpu: &CpuModel, overlap: Overlap) -> f64 {
+    codecomp_core::telemetry::counter_add("memsim.scenarios", 1);
     let transfer = channel.transfer_time(plan.transfer_bytes());
     let prep = plan.prep_time(cpu);
     let startup = match overlap {

@@ -67,6 +67,12 @@ pub fn compile_module(module: &Module, isa: IsaConfig) -> Result<VmProgram, VmEr
         program.functions.push(cg.generate()?);
     }
     program.validate()?;
+    if codecomp_core::telemetry::enabled() {
+        use codecomp_core::telemetry as t;
+        let instrs: usize = program.functions.iter().map(|f| f.code.len()).sum();
+        t::counter_add("vm.codegen.instrs", instrs as u64);
+        t::counter_add("vm.codegen.functions", program.functions.len() as u64);
+    }
     Ok(program)
 }
 

@@ -14,7 +14,7 @@ use std::fmt;
 use crate::bytesio::{put_string, put_uvarint, Cursor};
 use crate::format::{compress, decompress_budgeted, WireOptions};
 use crate::WireError;
-use codecomp_core::{Budget, DecodeError, DecodeLimits};
+use codecomp_core::{telemetry, Budget, DecodeError, DecodeLimits};
 use codecomp_ir::eval::{EvalOutcome, Evaluator};
 use codecomp_ir::op::Literal;
 use codecomp_ir::tree::{Function, Global, Module, Tree};
@@ -147,14 +147,32 @@ impl DemandImage {
     /// function cannot drain the meters for its siblings; this is the
     /// report a loader consults before deciding what to quarantine.
     pub fn salvage_scan(&self, limits: DecodeLimits) -> SalvageReport {
+        let _span = telemetry::span("wire.salvage_scan");
         let mut salvageable = Vec::new();
         let mut poisoned = Vec::new();
         for (name, _) in &self.units {
             match self.load_function_budgeted(name, &Budget::new(limits)) {
                 Ok(_) => salvageable.push(name.clone()),
-                Err(e) => poisoned.push((name.clone(), DecodeError::from(e))),
+                Err(e) => {
+                    let cause = DecodeError::from(e);
+                    telemetry::event(
+                        "demand.salvage_poisoned",
+                        vec![
+                            ("function", name.as_str().into()),
+                            ("cause", cause.to_string().into()),
+                        ],
+                    );
+                    poisoned.push((name.clone(), cause));
+                }
             }
         }
+        telemetry::event(
+            "demand.salvage_scan",
+            vec![
+                ("salvageable", salvageable.len().into()),
+                ("poisoned", poisoned.len().into()),
+            ],
+        );
         SalvageReport {
             salvageable,
             poisoned,
@@ -362,9 +380,19 @@ impl<'a> DemandLoader<'a> {
                 });
             match loaded {
                 Ok(f) => {
+                    telemetry::counter_add("wire.demand.loads", 1);
+                    self.budget.publish_telemetry();
                     self.resident.insert(name.to_string(), (f, unit_len));
                 }
                 Err(cause) => {
+                    telemetry::counter_add("wire.demand.quarantines", 1);
+                    telemetry::event(
+                        "demand.quarantine",
+                        vec![
+                            ("function", name.into()),
+                            ("cause", cause.to_string().into()),
+                        ],
+                    );
                     self.quarantine.insert(name.to_string(), cause.clone());
                     return Err(DemandError::Quarantined {
                         name: name.to_string(),
@@ -382,6 +410,8 @@ impl<'a> DemandLoader<'a> {
         match self.resident.remove(name) {
             Some((_, bytes)) => {
                 self.budget.release_resident(bytes);
+                telemetry::counter_add("wire.demand.evictions", 1);
+                self.budget.publish_telemetry();
                 true
             }
             None => false,
@@ -401,6 +431,7 @@ impl<'a> DemandLoader<'a> {
         name: &str,
         limits: DecodeLimits,
     ) -> Result<&Function, DemandError> {
+        telemetry::event("demand.retry", vec![("function", name.into())]);
         self.quarantine.remove(name);
         self.budget = self.budget.with_limits(limits);
         self.demand(name)

@@ -8,6 +8,7 @@ use codecomp_coding::huffman::{HuffmanDecoder, HuffmanEncoder};
 use codecomp_coding::model::AdaptiveModel;
 use codecomp_coding::mtf::{mtf_decode, mtf_encode, MtfEncoded};
 use codecomp_core::streams::SplitStreams;
+use codecomp_core::telemetry;
 use codecomp_core::treepat::TreePattern;
 use codecomp_core::Budget;
 use codecomp_flate::{deflate_compress, inflate_budgeted, CompressionLevel};
@@ -114,6 +115,7 @@ impl WireReport {
 ///
 /// [`WireError`] if the module contains trees outside the operator table.
 pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, WireError> {
+    let _span = telemetry::span("wire.compress");
     // 1-2. Gather statement trees and patternize into streams.
     let trees: Vec<Tree> = module
         .functions
@@ -121,6 +123,9 @@ pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, Wir
         .flat_map(|f| f.body.iter().cloned())
         .collect();
     let split = SplitStreams::split(&trees);
+    // Per-section symbol counts, filled in as each stream is encoded
+    // and published as gauges next to the byte gauges below.
+    let mut section_symbols: Vec<(String, u64)> = Vec::new();
 
     let mut sections: Vec<(String, Vec<u8>)> = Vec::new();
 
@@ -152,6 +157,7 @@ pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, Wir
         options,
     )?;
     sections.push(("$patterns".into(), pat_payload));
+    section_symbols.push(("$patterns".into(), split.pattern_stream.len() as u64));
 
     // Literal streams: per class, or one mixed stream.
     if options.split_streams {
@@ -159,6 +165,7 @@ pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, Wir
             let mut payload = Vec::new();
             encode_literal_stream(&mut payload, lits, options)?;
             sections.push((key.clone(), payload));
+            section_symbols.push((key.clone(), lits.len() as u64));
         }
     } else {
         let mut all = Vec::new();
@@ -168,6 +175,7 @@ pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, Wir
         let mut payload = Vec::new();
         encode_literal_stream(&mut payload, &all, options)?;
         sections.push(("$literals".into(), payload));
+        section_symbols.push(("$literals".into(), all.len() as u64));
     }
 
     // 5. DEFLATE each stream in isolation and assemble the container.
@@ -186,6 +194,40 @@ pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, Wir
         put_uvarint(&mut out, payload.len() as u64);
         report_sections.push((key, payload.len()));
         out.extend_from_slice(&payload);
+    }
+    if telemetry::enabled() {
+        // The --stats contract: per-section byte gauges plus the
+        // container framing gauge always sum to `total_bytes` exactly,
+        // so the printed table can never disagree with the image.
+        // Section names are per-module, so first zero every gauge a
+        // previously encoded module may have left behind.
+        if let Some(c) = telemetry::collector() {
+            for (name, _) in c.metrics.snapshot().gauges {
+                if name.starts_with("wire.encode.section_bytes.")
+                    || name.starts_with("wire.encode.section_symbols.")
+                {
+                    telemetry::gauge_set(&name, 0);
+                }
+            }
+        }
+        let mut section_total = 0usize;
+        for (key, len) in &report_sections {
+            telemetry::gauge_set(&format!("wire.encode.section_bytes.{key}"), *len as u64);
+            section_total += len;
+        }
+        for (key, symbols) in &section_symbols {
+            telemetry::gauge_set(&format!("wire.encode.section_symbols.{key}"), *symbols);
+        }
+        telemetry::gauge_set(
+            "wire.encode.container_bytes",
+            (out.len() - section_total) as u64,
+        );
+        telemetry::gauge_set("wire.encode.total_bytes", out.len() as u64);
+        telemetry::counter_add("wire.encode.modules", 1);
+        telemetry::counter_add(
+            "wire.encode.symbols",
+            section_symbols.iter().map(|&(_, n)| n).sum(),
+        );
     }
     Ok(WireReport {
         bytes: out,
@@ -214,6 +256,9 @@ pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
 /// [`WireError::Limit`] when a budget knob trips (never misreported as
 /// `Corrupt`); otherwise as [`decompress`].
 pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, WireError> {
+    let _span = telemetry::span("wire.decompress");
+    telemetry::counter_add("wire.decode.modules", 1);
+    telemetry::counter_add("wire.decode.input_bytes", bytes.len() as u64);
     let mut c = Cursor::new(bytes);
     if c.take(4)? != MAGIC {
         return Err(WireError::Corrupt("bad magic".into()));
@@ -523,6 +568,8 @@ fn decode_symbol_stream<T>(
     if occurrences.iter().any(|&o| o as usize >= table_len) && !occurrences.is_empty() {
         return Err(WireError::Corrupt("occurrence beyond table".into()));
     }
+    telemetry::counter_add("wire.decode.symbols", occurrences.len() as u64);
+    telemetry::counter_add("wire.decode.table_entries", table_len as u64);
     Ok((table, occurrences))
 }
 

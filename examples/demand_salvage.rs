@@ -9,13 +9,21 @@
 //! a raised budget to show the quarantine is permanent for corruption
 //! (unlike limit trips, which are recoverable).
 //!
+//! The run is flight-recorded: a ring-buffer trace sink captures the
+//! structured quarantine/salvage events the demand loader emits, and
+//! they are replayed as JSON lines at the end.
+//!
 //! Run with `cargo run --release --example demand_salvage`.
 
+use code_compression::core::telemetry::{self, Collector, RingSink, TraceKind};
 use code_compression::core::DecodeLimits;
 use code_compression::corpus::benchmarks;
 use code_compression::wire::{DemandError, DemandImage, DemandLoader, WireOptions};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ring = Arc::new(RingSink::new(4096));
+    telemetry::install(Collector::with_trace(ring.clone()));
     println!(
         "| program | fns | image B | poisoned | resident B (run main) | main outcome |"
     );
@@ -65,6 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             loader.retry_with(victim, DecodeLimits::default()).is_err(),
             "corrupt unit must stay poisoned"
         );
+    }
+
+    // Replay the flight recording: every quarantine and salvage event
+    // the loaders emitted, straight from the trace ring.
+    println!("\nquarantine events from the trace ring:");
+    for e in ring.dump() {
+        if e.kind == TraceKind::Event && e.name.starts_with("demand.") {
+            println!("  {}", e.to_json_line());
+        }
     }
     Ok(())
 }

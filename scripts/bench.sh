@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Inflate perf tracker: measures decode throughput on the corpus
-# payloads and updates BENCH_inflate.json (keeping the recorded
-# baseline unless --record-baseline is passed). Run from anywhere;
+# Perf trackers: measure decode throughput for the inflate, wire, and
+# brisc stages and update BENCH_{inflate,wire,brisc}.json (keeping each
+# recorded baseline unless --record-baseline is passed; every dump
+# carries a telemetry-registry snapshot). Run from anywhere;
 # works fully offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release --offline -p codecomp-bench --bin bench_inflate -- "$@"
+cargo run --release --offline -p codecomp-bench --bin bench_wire -- "$@"
+cargo run --release --offline -p codecomp-bench --bin bench_brisc -- "$@"

@@ -32,4 +32,30 @@ cargo test -q --offline --test limits
 cargo test -q --offline --test fault_injection mutated_
 echo "==> low-limits smoke took $((SECONDS - smoke_start))s"
 
+# Telemetry smoke: exercise the CLI surfacing end to end — pack and
+# decode a corpus-shaped program with --stats/--metrics/--trace, then
+# validate every emitted trace line with the in-tree schema checker
+# (`codecomp telemetry check`).
+echo "==> telemetry smoke (--stats/--metrics/--trace + schema check)"
+tdir=$(mktemp -d)
+trap 'rm -rf "$tdir"' EXIT
+cat > "$tdir/smoke.c" <<'EOS'
+int twice(int x) { return x * 2; }
+int main() { print_int(twice(21)); return twice(21); }
+EOS
+bin=target/release/code-compression
+"$bin" wire pack "$tdir/smoke.c" --stats --trace="$tdir/pack.jsonl" \
+    --metrics="$tdir/pack-metrics.json" > "$tdir/pack.out" 2> "$tdir/pack.err"
+grep -q "per-stage stream breakdown" "$tdir/pack.err"
+if grep -q "WARNING" "$tdir/pack.err"; then
+    echo "ci.sh: --stats sections do not sum to the image size" >&2
+    exit 1
+fi
+"$bin" run "$tdir/smoke.ccwf" --trace="$tdir/run.jsonl" > /dev/null
+"$bin" brisc pack "$tdir/smoke.c" > /dev/null
+"$bin" brisc run "$tdir/smoke.ccbr" --trace="$tdir/brisc.jsonl" > /dev/null
+for trace in "$tdir"/pack.jsonl "$tdir"/run.jsonl "$tdir"/brisc.jsonl; do
+    "$bin" telemetry check "$trace"
+done
+
 echo "==> ci.sh: all checks passed"

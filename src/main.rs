@@ -23,15 +23,182 @@ use code_compression::ir::Module;
 use code_compression::vm::codegen::compile_module;
 use code_compression::vm::interp::Machine;
 use code_compression::vm::isa::IsaConfig;
+use code_compression::core::telemetry;
 use code_compression::wire::{compress as wire_compress, decompress, decompress_budgeted, WireOptions};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const MEM: u32 = 1 << 24;
 const FUEL: u64 = 1 << 40;
 
+/// Telemetry surfacing requested on the command line.
+struct TelemetryFlags {
+    /// `--stats`: print the per-stage stream breakdown table.
+    stats: bool,
+    /// `--metrics` (stdout) or `--metrics=PATH` (file): registry dump.
+    metrics: Option<Option<String>>,
+    /// `--trace=PATH`: structured JSON-lines trace.
+    trace: Option<String>,
+}
+
+impl TelemetryFlags {
+    fn any(&self) -> bool {
+        self.stats || self.metrics.is_some() || self.trace.is_some()
+    }
+}
+
+/// Strips the global telemetry flags out of `args` (they are accepted
+/// anywhere before `--`) and returns what they asked for.
+fn extract_telemetry(args: &mut Vec<String>) -> Result<TelemetryFlags, AnyError> {
+    let mut t = TelemetryFlags {
+        stats: false,
+        metrics: None,
+        trace: None,
+    };
+    let mut kept = Vec::new();
+    let mut it = std::mem::take(args).into_iter();
+    while let Some(a) = it.next() {
+        if a == "--stats" {
+            t.stats = true;
+        } else if a == "--metrics" {
+            t.metrics = Some(None);
+        } else if let Some(p) = a.strip_prefix("--metrics=") {
+            t.metrics = Some(Some(p.to_string()));
+        } else if a == "--trace" {
+            t.trace = Some(it.next().ok_or("--trace needs a path")?);
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            t.trace = Some(p.to_string());
+        } else if a == "--" {
+            kept.push(a);
+            kept.extend(it);
+            break;
+        } else {
+            kept.push(a);
+        }
+    }
+    *args = kept;
+    Ok(t)
+}
+
+/// Installs the process-wide collector the flags ask for.
+fn install_telemetry(t: &TelemetryFlags) -> Result<(), AnyError> {
+    if !t.any() {
+        return Ok(());
+    }
+    let collector = match &t.trace {
+        Some(path) => {
+            let sink = telemetry::JsonLinesSink::create(path)
+                .map_err(|e| format!("--trace: cannot open {path:?}: {e}"))?;
+            telemetry::Collector::with_trace(Arc::new(sink))
+        }
+        None => telemetry::Collector::metrics_only(),
+    };
+    telemetry::install(collector);
+    Ok(())
+}
+
+/// Emits whatever the telemetry flags asked for after the command ran.
+fn report_telemetry(t: &TelemetryFlags) -> Result<(), AnyError> {
+    let Some(collector) = telemetry::collector() else {
+        return Ok(());
+    };
+    let snap = collector.metrics.snapshot();
+    if t.stats {
+        print_stats(&snap);
+    }
+    match &t.metrics {
+        Some(Some(path)) => {
+            std::fs::write(path, snap.to_json() + "\n")?;
+            eprintln!("wrote metrics: {path}");
+        }
+        Some(None) => println!("{}", snap.to_json()),
+        None => {}
+    }
+    Ok(())
+}
+
+/// The `--stats` table: the paper's per-stream byte breakdown, read
+/// back from the wire encoder's gauges. The rows sum exactly to the
+/// wire-module size.
+fn print_stats(snap: &telemetry::Snapshot) {
+    eprintln!("per-stage stream breakdown:");
+    let prefix = "wire.encode.section_bytes.";
+    let mut sum = 0u64;
+    let mut rows = Vec::new();
+    for (name, bytes) in &snap.gauges {
+        if *bytes == 0 {
+            continue; // zeroed leftovers from an earlier module
+        }
+        if let Some(key) = name.strip_prefix(prefix) {
+            let symbols = snap.gauge(&format!("wire.encode.section_symbols.{key}"));
+            rows.push((key.to_string(), *bytes, symbols));
+            sum += bytes;
+        }
+    }
+    if rows.is_empty() {
+        eprintln!("  (no wire encode in this run)");
+        print_stage_counters(snap);
+        return;
+    }
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1));
+    eprintln!("  {:>12} {:>10} {:>10}", "stream", "bytes", "symbols");
+    for (key, bytes, symbols) in &rows {
+        match symbols {
+            Some(s) => eprintln!("  {key:>12} {bytes:>10} {s:>10}"),
+            None => eprintln!("  {key:>12} {bytes:>10} {:>10}", "-"),
+        }
+    }
+    let container = snap.gauge("wire.encode.container_bytes").unwrap_or(0);
+    sum += container;
+    eprintln!("  {:>12} {container:>10}", "container");
+    eprintln!("  {:>12} {sum:>10}", "total");
+    if let Some(total) = snap.gauge("wire.encode.total_bytes") {
+        if total != sum {
+            eprintln!("  WARNING: section sum {sum} != encoded total {total}");
+        }
+    }
+    print_stage_counters(snap);
+}
+
+/// Compact per-stage counter summary below the stream table.
+fn print_stage_counters(snap: &telemetry::Snapshot) {
+    let interesting = [
+        "front.tokens",
+        "front.decls",
+        "ir.nodes.arith",
+        "vm.codegen.instrs",
+        "coding.huffman.bits_emitted",
+        "coding.mtf.hits",
+        "coding.mtf.misses",
+        "flate.inflate.output_bytes",
+        "flate.deflate.input_bytes",
+        "wire.encode.symbols",
+        "wire.decode.symbols",
+        "brisc.interp.dispatches",
+        "brisc.interp.fuel_consumed",
+    ];
+    let mut any = false;
+    for name in interesting {
+        if let Some(v) = snap.counter(name) {
+            if !any {
+                eprintln!("stage counters:");
+                any = true;
+            }
+            eprintln!("  {name:>28}: {v}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match dispatch(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut run = || -> Result<ExitCode, AnyError> {
+        let tflags = extract_telemetry(&mut args)?;
+        install_telemetry(&tflags)?;
+        let code = dispatch(&args)?;
+        report_telemetry(&tflags)?;
+        Ok(code)
+    };
+    match run() {
         Ok(code) => code,
         Err(e) => {
             eprintln!("codecomp: {e}");
@@ -60,6 +227,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, AnyError> {
             Some("info") => cmd_brisc_info(&args[2..]),
             _ => usage(),
         },
+        Some("telemetry") => match it.next() {
+            Some("check") => cmd_telemetry_check(&args[2..]),
+            _ => usage(),
+        },
         Some("help") | Some("--help") | Some("-h") | None => usage(),
         Some(other) => Err(format!("unknown command {other:?} (try `codecomp help`)").into()),
     }
@@ -78,6 +249,12 @@ fn usage() -> Result<ExitCode, AnyError> {
   codecomp brisc pack <src.c|.ccir> [-o out.ccbr]
   codecomp brisc run <in.ccbr> [--fuel N] [--max-output N] [-- args...]
   codecomp brisc info <in.ccbr>
+  codecomp telemetry check <trace.jsonl>...
+
+global telemetry flags (any command, before `--`):
+  --stats              per-stage stream breakdown table (stderr)
+  --metrics[=PATH]     metrics-registry JSON dump (stdout, or PATH)
+  --trace=PATH         structured JSON-lines trace
 
 sizes accept k/m/g suffixes: --fuel 64k, --max-output 1m, --max-resident 2g"
     );
@@ -236,7 +413,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, AnyError> {
     }
     if input.ends_with(".ccwf") {
         let bytes = std::fs::read(input)?;
-        let module = decompress_budgeted(&bytes, &Budget::new(limits))?;
+        let budget = Budget::new(limits);
+        let module = decompress_budgeted(&bytes, &budget)?;
+        budget.publish_telemetry();
         return finish(run_module(&module, tier, &p.trailing, fuel)?);
     }
     let module = load_module(input)?;
@@ -364,7 +543,9 @@ fn run_brisc_image(
     limits: DecodeLimits,
 ) -> Result<ExitCode, AnyError> {
     let bytes = std::fs::read(path)?;
-    let image = BriscImage::from_bytes_budgeted(&bytes, &Budget::new(limits))?;
+    let budget = Budget::new(limits);
+    let image = BriscImage::from_bytes_budgeted(&bytes, &budget)?;
+    budget.publish_telemetry();
     // The governed machine quarantines functions that fail the load
     // scan; execution only fails if it actually reaches one.
     let mut machine = BriscMachine::new_governed(&image, MEM, fuel, limits)?;
@@ -383,6 +564,27 @@ fn cmd_brisc_run(args: &[String]) -> Result<ExitCode, AnyError> {
         return usage();
     };
     run_brisc_image(input, &p.trailing, p.fuel.unwrap_or(FUEL), p.decode_limits())
+}
+
+fn cmd_telemetry_check(args: &[String]) -> Result<ExitCode, AnyError> {
+    let p = parse(args)?;
+    if p.positional.is_empty() {
+        return usage();
+    }
+    for input in &p.positional {
+        let text = std::fs::read_to_string(input)?;
+        let mut checked = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            telemetry::validate_trace_line(line)
+                .map_err(|e| format!("{input}:{}: {e}", i + 1))?;
+            checked += 1;
+        }
+        println!("{input}: {checked} trace lines ok");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_brisc_info(args: &[String]) -> Result<ExitCode, AnyError> {

@@ -168,3 +168,68 @@ fn cli_program_arguments() {
     assert!(stderr.contains("integers"), "{stderr}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn cli_telemetry_flags() {
+    let dir = workdir();
+    std::fs::write(dir.join("tele.c"), SOURCE).unwrap();
+
+    // --stats: the per-stream table's total row equals the bytes
+    // actually written to disk.
+    let (stdout, stderr, ok) = run(&["wire", "pack", "tele.c", "--stats"], &dir);
+    assert!(ok, "wire pack --stats failed: {stderr}");
+    assert!(stderr.contains("per-stage stream breakdown"), "{stderr}");
+    assert!(!stderr.contains("WARNING"), "sections must sum: {stderr}");
+    let on_disk = std::fs::metadata(dir.join("tele.ccwf")).unwrap().len();
+    assert!(stdout.contains(&format!("({on_disk} bytes)")), "{stdout}");
+    let total = stderr
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("total")?.trim().parse::<u64>().ok())
+        .expect("stats table has a total row");
+    assert_eq!(total, on_disk, "--stats total must equal the image size");
+
+    // --metrics=PATH dumps a registry snapshot holding the same total.
+    let (_, stderr, ok) = run(
+        &["wire", "pack", "tele.c", "--metrics=metrics.json"],
+        &dir,
+    );
+    assert!(ok, "{stderr}");
+    let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+    assert!(
+        metrics.contains(&format!("\"wire.encode.total_bytes\":{on_disk}")),
+        "{metrics}"
+    );
+    // --metrics alone dumps to stdout.
+    let (stdout, _, ok) = run(&["wire", "pack", "tele.c", "--metrics"], &dir);
+    assert!(ok);
+    assert!(stdout.contains("\"counters\""), "{stdout}");
+
+    // --trace=PATH writes JSON lines that our own validator accepts.
+    let (_, stderr, ok) = run(
+        &["run", "tele.ccwf", "--trace=trace.jsonl"],
+        &dir,
+    );
+    assert!(ok, "{stderr}");
+    let trace = std::fs::read_to_string(dir.join("trace.jsonl")).unwrap();
+    assert!(trace.lines().count() >= 2, "trace too small: {trace}");
+    assert!(trace.contains("wire.decompress"), "{trace}");
+    let (stdout, stderr, ok) = run(&["telemetry", "check", "trace.jsonl"], &dir);
+    assert!(ok, "telemetry check failed: {stderr}");
+    assert!(stdout.contains("trace lines ok"), "{stdout}");
+
+    // Multiple trace files in one invocation, reported per file.
+    let (stdout, stderr, ok) = run(
+        &["telemetry", "check", "trace.jsonl", "trace.jsonl"],
+        &dir,
+    );
+    assert!(ok, "multi-file telemetry check failed: {stderr}");
+    assert_eq!(stdout.matches("trace lines ok").count(), 2, "{stdout}");
+
+    // The checker rejects a corrupted trace with a line number.
+    std::fs::write(dir.join("bad.jsonl"), "{\"t\":1}\n").unwrap();
+    let (_, stderr, ok) = run(&["telemetry", "check", "bad.jsonl"], &dir);
+    assert!(!ok);
+    assert!(stderr.contains("bad.jsonl:1"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,7 +10,7 @@
 
 use code_compression::brisc::compress::{compress as brisc_compress, BriscOptions};
 use code_compression::brisc::{BriscError, BriscImage};
-use code_compression::core::{Budget, DecodeError, DecodeLimits};
+use code_compression::core::{telemetry, Budget, DecodeError, DecodeLimits};
 use code_compression::corpus::benchmarks;
 use code_compression::ir::Module;
 use code_compression::vm::codegen::compile_module;
@@ -19,6 +19,17 @@ use code_compression::wire::{
     compress as wire_compress, decompress_budgeted, DemandError, DemandImage, DemandLoader,
     WireError, WireOptions,
 };
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests in this binary. The budget-gauge test installs
+/// the process-global collector mid-run; holding this lock guarantees
+/// no sibling test's demand loads publish gauges between its decode
+/// and its assertions.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn corpus_modules() -> Vec<(&'static str, Module)> {
     benchmarks()
@@ -38,6 +49,7 @@ fn assert_limit(result: Result<Module, WireError>, what: &str, name: &str) {
 
 #[test]
 fn wire_limits_have_exact_boundaries() {
+    let _serial = serial();
     for (name, module) in corpus_modules() {
         let packed = wire_compress(&module, WireOptions::default()).expect("wire compress");
 
@@ -146,6 +158,7 @@ fn wire_limits_have_exact_boundaries() {
 
 #[test]
 fn brisc_limits_trip_cleanly() {
+    let _serial = serial();
     for (name, module) in corpus_modules() {
         let vm = compile_module(&module, IsaConfig::full()).expect("codegen");
         let image = brisc_compress(&vm, BriscOptions::default())
@@ -194,6 +207,7 @@ fn brisc_limits_trip_cleanly() {
 
 #[test]
 fn shrunk_limits_never_misreport_as_malformed() {
+    let _serial = serial();
     // Half the real footprint on every knob at once: the decode must
     // fail, and the failure class must be Limit for every corpus
     // program (a misclassification here would break retry-with-larger-
@@ -220,6 +234,7 @@ fn shrunk_limits_never_misreport_as_malformed() {
 
 #[test]
 fn corrupt_function_quarantined_module_survives_corpus_wide() {
+    let _serial = serial();
     // The acceptance scenario: one corrupted function per corpus
     // program; every other function still demand-loads, and running
     // main either succeeds (corrupt function unreached) or traps with
@@ -286,6 +301,7 @@ fn corrupt_function_quarantined_module_survives_corpus_wide() {
 
 #[test]
 fn limit_quarantine_is_recoverable_corpus_wide() {
+    let _serial = serial();
     // A function that only failed on limits must re-demand successfully
     // once the budget is raised (retry_with), for every corpus program.
     for (name, module) in corpus_modules() {
@@ -315,4 +331,43 @@ fn limit_quarantine_is_recoverable_corpus_wide() {
             Err(other) => panic!("{name}: unexpected failure class after recovery: {other}"),
         }
     }
+}
+
+#[test]
+fn budget_gauges_mirror_deterministic_meters_corpus_wide() {
+    // One shared budget decodes the whole corpus; after an explicit
+    // publish, every `limits.*` gauge must equal the deterministic
+    // meter bit for bit. The serial lock plus install-here-only means
+    // no other budget can publish between the decode and the asserts.
+    let _serial = serial();
+    assert!(
+        telemetry::install(telemetry::Collector::metrics_only()),
+        "this test must be the binary's only collector installer"
+    );
+    let budget = Budget::default();
+    for (name, module) in corpus_modules() {
+        let packed = wire_compress(&module, WireOptions::default()).expect("wire compress");
+        let back = decompress_budgeted(&packed.bytes, &budget)
+            .unwrap_or_else(|e| panic!("{name}: corpus decode: {e}"));
+        assert_eq!(back, module, "{name}");
+    }
+    budget.publish_telemetry();
+
+    let snap = telemetry::collector()
+        .expect("collector installed above")
+        .metrics
+        .snapshot();
+    let usage = budget.usage();
+    let gauge = |n: &str| snap.gauge(n).unwrap_or_else(|| panic!("gauge {n} missing"));
+    assert_eq!(gauge("limits.fuel_spent"), usage.fuel_spent);
+    assert_eq!(gauge("limits.resident_bytes"), usage.resident_bytes);
+    assert_eq!(gauge("limits.peak_resident_bytes"), usage.peak_resident_bytes);
+    assert_eq!(gauge("limits.peak_output_bytes"), usage.peak_output_bytes);
+    assert_eq!(gauge("limits.peak_stream_symbols"), usage.peak_stream_symbols);
+    assert_eq!(
+        gauge("limits.peak_pattern_depth"),
+        u64::from(usage.peak_pattern_depth)
+    );
+    assert_eq!(gauge("limits.peak_table_entries"), usage.peak_table_entries);
+    assert!(usage.fuel_spent > 0, "whole-corpus decode must spend fuel");
 }
