@@ -1,0 +1,216 @@
+//! Deflate *compression* tracker: measures encode throughput AND
+//! compressed size per level on a corpus-derived payload and records
+//! both in `BENCH_deflate.json`, so the ratio-vs-speed tradeoff of the
+//! match finder is pinned by numbers rather than eyeballed.
+//!
+//! Usage (via `scripts/bench.sh`, from the repo root):
+//!
+//! ```text
+//! bench_deflate                   # measure, update "current", keep baseline
+//! bench_deflate --record-baseline # measure, (re)record the baseline too
+//! bench_deflate --ratio-smoke     # no timing: assert compressed sizes per
+//!                                 # level are within 1% of the recorded
+//!                                 # baseline (the CI regression gate)
+//! ```
+//!
+//! The JSON is deliberately flat and hand-parsed: the workspace builds
+//! offline with no serde, and later runs only need scalar fields back.
+
+use codecomp_core::telemetry;
+use codecomp_corpus::{benchmarks, synthetic, SynthConfig};
+use codecomp_flate::{deflate_compress, inflate, CompressionLevel};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OUT_PATH: &str = "BENCH_deflate.json";
+/// Plaintext payload size all figures are measured on.
+const PAYLOAD_LEN: usize = 1 << 20;
+/// Compressed size may grow this much over the recorded baseline
+/// before `--ratio-smoke` fails (fraction of the baseline size).
+/// Shrinking is never a failure — an improvement only shows up as a
+/// hint to re-record the baseline.
+const RATIO_TOLERANCE: f64 = 0.01;
+
+/// Corpus-derived plaintext: the bundled benchmark sources followed by
+/// *distinct* synthetic translation units up to [`PAYLOAD_LEN`] bytes —
+/// the same mix `bench_inflate` decodes, so the two trackers describe
+/// the two directions of one pipeline.
+fn corpus_payload() -> Vec<u8> {
+    let mut data = Vec::with_capacity(PAYLOAD_LEN + 4096);
+    for b in benchmarks() {
+        data.extend_from_slice(b.source.as_bytes());
+    }
+    let mut seed = 1u64;
+    while data.len() < PAYLOAD_LEN {
+        data.extend_from_slice(synthetic(seed, SynthConfig::default()).as_bytes());
+        seed += 1;
+    }
+    data.truncate(PAYLOAD_LEN);
+    data
+}
+
+/// Median wall-clock throughput of `f` in MiB/s over `samples` runs,
+/// where each run consumes `bytes_in` input bytes.
+fn measure(bytes_in: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    bytes_in as f64 / times[times.len() / 2] / (1024.0 * 1024.0)
+}
+
+/// Extracts the number following `"key":` inside the named JSON section.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let end = tail.find('}').unwrap_or(tail.len());
+    let body = &tail[..end];
+    let k = body.find(&format!("\"{key}\""))?;
+    let after = &body[k..];
+    let colon = after.find(':')?;
+    let num: String = after[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// The levels under test, with the JSON key each one reports under.
+fn levels() -> Vec<(&'static str, CompressionLevel)> {
+    vec![
+        ("fast", CompressionLevel::Fast),
+        ("default", CompressionLevel::Default),
+        ("best", CompressionLevel::Best),
+    ]
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    let ratio_smoke = std::env::args().any(|a| a == "--ratio-smoke");
+
+    let data = corpus_payload();
+    let prior = std::fs::read_to_string(OUT_PATH).unwrap_or_default();
+
+    // Compressed size per level, with a decode check so the tracker can
+    // never record numbers for a stream the decoder rejects.
+    let mut sizes: Vec<(&'static str, usize)> = Vec::new();
+    for (key, level) in levels() {
+        let packed = deflate_compress(&data, level);
+        assert_eq!(
+            inflate(&packed).expect("compressor output decodes"),
+            data,
+            "{key}: roundtrip mismatch"
+        );
+        sizes.push((key, packed.len()));
+    }
+
+    if ratio_smoke {
+        // CI gate: no timing, just pin the ratio against the baseline.
+        let mut failed = false;
+        for &(key, size) in &sizes {
+            match extract(&prior, "baseline", &format!("{key}_bytes")) {
+                Some(base) => {
+                    let drift = (size as f64 - base) / base;
+                    let ok = drift <= RATIO_TOLERANCE;
+                    let verdict = if !ok {
+                        "FAIL"
+                    } else if drift < -RATIO_TOLERANCE {
+                        "ok (improved; consider --record-baseline)"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "ratio {key}: {size} bytes vs baseline {base:.0} ({:+.2}%) {verdict}",
+                        drift * 100.0,
+                    );
+                    failed |= !ok;
+                }
+                None => println!("ratio {key}: {size} bytes (no recorded baseline, skipped)"),
+            }
+        }
+        if failed {
+            eprintln!("bench_deflate: compressed size regressed more than 1% from baseline");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    telemetry::install(telemetry::Collector::metrics_only());
+    let mut rates: Vec<(&'static str, f64)> = Vec::new();
+    for (key, level) in levels() {
+        let mib_s = measure(data.len(), 15, || {
+            deflate_compress(&data, level);
+        });
+        rates.push((key, mib_s));
+    }
+    let metrics_json = telemetry::collector()
+        .expect("collector installed above")
+        .metrics
+        .snapshot()
+        .to_json();
+
+    // Baseline: keep whatever was recorded unless asked to re-record.
+    // Levels with no recorded baseline (added after the baseline run)
+    // fall back to their current numbers with speedup 1.0.
+    let baseline: Vec<(&'static str, f64, f64)> = rates
+        .iter()
+        .zip(&sizes)
+        .map(|(&(key, mib_s), &(_, size))| {
+            if record_baseline || prior.is_empty() {
+                (key, mib_s, size as f64)
+            } else {
+                (
+                    key,
+                    extract(&prior, "baseline", &format!("{key}_mib_s")).unwrap_or(mib_s),
+                    extract(&prior, "baseline", &format!("{key}_bytes")).unwrap_or(size as f64),
+                )
+            }
+        })
+        .collect();
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"deflate\",").unwrap();
+    writeln!(
+        json,
+        "  \"payload\": \"corpus benchmark sources cycled to {PAYLOAD_LEN} bytes\","
+    )
+    .unwrap();
+    writeln!(json, "  \"samples\": 15,").unwrap();
+    writeln!(json, "  \"baseline\": {{").unwrap();
+    for (i, (key, mib_s, bytes)) in baseline.iter().enumerate() {
+        let sep = if i + 1 == baseline.len() { "" } else { "," };
+        writeln!(json, "    \"{key}_mib_s\": {mib_s:.1},").unwrap();
+        writeln!(json, "    \"{key}_bytes\": {bytes:.0}{sep}").unwrap();
+    }
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"current\": {{").unwrap();
+    for (i, ((key, mib_s), (_, size))) in rates.iter().zip(&sizes).enumerate() {
+        let sep = if i + 1 == rates.len() { "" } else { "," };
+        writeln!(json, "    \"{key}_mib_s\": {mib_s:.1},").unwrap();
+        writeln!(json, "    \"{key}_bytes\": {size}{sep}").unwrap();
+    }
+    writeln!(json, "  }},").unwrap();
+    for ((key, mib_s), (bkey, base_mib_s, _)) in rates.iter().zip(&baseline) {
+        assert_eq!(key, bkey);
+        writeln!(json, "  \"speedup_{key}\": {:.2},", mib_s / base_mib_s).unwrap();
+    }
+    writeln!(json, "  \"metrics\": {metrics_json}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(OUT_PATH, &json).expect("write BENCH_deflate.json");
+    for ((key, mib_s), (_, base_mib_s, base_bytes)) in rates.iter().zip(&baseline) {
+        let size = sizes.iter().find(|(k, _)| k == key).unwrap().1;
+        println!(
+            "deflate {key:>7}: {mib_s:.1} MiB/s (baseline {base_mib_s:.1}), \
+             {size} bytes (baseline {base_bytes:.0})"
+        );
+    }
+    println!("wrote {OUT_PATH}");
+}

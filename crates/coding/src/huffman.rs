@@ -328,6 +328,32 @@ impl HuffmanEncoder {
     }
 }
 
+/// Bits of the root lookup in a [`DecodeTable`]: codes up to this long
+/// resolve in a single probe.
+const ROOT_BITS: u32 = 10;
+/// Table-entry flag marking a link to an overflow subtable.
+const LINK: u32 = 1 << 31;
+/// Symbols must fit the 26 bits an entry leaves after the link flag and
+/// the 5-bit length field; larger alphabets fall back to the bit-walk.
+const MAX_TABLE_SYMBOL: usize = 1 << 26;
+
+/// Two-level lookup table over MSB-first canonical Huffman codes — the
+/// same root-table + link-subtable technique as `flate::inflate`'s
+/// DEFLATE decoder, transposed to the wire format's bit order (codes
+/// are left-aligned in the peek window, so a root probe reads the top
+/// [`ROOT_BITS`] of the reservoir and each code `c` of length `l` fills
+/// the contiguous index range `c·2^(root-l) .. (c+1)·2^(root-l)`).
+///
+/// Entry layout (`u32`): `0` = no code reaches this slot;
+/// direct = `symbol << 5 | len`; link = [`LINK`]` | base << 5 | sub_bits`
+/// where `base` indexes the subtable and the next `sub_bits` bits after
+/// the root index select within it.
+#[derive(Debug, Clone)]
+struct DecodeTable {
+    entries: Vec<u32>,
+    root_bits: u32,
+}
+
 /// A canonical Huffman decoder driven by first-code/first-index tables.
 #[derive(Debug, Clone)]
 pub struct HuffmanDecoder {
@@ -338,6 +364,146 @@ pub struct HuffmanDecoder {
     first_index: Vec<u32>,
     count: Vec<u32>,
     sorted_symbols: Vec<u32>,
+    /// Fast path for [`Self::decode_exact`]; `None` when the code shape
+    /// is outside the table's envelope (see [`DecodeTable::build`]).
+    table: Option<DecodeTable>,
+}
+
+impl DecodeTable {
+    /// Builds the table from the decoder's canonical description, or
+    /// `None` when the code is outside the table envelope: empty codes
+    /// and codes longer than 15 bits (the bit-walk handles those; 15
+    /// covers every code this system emits) or absurdly large symbol
+    /// values that would not fit an entry.
+    fn build(
+        max_len: u8,
+        count: &[u32],
+        first_code: &[u64],
+        first_index: &[u32],
+        sorted_symbols: &[u32],
+    ) -> Option<Self> {
+        if max_len == 0 || max_len > 15 {
+            return None;
+        }
+        if sorted_symbols.iter().any(|&s| s as usize >= MAX_TABLE_SYMBOL) {
+            return None;
+        }
+        let max_len = u32::from(max_len);
+        let root_bits = ROOT_BITS.min(max_len);
+        let mut entries = vec![0u32; 1 << root_bits];
+
+        // Pass 1: direct entries, and the deepest code length under
+        // each overflowing root prefix (which sets its subtable width).
+        // BTreeMap keeps subtable layout deterministic across builds.
+        let mut sub_max: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        let for_each_code = |f: &mut dyn FnMut(u32, u32, u32)| {
+            for len in 1..=max_len {
+                let n = count[len as usize];
+                for k in 0..n {
+                    let code = first_code[len as usize] as u32 + k;
+                    let sym = sorted_symbols[(first_index[len as usize] + k) as usize];
+                    f(code, len, sym);
+                }
+            }
+        };
+        for_each_code(&mut |code, len, sym| {
+            if len <= root_bits {
+                let lo = (code as usize) << (root_bits - len);
+                let hi = lo + (1usize << (root_bits - len));
+                for e in &mut entries[lo..hi] {
+                    *e = (sym << 5) | len;
+                }
+            } else {
+                let prefix = code >> (len - root_bits);
+                let deep = sub_max.entry(prefix).or_insert(0);
+                *deep = (*deep).max(len - root_bits);
+            }
+        });
+
+        // Pass 2: allocate subtables and point their root slots at them.
+        for (&prefix, &sub_bits) in &sub_max {
+            let base = entries.len() as u32;
+            entries[prefix as usize] = LINK | (base << 5) | sub_bits;
+            entries.extend(std::iter::repeat_n(0u32, 1 << sub_bits));
+        }
+        for_each_code(&mut |code, len, sym| {
+            if len > root_bits {
+                let prefix = code >> (len - root_bits);
+                let link = entries[prefix as usize];
+                let sub_bits = link & 0x1F;
+                let base = ((link & !LINK) >> 5) as usize;
+                let low = code & ((1 << (len - root_bits)) - 1);
+                let pad = sub_bits - (len - root_bits);
+                let lo = base + ((low as usize) << pad);
+                let hi = lo + (1usize << pad);
+                for e in &mut entries[lo..hi] {
+                    *e = (sym << 5) | len;
+                }
+            }
+        });
+        Some(Self { entries, root_bits })
+    }
+}
+
+/// A 64-bit MSB-first bit reservoir over a byte slice: the next unread
+/// bit of the stream sits in bit 63 of `bits`. Bits past the end of the
+/// stream read as zero, which [`HuffmanDecoder::decode_exact`] relies
+/// on to keep truncation errors identical to the bit-walk's.
+struct MsbReservoir<'a> {
+    data: &'a [u8],
+    /// Next byte not yet (fully) loaded into `bits`.
+    next: usize,
+    /// Left-aligned reservoir; top `count` bits are valid.
+    bits: u64,
+    count: u32,
+}
+
+impl<'a> MsbReservoir<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self {
+            data,
+            next: 0,
+            bits: 0,
+            count: 0,
+        }
+    }
+
+    /// Tops the reservoir up to ≥ 56 valid bits (all remaining bits
+    /// near the end of the stream). The word-wide path may leave up to
+    /// 7 loaded-but-uncounted lookahead bits after the counted region;
+    /// re-ORing them later is idempotent because they re-load from the
+    /// same bytes.
+    #[inline]
+    fn refill(&mut self) {
+        if self.next + 8 <= self.data.len() {
+            let chunk = u64::from_be_bytes(
+                self.data[self.next..self.next + 8]
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            self.bits |= chunk >> self.count;
+            self.next += ((63 - self.count) >> 3) as usize;
+            self.count |= 56;
+        } else {
+            while self.count <= 56 && self.next < self.data.len() {
+                self.bits |= u64::from(self.data[self.next]) << (56 - self.count);
+                self.next += 1;
+                self.count += 8;
+            }
+        }
+    }
+
+    /// Bits of real stream left (valid reservoir + unloaded bytes).
+    #[inline]
+    fn remaining_bits(&self) -> u64 {
+        u64::from(self.count) + 8 * (self.data.len() - self.next) as u64
+    }
+
+    #[inline]
+    fn consume(&mut self, n: u32) {
+        self.bits <<= n;
+        self.count -= n;
+    }
 }
 
 impl HuffmanDecoder {
@@ -399,12 +565,14 @@ impl HuffmanDecoder {
                 }
             }
         }
+        let table = DecodeTable::build(max_len, &count, &first_code, &first_index, &sorted_symbols);
         Ok(Self {
             max_len,
             first_code,
             first_index,
             count,
             sorted_symbols,
+            table,
         })
     }
 
@@ -429,14 +597,53 @@ impl HuffmanDecoder {
 
     /// Decodes exactly `n` symbols from a byte buffer.
     ///
+    /// Uses the two-level [`DecodeTable`] when the code fits its
+    /// envelope (one or two probes per symbol against a 64-bit
+    /// reservoir), falling back to the bit-walk otherwise. Both paths
+    /// report identical errors on identical inputs.
+    ///
     /// # Errors
     ///
     /// Propagates [`Self::decode_one`] errors.
     pub fn decode_exact(&self, bytes: &[u8], n: usize) -> Result<Vec<usize>, CodingError> {
-        let mut r = BitReader::new(bytes);
+        let Some(table) = &self.table else {
+            let mut r = BitReader::new(bytes);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.decode_one(&mut r)?);
+            }
+            return Ok(out);
+        };
+        let mut src = MsbReservoir::new(bytes);
         let mut out = Vec::with_capacity(n);
+        let max_len = u64::from(self.max_len);
         for _ in 0..n {
-            out.push(self.decode_one(&mut r)?);
+            src.refill();
+            let idx = (src.bits >> (64 - table.root_bits)) as usize;
+            let mut entry = table.entries[idx];
+            if entry & LINK != 0 {
+                let sub_bits = entry & 0x1F;
+                let base = ((entry & !LINK) >> 5) as usize;
+                let low = ((src.bits << table.root_bits) >> (64 - sub_bits)) as usize;
+                entry = table.entries[base + low];
+            }
+            if entry == 0 {
+                // No code matches any extension of the peeked bits. The
+                // bit-walk would keep reading: it hits end-of-stream
+                // first unless a full max_len bits remain.
+                return Err(if src.remaining_bits() >= max_len {
+                    CodingError::InvalidCode
+                } else {
+                    CodingError::UnexpectedEof
+                });
+            }
+            let len = entry & 0x1F;
+            if len > src.count {
+                // Matched only thanks to zero padding past the end.
+                return Err(CodingError::UnexpectedEof);
+            }
+            src.consume(len);
+            out.push((entry >> 5) as usize);
         }
         Ok(out)
     }
@@ -605,6 +812,129 @@ mod tests {
         let enc = HuffmanEncoder::from_frequencies(&freqs, 15).unwrap();
         let buf = enc.encode_symbols(data.iter().copied()).unwrap();
         assert_eq!(buf.len() as u64, bits.div_ceil(8));
+    }
+
+    /// The pre-table decode path: one [`HuffmanDecoder::decode_one`]
+    /// bit-walk per symbol. The oracle the table path must match.
+    fn decode_walk(dec: &HuffmanDecoder, bytes: &[u8], n: usize) -> Result<Vec<usize>, CodingError> {
+        let mut r = BitReader::new(bytes);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(dec.decode_one(&mut r)?);
+        }
+        Ok(out)
+    }
+
+    /// Deep, skewed lengths (up to the 15-bit limit) so the table needs
+    /// link subtables. `1,2,…,14,15,15` is complete (Kraft sum exactly
+    /// 1) and pushes five codes past the 10-bit root.
+    fn deep_code_lengths() -> Vec<u8> {
+        let mut lengths: Vec<u8> = (1..=15).collect();
+        lengths.push(15);
+        assert!(
+            lengths.iter().any(|&l| l > ROOT_BITS as u8),
+            "test premise: some codes must overflow the root table"
+        );
+        lengths
+    }
+
+    #[test]
+    fn table_decode_matches_bit_walk_on_valid_streams() {
+        let lengths = deep_code_lengths();
+        let enc = HuffmanEncoder::from_lengths(&lengths).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+        assert!(dec.table.is_some(), "15-bit code must take the table path");
+        let mut state = 0xDEADBEEFu64;
+        let symbols: Vec<usize> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                loop {
+                    let s = (state >> 33) as usize % lengths.len();
+                    if lengths[s] > 0 {
+                        break s;
+                    }
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+            })
+            .collect();
+        let bits = enc.encode_symbols(symbols.iter().copied()).unwrap();
+        assert_eq!(dec.decode_exact(&bits, symbols.len()).unwrap(), symbols);
+        assert_eq!(
+            dec.decode_exact(&bits, symbols.len()).unwrap(),
+            decode_walk(&dec, &bits, symbols.len()).unwrap()
+        );
+    }
+
+    #[test]
+    fn table_decode_errors_match_bit_walk() {
+        // Identical accept/reject behaviour on every truncation and on
+        // corrupted bytes: same Ok values, same error variant.
+        let lengths = deep_code_lengths();
+        let enc = HuffmanEncoder::from_lengths(&lengths).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+        let symbols: Vec<usize> = (0..200)
+            .map(|i| {
+                let used: Vec<usize> =
+                    (0..lengths.len()).filter(|&s| lengths[s] > 0).collect();
+                used[i % used.len()]
+            })
+            .collect();
+        let bits = enc.encode_symbols(symbols.iter().copied()).unwrap();
+        for cut in 0..bits.len() {
+            assert_eq!(
+                dec.decode_exact(&bits[..cut], symbols.len()),
+                decode_walk(&dec, &bits[..cut], symbols.len()),
+                "truncation at byte {cut} diverged"
+            );
+        }
+        let mut corrupt = bits.clone();
+        for i in 0..corrupt.len() {
+            corrupt[i] ^= 0xA5;
+            assert_eq!(
+                dec.decode_exact(&corrupt, symbols.len()),
+                decode_walk(&dec, &corrupt, symbols.len()),
+                "corruption at byte {i} diverged"
+            );
+            corrupt[i] ^= 0xA5;
+        }
+    }
+
+    #[test]
+    fn degenerate_single_code_table_errors_match() {
+        // One symbol, one bit: the only legal incomplete code. A set
+        // bit matches nothing at full length -> InvalidCode, same as
+        // the walk; an empty stream mid-symbol is UnexpectedEof.
+        let mut lengths = vec![0u8; 8];
+        lengths[5] = 1;
+        let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+        assert!(dec.table.is_some());
+        assert_eq!(dec.decode_exact(&[0x00], 8).unwrap(), vec![5; 8]);
+        assert_eq!(dec.decode_exact(&[0x80], 1), decode_walk(&dec, &[0x80], 1));
+        assert!(matches!(
+            dec.decode_exact(&[0x80], 1),
+            Err(CodingError::InvalidCode)
+        ));
+        assert_eq!(dec.decode_exact(&[], 1), decode_walk(&dec, &[], 1));
+        assert!(matches!(
+            dec.decode_exact(&[], 1),
+            Err(CodingError::UnexpectedEof)
+        ));
+        // 9th symbol from a 1-byte stream runs off the end.
+        assert_eq!(dec.decode_exact(&[0x00], 9), decode_walk(&dec, &[0x00], 9));
+    }
+
+    #[test]
+    fn oversized_code_lengths_fall_back_to_bit_walk() {
+        // A 20-bit code is legal for the decoder but outside the table
+        // envelope; decode_exact must still work via decode_one.
+        let mut lengths: Vec<u8> = (1..=20).collect();
+        lengths.push(20);
+        let enc = HuffmanEncoder::from_lengths(&lengths).unwrap();
+        let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+        assert!(dec.table.is_none());
+        let symbols: Vec<usize> = (0..lengths.len()).filter(|&s| lengths[s] > 0).collect();
+        let bits = enc.encode_symbols(symbols.iter().copied()).unwrap();
+        assert_eq!(dec.decode_exact(&bits, symbols.len()).unwrap(), symbols);
     }
 
     #[test]

@@ -89,23 +89,55 @@ pub const DIST_TABLE: [(u16, u8); 30] = [
 /// Maps a match length (3..=258) to `(code, extra_bits, extra_value)`.
 pub fn length_code(len: u16) -> (usize, u8, u16) {
     debug_assert!((3..=258).contains(&len));
-    for (i, &(base, extra)) in LENGTH_TABLE.iter().enumerate().rev() {
-        if len >= base {
-            return (257 + i, extra, len - base);
+    // O(1): one precomputed entry per encodable length.
+    static TABLE: std::sync::OnceLock<[(u8, u8, u16); 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [(0u8, 0u8, 0u16); 256];
+        for (slot, l) in t.iter_mut().zip(3u16..=258) {
+            let (i, &(base, extra)) = LENGTH_TABLE
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|&(_, &(base, _))| l >= base)
+                .expect("length ≥ 3 always has a code");
+            *slot = (i as u8, extra, base);
         }
-    }
-    unreachable!("length below 3")
+        t
+    });
+    let (i, extra, base) = table[usize::from(len) - 3];
+    (257 + usize::from(i), extra, len - base)
 }
 
 /// Maps a distance (1..=32768) to `(code, extra_bits, extra_value)`.
 pub fn dist_code(dist: u16) -> (usize, u8, u16) {
     debug_assert!(dist >= 1);
-    for (i, &(base, extra)) in DIST_TABLE.iter().enumerate().rev() {
-        if dist >= base {
-            return (i, extra, dist - base);
+    // O(1) via zlib's split index: distances ≤ 256 index directly,
+    // larger ones through a 128-wide second half (code boundaries above
+    // 256 are all multiples of 128).
+    static TABLE: std::sync::OnceLock<[u8; 512]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u8; 512];
+        let code_for = |d: u16| -> u8 {
+            DIST_TABLE
+                .iter()
+                .rposition(|&(base, _)| d >= base)
+                .expect("distance ≥ 1 always has a code") as u8
+        };
+        for d in 1u16..=256 {
+            t[usize::from(d) - 1] = code_for(d);
         }
-    }
-    unreachable!("distance below 1")
+        for slot in 0..256 {
+            t[256 + slot] = code_for((slot as u16) * 128 + 1);
+        }
+        t
+    });
+    let i = usize::from(if dist <= 256 {
+        table[usize::from(dist) - 1]
+    } else {
+        table[256 + usize::from((dist - 1) >> 7)]
+    });
+    let (base, extra) = DIST_TABLE[i];
+    (i, extra, dist - base)
 }
 
 /// The fixed literal/length code lengths of RFC 1951 §3.2.6.
@@ -134,8 +166,10 @@ pub fn fixed_dist_lengths() -> Vec<u8> {
 pub enum CompressionLevel {
     /// Greedy parsing with short hash chains.
     Fast,
-    /// Lazy parsing with long hash chains.
+    /// Lazy parsing with medium chains and an early deferral cutoff.
     #[default]
+    Default,
+    /// Fully lazy parsing with long hash chains.
     Best,
 }
 
@@ -143,6 +177,7 @@ impl CompressionLevel {
     fn params(self) -> lz77::MatchParams {
         match self {
             CompressionLevel::Fast => lz77::MatchParams::fast(),
+            CompressionLevel::Default => lz77::MatchParams::balanced(),
             CompressionLevel::Best => lz77::MatchParams::best(),
         }
     }
@@ -305,29 +340,51 @@ fn write_stored(w: &mut LsbBitWriter, data: &[u8]) {
     }
 }
 
+/// Canonical codes pre-reversed into the LSB-first bit order DEFLATE
+/// streams use, so the per-token loop can emit them with plain
+/// `write_bits` instead of reversing bit-by-bit per symbol.
+fn reversed_codes(lengths: &[u8]) -> Vec<u32> {
+    canonical_codes(lengths)
+        .expect("valid lengths")
+        .iter()
+        .zip(lengths)
+        .map(|(&code, &len)| {
+            if len == 0 {
+                0
+            } else {
+                code.reverse_bits() >> (32 - u32::from(len))
+            }
+        })
+        .collect()
+}
+
 fn write_tokens(w: &mut LsbBitWriter, tokens: &[Token], lit_lengths: &[u8], dist_lengths: &[u8]) {
-    let lit_codes = canonical_codes(lit_lengths).expect("valid lengths");
-    let dist_codes = canonical_codes(dist_lengths).expect("valid lengths");
+    let lit_codes = reversed_codes(lit_lengths);
+    let dist_codes = reversed_codes(dist_lengths);
     for &t in tokens {
         match t {
             Token::Literal(b) => {
-                w.write_huffman_code(lit_codes[b as usize], lit_lengths[b as usize]);
+                w.write_bits(lit_codes[b as usize], lit_lengths[b as usize]);
             }
             Token::Match { len, dist } => {
+                // Code and extra bits fuse into one write when they fit
+                // the writer's 24-bit ceiling (litlen: ≤15+5 always
+                // does; dist: ≤15+13 usually does).
                 let (lc, le, lv) = length_code(len);
-                w.write_huffman_code(lit_codes[lc], lit_lengths[lc]);
-                if le > 0 {
-                    w.write_bits(u32::from(lv), le);
-                }
+                let ll = lit_lengths[lc];
+                w.write_bits(lit_codes[lc] | u32::from(lv) << ll, ll + le);
                 let (dc, de, dv) = dist_code(dist);
-                w.write_huffman_code(dist_codes[dc], dist_lengths[dc]);
-                if de > 0 {
+                let dl = dist_lengths[dc];
+                if dl + de <= 24 {
+                    w.write_bits(dist_codes[dc] | u32::from(dv) << dl, dl + de);
+                } else {
+                    w.write_bits(dist_codes[dc], dl);
                     w.write_bits(u32::from(dv), de);
                 }
             }
         }
     }
-    w.write_huffman_code(lit_codes[END_OF_BLOCK], lit_lengths[END_OF_BLOCK]);
+    w.write_bits(lit_codes[END_OF_BLOCK], lit_lengths[END_OF_BLOCK]);
 }
 
 /// Run-length-encodes the concatenated literal+distance code lengths with

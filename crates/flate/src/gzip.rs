@@ -34,6 +34,7 @@ pub fn gzip_compress(data: &[u8], level: CompressionLevel) -> Vec<u8> {
     out.extend_from_slice(&[0, 0, 0, 0]); // MTIME: unknown
     out.push(match level {
         CompressionLevel::Best => 2,
+        CompressionLevel::Default => 0,
         CompressionLevel::Fast => 4,
     }); // XFL
     out.push(255); // OS: unknown

@@ -1,5 +1,21 @@
 //! LZ77 match finding with hash chains, in DEFLATE's parameter envelope
 //! (matches of 3..=258 bytes at distances 1..=32768).
+//!
+//! The finder is built around zlib-style heuristics:
+//!
+//! - a **4-byte hash** over the window head selects chain buckets, so a
+//!   chain candidate almost always shares ≥ 4 leading bytes and the
+//!   verify step starts from real matches instead of collisions;
+//! - the **longest-match loop compares 8 bytes per iteration**
+//!   (`u64::from_le_bytes` + `trailing_zeros` on the XOR) instead of one;
+//! - **`good_len` / `nice_len` chain culling**: once the best match
+//!   reaches `nice_len` the search stops outright, and a search entered
+//!   with a previous match ≥ `good_len` in hand gets a quartered chain
+//!   budget (it only needs to beat an already-good match);
+//! - **one-step lazy evaluation with a `max_lazy` cutoff**: a match
+//!   shorter than `max_lazy` is held back one position to see whether a
+//!   strictly longer match starts at the next byte; matches ≥ `max_lazy`
+//!   are taken immediately.
 
 /// Minimum match length DEFLATE can encode.
 pub const MIN_MATCH: usize = 3;
@@ -8,8 +24,20 @@ pub const MAX_MATCH: usize = 258;
 /// Maximum backwards distance DEFLATE can encode.
 pub const MAX_DISTANCE: usize = 32_768;
 
-const HASH_BITS: usize = 15;
-const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Chain-bucket table size ceiling (15 bits, zlib's choice). Small
+/// inputs get proportionally smaller tables — see [`hash_bits_for`] —
+/// so deflating a 50-byte wire section does not zero 128 KiB of heads.
+const MAX_HASH_BITS: u32 = 15;
+/// Floor on the bucket-table size; below this the table is too small
+/// for the multiplicative hash to spread even tiny inputs.
+const MIN_HASH_BITS: u32 = 8;
+/// Bytes folded into the chain hash. Positions with fewer than this
+/// many bytes left are never inserted (a tail shorter than `MIN_MATCH`
+/// could not start a match anyway, and 3-byte tails only lose matches
+/// of exactly 3 at the very end of the input).
+const HASH_BYTES: usize = 4;
+/// Chain-head sentinel: no position hashed to this bucket yet.
+const NIL: u32 = u32::MAX;
 
 /// One LZ77 token: a literal byte or a back-reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,8 +58,15 @@ pub enum Token {
 pub struct MatchParams {
     /// Maximum hash-chain links followed per position.
     pub max_chain: usize,
-    /// Stop searching once a match at least this long is found.
+    /// A search entered while already holding a match at least this
+    /// long gets a quartered chain budget.
     pub good_len: usize,
+    /// Stop searching once a match at least this long is found.
+    pub nice_len: usize,
+    /// Lazy cutoff: matches at least this long are emitted immediately
+    /// instead of being deferred one position. Only meaningful with
+    /// `lazy`.
+    pub max_lazy: usize,
     /// Enable one-step lazy matching.
     pub lazy: bool,
 }
@@ -40,36 +75,100 @@ impl MatchParams {
     /// Fast parameters (short chains, greedy parsing).
     pub fn fast() -> Self {
         Self {
-            max_chain: 16,
-            good_len: 32,
+            max_chain: 12,
+            good_len: 8,
+            nice_len: 32,
+            max_lazy: 0,
             lazy: false,
         }
     }
 
-    /// Thorough parameters (long chains, lazy parsing).
+    /// Balanced parameters (medium chains, lazy parsing with an early
+    /// cutoff) — the [`crate::CompressionLevel::Default`] knobs.
+    pub fn balanced() -> Self {
+        Self {
+            max_chain: 128,
+            good_len: 16,
+            nice_len: 128,
+            max_lazy: 32,
+            lazy: true,
+        }
+    }
+
+    /// Thorough parameters (long chains, fully lazy parsing).
     pub fn best() -> Self {
         Self {
             max_chain: 1024,
-            good_len: 258,
+            good_len: 32,
+            nice_len: MAX_MATCH,
+            max_lazy: MAX_MATCH,
             lazy: true,
         }
     }
 }
 
-fn hash(data: &[u8], pos: usize) -> usize {
-    let a = u32::from(data[pos]);
-    let b = u32::from(data[pos + 1]);
-    let c = u32::from(data[pos + 2]);
-    (((a << 10) ^ (b << 5) ^ c).wrapping_mul(2_654_435_761) >> (32 - HASH_BITS as u32)) as usize
-        & (HASH_SIZE - 1)
+/// Bucket-table width for an input with `positions` insertable
+/// positions: the smallest power of two covering them, clamped to
+/// [`MIN_HASH_BITS`]..=[`MAX_HASH_BITS`]. Inputs at or beyond the
+/// 32 Ki-position ceiling behave exactly like a fixed 15-bit table;
+/// tiny inputs (wire sections are often under 100 bytes) pay for a
+/// few-hundred-entry table instead of 32 Ki entries per call.
+fn hash_bits_for(positions: usize) -> u32 {
+    (usize::BITS - positions.saturating_sub(1).leading_zeros()).clamp(MIN_HASH_BITS, MAX_HASH_BITS)
+}
+
+/// Hashes the [`HASH_BYTES`] window head at `pos` into a chain bucket,
+/// keeping the top `bits` of the multiplicative mix.
+#[inline]
+fn hash4(data: &[u8], pos: usize, bits: u32) -> usize {
+    let w = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+    (w.wrapping_mul(2_654_435_761) >> (32 - bits)) as usize
+}
+
+/// Hashes only the first 3 bytes at `pos`, for the length-3 salvage
+/// table (a 4-byte hash can never surface a match of exactly 3).
+#[inline]
+fn hash3(data: &[u8], pos: usize, bits: u32) -> usize {
+    let w = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) & 0x00FF_FFFF;
+    (w.wrapping_mul(2_654_435_761) >> (32 - bits)) as usize
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]`, up to
+/// `max_len`, comparing 8 bytes per iteration. Requires
+/// `b + max_len <= data.len()` and `a < b`.
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    let mut len = 0usize;
+    while len + 8 <= max_len {
+        let x = u64::from_le_bytes(data[a + len..a + len + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(data[b + len..b + len + 8].try_into().expect("8 bytes"));
+        let xor = x ^ y;
+        if xor != 0 {
+            return len + (xor.trailing_zeros() >> 3) as usize;
+        }
+        len += 8;
+    }
+    while len < max_len && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
 }
 
 /// A hash-chain dictionary over a byte buffer.
 struct ChainFinder<'a> {
     data: &'a [u8],
-    head: Vec<i64>,
-    prev: Vec<i64>,
+    head: Vec<u32>,
+    prev: Vec<u32>,
+    /// Most recent position per 3-byte hash. The chains hash 4 bytes,
+    /// so matches of exactly [`MIN_MATCH`] would otherwise be
+    /// invisible; the lazy levels probe this one extra candidate to
+    /// salvage them (the greedy fast level skips it for speed).
+    head3: Vec<u32>,
+    /// Bucket-table width for this input (see [`hash_bits_for`]).
+    hash_bits: u32,
     params: MatchParams,
+    /// Positions `< inserted` are already in the dictionary.
+    inserted: usize,
     /// Chain links followed per search — the profile the deflate
     /// match-finder optimisation needs. `None` when telemetry is off.
     probe_depth: Option<codecomp_core::telemetry::LocalHistogram>,
@@ -77,60 +176,107 @@ struct ChainFinder<'a> {
 
 impl<'a> ChainFinder<'a> {
     fn new(data: &'a [u8], params: MatchParams) -> Self {
+        // Chain links are u32 indices; DEFLATE streams in this system
+        // are far below that, and the prev array would be the limit
+        // long before the index type.
+        assert!(
+            data.len() < NIL as usize,
+            "input too large for u32 chain links"
+        );
+        let positions = data.len().saturating_sub(HASH_BYTES - 1);
+        let hash_bits = hash_bits_for(positions);
+        let hash_size = 1usize << hash_bits;
         Self {
             data,
-            head: vec![-1; HASH_SIZE],
-            prev: vec![-1; data.len()],
+            head: vec![NIL; hash_size],
+            prev: vec![NIL; positions],
+            head3: if params.lazy {
+                vec![NIL; hash_size]
+            } else {
+                Vec::new()
+            },
+            hash_bits,
             params,
+            inserted: 0,
             probe_depth: codecomp_core::telemetry::enabled()
                 .then(codecomp_core::telemetry::LocalHistogram::default),
         }
     }
 
-    fn insert(&mut self, pos: usize) {
-        if pos + MIN_MATCH <= self.data.len() {
-            let h = hash(self.data, pos);
-            self.prev[pos] = self.head[h];
-            self.head[h] = pos as i64;
+    /// Inserts every not-yet-inserted position before `pos` into the
+    /// chains, so a search at `pos` sees all earlier candidates but
+    /// never itself.
+    fn insert_up_to(&mut self, pos: usize) {
+        let stop = pos.min(self.prev.len());
+        let lazy = self.params.lazy;
+        let bits = self.hash_bits;
+        while self.inserted < stop {
+            let h = hash4(self.data, self.inserted, bits);
+            self.prev[self.inserted] = self.head[h];
+            self.head[h] = self.inserted as u32;
+            if lazy {
+                self.head3[hash3(self.data, self.inserted, bits)] = self.inserted as u32;
+            }
+            self.inserted += 1;
         }
+        self.inserted = self.inserted.max(pos);
     }
 
     /// Longest match starting at `pos`, if at least `MIN_MATCH` long.
-    fn longest_match(&mut self, pos: usize) -> Option<(usize, usize)> {
-        if pos + MIN_MATCH > self.data.len() {
+    ///
+    /// `held_len` is the length of a match already in hand from lazy
+    /// evaluation (0 otherwise): per the `good_len` heuristic, a search
+    /// that only needs to beat a good match gets a quartered budget.
+    fn longest_match(&mut self, pos: usize, held_len: usize) -> Option<(usize, usize)> {
+        if pos + HASH_BYTES > self.data.len() {
             return None;
         }
         let max_len = (self.data.len() - pos).min(MAX_MATCH);
-        let h = hash(self.data, pos);
-        let mut cand = self.head[h];
+        let nice_len = self.params.nice_len.min(max_len);
+        let mut chain = self.params.max_chain;
+        if held_len >= self.params.good_len {
+            chain >>= 2;
+        }
+        let budget = chain;
         let mut best_len = MIN_MATCH - 1;
         let mut best_dist = 0usize;
-        let mut chain = self.params.max_chain;
-        while cand >= 0 && chain > 0 {
+        // Length-3 salvage (lazy levels only): the most recent position
+        // sharing the 3-byte prefix. Anything matching ≥ 4 bytes is in
+        // the 4-byte chain anyway, so one candidate suffices.
+        if self.params.lazy {
+            let c3 = self.head3[hash3(self.data, pos, self.hash_bits)];
+            if c3 != NIL && pos - (c3 as usize) <= MAX_DISTANCE {
+                let len = match_len(self.data, c3 as usize, pos, max_len);
+                if len >= MIN_MATCH {
+                    best_len = len;
+                    best_dist = pos - c3 as usize;
+                }
+            }
+        }
+        let mut cand = self.head[hash4(self.data, pos, self.hash_bits)];
+        while cand != NIL && chain > 0 && best_len < nice_len {
             let c = cand as usize;
             let dist = pos - c;
             if dist > MAX_DISTANCE {
                 break;
             }
-            // Quick reject: compare the byte just past the current best.
-            if best_len < max_len && self.data[c + best_len] == self.data[pos + best_len] {
-                let mut len = 0;
-                while len < max_len && self.data[c + len] == self.data[pos + len] {
-                    len += 1;
-                }
+            // Quick reject: the two bytes straddling the current best
+            // must match before a full compare can possibly win.
+            if best_len < max_len
+                && self.data[c + best_len] == self.data[pos + best_len]
+                && self.data[c + best_len - 1] == self.data[pos + best_len - 1]
+            {
+                let len = match_len(self.data, c, pos, max_len);
                 if len > best_len {
                     best_len = len;
                     best_dist = dist;
-                    if len >= self.params.good_len {
-                        break;
-                    }
                 }
             }
             cand = self.prev[c];
             chain -= 1;
         }
         if let Some(h) = &mut self.probe_depth {
-            h.record((self.params.max_chain - chain) as u64);
+            h.record((budget - chain) as u64);
         }
         if best_len >= MIN_MATCH {
             Some((best_len, best_dist))
@@ -154,44 +300,50 @@ impl<'a> ChainFinder<'a> {
 pub fn tokenize(data: &[u8], params: MatchParams) -> Vec<Token> {
     let mut finder = ChainFinder::new(data, params);
     let mut tokens = Vec::new();
+    // Length gained per lazy deferral (0 when the held match stood).
+    // Repeated deferral is deliberately NOT done: letting the held
+    // match lose again at the next position cascades switch-literals
+    // through slowly-growing match runs and measurably worsens the
+    // corpus ratio, so a match is deferred at most once.
+    let mut lazy_gain = codecomp_core::telemetry::enabled()
+        .then(codecomp_core::telemetry::LocalHistogram::default);
+    let mut lazy_won = 0u64;
     let mut pos = 0usize;
-    // Positions `< inserted` are already in the dictionary; positions are
-    // inserted lazily just before each search so a position never matches
-    // itself.
-    let mut inserted = 0usize;
     while pos < data.len() {
-        while inserted < pos {
-            finder.insert(inserted);
-            inserted += 1;
-        }
-        match finder.longest_match(pos) {
-            Some((found_len, found_dist)) => {
-                let (mut len, mut dist, mut start) = (found_len, found_dist, pos);
-                if params.lazy && len < params.good_len && pos + 1 + MIN_MATCH <= data.len() {
-                    // Peek one position ahead; if a strictly longer match
-                    // starts there, emit a literal and take that one.
-                    finder.insert(pos);
-                    inserted = pos + 1;
-                    if let Some((next_len, next_dist)) = finder.longest_match(pos + 1) {
-                        if next_len > len {
-                            tokens.push(Token::Literal(data[pos]));
-                            start = pos + 1;
-                            len = next_len;
-                            dist = next_dist;
-                        }
-                    }
+        finder.insert_up_to(pos);
+        let Some((len, dist)) = finder.longest_match(pos, 0) else {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        };
+        if params.lazy && len < params.max_lazy {
+            // One-step lazy evaluation: if a strictly longer match
+            // starts at the very next byte, this one shrinks to a
+            // literal. The search is told what it has to beat so the
+            // good_len heuristic can cull its chain budget.
+            finder.insert_up_to(pos + 1);
+            let next = finder.longest_match(pos + 1, len);
+            if let Some(h) = &mut lazy_gain {
+                h.record(next.map_or(0, |(nlen, _)| nlen.saturating_sub(len)) as u64);
+            }
+            if let Some((nlen, ndist)) = next {
+                if nlen > len {
+                    tokens.push(Token::Literal(data[pos]));
+                    tokens.push(Token::Match {
+                        len: nlen as u16,
+                        dist: ndist as u16,
+                    });
+                    lazy_won += 1;
+                    pos += 1 + nlen;
+                    continue;
                 }
-                tokens.push(Token::Match {
-                    len: len as u16,
-                    dist: dist as u16,
-                });
-                pos = start + len;
-            }
-            None => {
-                tokens.push(Token::Literal(data[pos]));
-                pos += 1;
             }
         }
+        tokens.push(Token::Match {
+            len: len as u16,
+            dist: dist as u16,
+        });
+        pos += len;
     }
     if let Some(depths) = finder.probe_depth.take() {
         use codecomp_core::telemetry as t;
@@ -202,7 +354,11 @@ pub fn tokenize(data: &[u8], params: MatchParams) -> Vec<Token> {
         t::counter_add("flate.deflate.match_tokens", matches);
         t::counter_add("flate.deflate.literal_tokens", tokens.len() as u64 - matches);
         t::counter_add("flate.deflate.input_bytes", data.len() as u64);
+        t::counter_add("flate.deflate.lazy_won", lazy_won);
         t::histogram_merge("flate.deflate.probe_depth", &depths);
+        if let Some(h) = &lazy_gain {
+            t::histogram_merge("flate.deflate.lazy_gain", h);
+        }
     }
     tokens
 }
@@ -236,6 +392,14 @@ pub fn detokenize(tokens: &[Token]) -> Option<Vec<u8>> {
 mod tests {
     use super::*;
 
+    fn all_params() -> [MatchParams; 3] {
+        [
+            MatchParams::fast(),
+            MatchParams::balanced(),
+            MatchParams::best(),
+        ]
+    }
+
     fn roundtrip(data: &[u8], params: MatchParams) {
         let tokens = tokenize(data, params);
         assert_eq!(detokenize(&tokens).unwrap(), data);
@@ -243,11 +407,13 @@ mod tests {
 
     #[test]
     fn empty_and_tiny_inputs() {
-        for params in [MatchParams::fast(), MatchParams::best()] {
+        for params in all_params() {
             roundtrip(b"", params);
             roundtrip(b"a", params);
             roundtrip(b"ab", params);
             roundtrip(b"abc", params);
+            roundtrip(b"abcd", params);
+            roundtrip(b"abcdabcd", params);
         }
     }
 
@@ -263,13 +429,15 @@ mod tests {
     fn overlapping_match_rle_style() {
         // Runs compress via dist=1 overlapping copies.
         let data = vec![b'x'; 1000];
-        let tokens = tokenize(&data, MatchParams::best());
-        assert!(
-            tokens.len() < 20,
-            "run should collapse, got {} tokens",
-            tokens.len()
-        );
-        assert_eq!(detokenize(&tokens).unwrap(), data);
+        for params in all_params() {
+            let tokens = tokenize(&data, params);
+            assert!(
+                tokens.len() < 20,
+                "run should collapse, got {} tokens",
+                tokens.len()
+            );
+            assert_eq!(detokenize(&tokens).unwrap(), data);
+        }
     }
 
     #[test]
@@ -284,8 +452,9 @@ mod tests {
                 (state >> 24) as u8
             })
             .collect();
-        roundtrip(&data, MatchParams::fast());
-        roundtrip(&data, MatchParams::best());
+        for params in all_params() {
+            roundtrip(&data, params);
+        }
     }
 
     #[test]
@@ -301,6 +470,33 @@ mod tests {
     }
 
     #[test]
+    fn match_len_agrees_with_byte_loop() {
+        // The word-wide compare must agree with the obvious loop at
+        // every offset parity and boundary length.
+        let mut data = b"abcdefgh_abcdefgh_abcdefgX_abcdefgh".to_vec();
+        data.extend(std::iter::repeat_n(b'q', 600));
+        for a in 0..8 {
+            for b in (a + 1)..24 {
+                let max_len = (data.len() - b).min(MAX_MATCH);
+                let naive = {
+                    let mut l = 0;
+                    while l < max_len && data[a + l] == data[b + l] {
+                        l += 1;
+                    }
+                    l
+                };
+                assert_eq!(match_len(&data, a, b, max_len), naive, "a={a} b={b}");
+            }
+        }
+        // A full-length 258 match on the run tail.
+        let run_start = data.len() - 600;
+        assert_eq!(
+            match_len(&data, run_start, run_start + 300, MAX_MATCH),
+            MAX_MATCH
+        );
+    }
+
+    #[test]
     fn lazy_matching_not_worse_than_greedy() {
         let data = b"xyzabcdefgabcdefghijklxyzabcdefghijkl".repeat(20);
         let greedy = tokenize(
@@ -313,6 +509,35 @@ mod tests {
         let lazy = tokenize(&data, MatchParams::best());
         assert!(lazy.len() <= greedy.len());
         assert_eq!(detokenize(&lazy).unwrap(), data);
+    }
+
+    #[test]
+    fn lazy_prefers_longer_next_match() {
+        // At the second "abcdefghij" the greedy choice is the 4-byte
+        // "abcd" echo; one position later a 10-byte match starts. Lazy
+        // parsing must emit the literal 'a' and take the longer match.
+        let data = b"abcd......bcdefghijk___abcdefghijk".to_vec();
+        let lazy = tokenize(&data, MatchParams::best());
+        let greedy = tokenize(
+            &data,
+            MatchParams {
+                lazy: false,
+                ..MatchParams::best()
+            },
+        );
+        assert!(lazy.len() <= greedy.len());
+        assert_eq!(detokenize(&lazy).unwrap(), data);
+        assert_eq!(detokenize(&greedy).unwrap(), data);
+    }
+
+    #[test]
+    fn held_match_at_end_of_input_is_emitted() {
+        // A deferred match whose deferral point is the last byte: the
+        // held match must still be flushed.
+        let data = b"qrstuqrstu".to_vec();
+        for params in all_params() {
+            roundtrip(&data, params);
+        }
     }
 
     #[test]

@@ -94,8 +94,18 @@ impl<'a> Bits<'a> {
 
 /// A canonical Huffman code as a bare list of `(symbol, length, code)`
 /// triples, searched linearly — no tables, no indices.
+///
+/// The linear scan is the semantic definition; `by_len_code` memoizes
+/// it as a `(length, code-prefix) → symbol` map so the per-bit probe in
+/// [`Code::decode`] is a hash lookup instead of a pass over every
+/// entry. `lookup_scan` keeps the original scan alive as the oracle
+/// the memo is tested against, bit pattern by bit pattern.
 struct Code {
+    /// Read only by the oracle scan, which production decode paths
+    /// never call — the memo answers every probe.
+    #[cfg_attr(not(test), allow(dead_code))]
     entries: Vec<(u16, u8, u16)>,
+    by_len_code: std::collections::HashMap<(u8, u16), u16>,
 }
 
 impl Code {
@@ -142,7 +152,24 @@ impl Code {
                 next_code[l as usize] += 1;
             }
         }
-        Ok(Code { entries })
+        // Canonical construction assigns each (length, code) pair at
+        // most once, so the memo can never shadow a competing entry.
+        let by_len_code = entries.iter().map(|&(sym, l, code)| ((l, code), sym)).collect();
+        Ok(Code {
+            entries,
+            by_len_code,
+        })
+    }
+
+    /// The original linear probe: the symbol whose code of length
+    /// `len` equals `acc`, scanning every entry. Kept as the oracle
+    /// for the memoized lookup.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn lookup_scan(&self, len: u8, acc: u16) -> Option<u16> {
+        self.entries
+            .iter()
+            .find(|&&(_, l, code)| l == len && code == acc)
+            .map(|&(sym, _, _)| sym)
     }
 
     /// Walks the stream one bit at a time until a code matches.
@@ -163,13 +190,11 @@ impl Code {
                 }
             };
             acc = (acc << 1) | u16::from(bit);
-            for &(sym, l, code) in &self.entries {
-                if l == len && code == acc {
-                    if padded {
-                        return Err(FlateError::Truncated);
-                    }
-                    return Ok(sym);
+            if let Some(&sym) = self.by_len_code.get(&(len, acc)) {
+                if padded {
+                    return Err(FlateError::Truncated);
                 }
+                return Ok(sym);
             }
         }
         Err(FlateError::Corrupt("invalid Huffman code".into()))
@@ -427,6 +452,34 @@ mod tests {
             reference_inflate(&[0b0000_0111]),
             Err(FlateError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn memoized_lookup_matches_linear_scan() {
+        // Every (length, prefix) pair the decoder can ever probe must
+        // accept and reject identically through the memo and through
+        // the defining linear scan.
+        // One code per length 1..=15 plus a second 15-bit code is a
+        // complete Kraft sum and exercises every probe depth.
+        let deep: Vec<u8> = (1..=15).chain(std::iter::once(15)).collect();
+        let codes = [
+            fixed_litlen().unwrap(),
+            fixed_dist().unwrap(),
+            Code::build(&[0, 0, 5, 0], true).unwrap(),
+            Code::build(&deep, false).unwrap(),
+        ];
+        for code in &codes {
+            for len in 1..=15u8 {
+                for acc in 0..(1u32 << len) {
+                    let acc = acc as u16;
+                    assert_eq!(
+                        code.by_len_code.get(&(len, acc)).copied(),
+                        code.lookup_scan(len, acc),
+                        "len={len} acc={acc:#b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,6 @@
 use crate::bytesio::{put_ivarint, put_string, put_uvarint, Cursor};
 use crate::WireError;
 use codecomp_coding::arith::{ArithDecoder, ArithEncoder};
-use codecomp_coding::bits::BitReader;
 use codecomp_coding::huffman::{HuffmanDecoder, HuffmanEncoder};
 use codecomp_coding::model::AdaptiveModel;
 use codecomp_coding::mtf::{mtf_decode, mtf_encode, MtfEncoded};
@@ -698,12 +697,10 @@ fn decode_indices(
             let nbytes = c.usize_varint()?;
             let bits = c.take(nbytes)?;
             let dec = HuffmanDecoder::from_lengths(&lengths)?;
-            let mut r = BitReader::new(bits);
-            let mut out = Vec::with_capacity(count);
-            for _ in 0..count {
-                out.push(dec.decode_one(&mut r)? as u32);
-            }
-            Ok(out)
+            // Table-driven bulk decode: two-level lookup against a
+            // 64-bit reservoir instead of a bit-walk per symbol.
+            let out = dec.decode_exact(bits, count)?;
+            Ok(out.into_iter().map(|s| s as u32).collect())
         }
         Coder::Arithmetic => {
             let nbytes = c.usize_varint()?;

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Perf trackers: measure decode throughput for the inflate, wire, and
-# brisc stages and update BENCH_{inflate,wire,brisc}.json (keeping each
-# recorded baseline unless --record-baseline is passed; every dump
-# carries a telemetry-registry snapshot). Run from anywhere;
-# works fully offline.
+# brisc stages plus compressor throughput/ratio per level, and update
+# BENCH_{inflate,deflate,wire,brisc}.json (keeping each recorded
+# baseline unless --record-baseline is passed; every dump carries a
+# telemetry-registry snapshot). Run from anywhere; works fully offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release --offline -p codecomp-bench --bin bench_inflate -- "$@"
+cargo run --release --offline -p codecomp-bench --bin bench_deflate -- "$@"
 cargo run --release --offline -p codecomp-bench --bin bench_wire -- "$@"
 cargo run --release --offline -p codecomp-bench --bin bench_brisc -- "$@"

@@ -31,6 +31,44 @@ use std::sync::Arc;
 const MEM: u32 = 1 << 24;
 const FUEL: u64 = 1 << 40;
 
+/// Stdout handle that treats a closed pipe as success, so info
+/// commands piped into `head` exit cleanly instead of panicking with
+/// "failed printing to stdout: Broken pipe". Any other I/O error still
+/// surfaces.
+struct PipeSafeStdout;
+
+impl std::io::Write for PipeSafeStdout {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match std::io::stdout().write(buf) {
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(buf.len()),
+            other => other,
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match std::io::stdout().flush() {
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+            other => other,
+        }
+    }
+}
+
+/// `print!` to [`PipeSafeStdout`]; propagates non-pipe I/O errors.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        write!(PipeSafeStdout, $($arg)*)
+    }};
+}
+
+/// `println!` to [`PipeSafeStdout`]; propagates non-pipe I/O errors.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        writeln!(PipeSafeStdout, $($arg)*)
+    }};
+}
+
 /// Telemetry surfacing requested on the command line.
 struct TelemetryFlags {
     /// `--stats`: print the per-stage stream breakdown table.
@@ -111,7 +149,7 @@ fn report_telemetry(t: &TelemetryFlags) -> Result<(), AnyError> {
             std::fs::write(path, snap.to_json() + "\n")?;
             eprintln!("wrote metrics: {path}");
         }
-        Some(None) => println!("{}", snap.to_json()),
+        Some(None) => outln!("{}", snap.to_json())?,
         None => {}
     }
     Ok(())
@@ -361,7 +399,7 @@ fn load_module(path: &str) -> Result<Module, AnyError> {
 
 fn write_output(path: &str, bytes: &[u8], kind: &str) -> Result<(), AnyError> {
     std::fs::write(path, bytes)?;
-    println!("wrote {kind}: {path} ({} bytes)", bytes.len());
+    outln!("wrote {kind}: {path} ({} bytes)", bytes.len())?;
     Ok(())
 }
 
@@ -393,8 +431,7 @@ fn cmd_dis(args: &[String]) -> Result<ExitCode, AnyError> {
     let module = load_module(input)?;
     let vm = compile_module(&module, IsaConfig::full())?;
     // Tolerate a closed pipe (`codecomp dis … | head`).
-    use std::io::Write;
-    let _ = write!(std::io::stdout(), "{vm}");
+    out!("{vm}")?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -452,8 +489,8 @@ fn run_module(module: &Module, tier: &str, args: &[i64], fuel: u64) -> Result<(i
 }
 
 fn finish((value, output): (i64, Vec<u8>)) -> Result<ExitCode, AnyError> {
-    print!("{}", String::from_utf8_lossy(&output));
-    println!("=> {value}");
+    out!("{}", String::from_utf8_lossy(&output))?;
+    outln!("=> {value}")?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -470,11 +507,11 @@ fn cmd_wire_pack(args: &[String]) -> Result<ExitCode, AnyError> {
         .map(str::to_string)
         .unwrap_or_else(|| replace_ext(input, "ccwf"));
     write_output(&out, &packed.bytes, "wire image")?;
-    println!(
+    outln!(
         "uncompressed tree code: {} bytes ({:.2}x)",
         raw.len(),
         raw.len() as f64 / packed.total() as f64
-    );
+    )?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -502,13 +539,13 @@ fn cmd_wire_info(args: &[String]) -> Result<ExitCode, AnyError> {
     let module = decompress(&bytes)?;
     // Re-compress to recover the section accounting.
     let packed = wire_compress(&module, WireOptions::default())?;
-    println!(
+    outln!(
         "wire image: {} bytes, {} functions",
         packed.total(),
         module.functions.len()
-    );
+    )?;
     for (key, size) in &packed.sections {
-        println!("  {key:>12}: {size} bytes");
+        outln!("  {key:>12}: {size} bytes")?;
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -526,13 +563,13 @@ fn cmd_brisc_pack(args: &[String]) -> Result<ExitCode, AnyError> {
         .map(str::to_string)
         .unwrap_or_else(|| replace_ext(input, "ccbr"));
     write_output(&out, &report.image.to_bytes(), "brisc image")?;
-    println!(
+    outln!(
         "code: {} bytes from {} VM bytes; dictionary {} entries ({} passes)",
         report.image.code_size(),
         report.input_bytes,
         report.dictionary_entries,
         report.passes
-    );
+    )?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -553,8 +590,8 @@ fn run_brisc_image(
         eprintln!("codecomp: warning: function {name} quarantined: {cause}");
     }
     let out = machine.run("main", args)?;
-    print!("{}", String::from_utf8_lossy(&out.output));
-    println!("=> {}", out.value);
+    out!("{}", String::from_utf8_lossy(&out.output))?;
+    outln!("=> {}", out.value)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -582,7 +619,7 @@ fn cmd_telemetry_check(args: &[String]) -> Result<ExitCode, AnyError> {
                 .map_err(|e| format!("{input}:{}: {e}", i + 1))?;
             checked += 1;
         }
-        println!("{input}: {checked} trace lines ok");
+        outln!("{input}: {checked} trace lines ok")?;
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -594,30 +631,30 @@ fn cmd_brisc_info(args: &[String]) -> Result<ExitCode, AnyError> {
     };
     let bytes = std::fs::read(input)?;
     let image = BriscImage::from_bytes(&bytes)?;
-    println!(
+    outln!(
         "brisc image: {} bytes total, {} code bytes",
         bytes.len(),
         image.code_size()
-    );
-    println!(
+    )?;
+    outln!(
         "dictionary: {} entries; markov: {} contexts, max {} successors; order-{}",
         image.dictionary.len(),
         image.markov.context_count(),
         image.markov.max_successors(),
         if image.order0 { 0 } else { 1 },
-    );
-    println!("functions:");
+    )?;
+    outln!("functions:")?;
     for f in &image.functions {
-        println!(
+        outln!(
             "  {:>16}: {} bytes at {:#06x}, frame {}, {} saved regs",
             f.name,
             f.len,
             f.start,
             f.frame_size,
             f.saved_regs.len()
-        );
+        )?;
     }
     let combined = image.dictionary.iter().filter(|e| e.len() > 1).count();
-    println!("combined patterns: {combined}");
+    outln!("combined patterns: {combined}")?;
     Ok(ExitCode::SUCCESS)
 }

@@ -170,6 +170,48 @@ fn cli_program_arguments() {
 }
 
 #[test]
+fn piped_stdout_closed_early_is_not_an_error() {
+    use std::io::Read;
+    use std::process::Stdio;
+    let dir = workdir().join("pipe");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Enough functions that the `dis` listing far exceeds the OS pipe
+    // buffer, so closing the read end mid-stream raises EPIPE in the
+    // writer instead of the whole stream fitting in the buffer.
+    let mut src = String::new();
+    for i in 0..900 {
+        src.push_str(&format!("int f{i}(int x) {{ return x + {i}; }}\n"));
+    }
+    src.push_str("int main() { return f1(41); }\n");
+    std::fs::write(dir.join("big.c"), src).unwrap();
+
+    let mut child = Command::new(bin())
+        .args(["dis", "big.c"])
+        .current_dir(&dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn codecomp");
+    // The `codecomp dis big.c | head -c 256` analogue: take a few
+    // bytes, then close the pipe with most of the stream unread.
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let mut head = [0u8; 256];
+    stdout.read_exact(&mut head).expect("read leading output");
+    drop(stdout);
+    let status = child.wait().expect("wait for codecomp");
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(status.success(), "closed pipe failed the command: {stderr}");
+    assert!(!stderr.contains("panic"), "panicked on closed pipe: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_telemetry_flags() {
     let dir = workdir();
     std::fs::write(dir.join("tele.c"), SOURCE).unwrap();

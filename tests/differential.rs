@@ -69,8 +69,8 @@ fn check(what: &str, data: &[u8], limit: usize) {
     }
 }
 
-/// Mutations per base payload. Two payload families × three encoder
-/// paths × 350 = 2,100 ≥ the 2,000-mutation floor;
+/// Mutations per base payload. Two payload families × four encoder
+/// paths × 350 = 2,800 ≥ the 2,000-mutation floor;
 /// `CODECOMP_DIFF_MUTATIONS` overrides for the CI smoke run.
 fn mutations_per_payload() -> usize {
     std::env::var("CODECOMP_DIFF_MUTATIONS")
@@ -85,12 +85,16 @@ fn mutations_per_payload() -> usize {
 const FUZZ_LIMIT: usize = 1 << 20;
 
 /// Compresses `data` through every encoder path: greedy fast, lazy
-/// dynamic-Huffman best, and forced fixed-Huffman.
+/// default, lazy dynamic-Huffman best, and forced fixed-Huffman.
 fn all_encodings(name: &str, data: &[u8]) -> Vec<(String, Vec<u8>)> {
     vec![
         (
             format!("{name}/best"),
             deflate_compress(data, CompressionLevel::Best),
+        ),
+        (
+            format!("{name}/default"),
+            deflate_compress(data, CompressionLevel::Default),
         ),
         (
             format!("{name}/fast"),
@@ -189,6 +193,46 @@ fn corpus_roundtrips_agree() {
                 "roundtrip/{what}: reference output differs from input"
             );
         }
+    }
+}
+
+/// The level matrix: every corpus program × every compression level
+/// must round-trip bit-exactly through both the table-driven fast
+/// inflate and the naive reference oracle, and the thorough levels
+/// must never produce a larger stream than Fast.
+#[test]
+fn level_matrix_roundtrips_and_orders_sizes() {
+    let levels = [
+        ("fast", CompressionLevel::Fast),
+        ("default", CompressionLevel::Default),
+        ("best", CompressionLevel::Best),
+    ];
+    for b in benchmarks() {
+        let data = b.source.as_bytes();
+        let mut sizes = std::collections::HashMap::new();
+        for (lname, level) in levels {
+            let packed = deflate_compress(data, level);
+            assert_eq!(
+                inflate(&packed).expect("fast decoder accepts valid stream"),
+                data,
+                "{}/{lname}: fast inflate output differs from input",
+                b.name
+            );
+            assert_eq!(
+                reference_inflate(&packed).expect("reference accepts valid stream"),
+                data,
+                "{}/{lname}: reference output differs from input",
+                b.name
+            );
+            sizes.insert(lname, packed.len());
+        }
+        assert!(
+            sizes["best"] <= sizes["fast"],
+            "{}: best ({}) compressed larger than fast ({})",
+            b.name,
+            sizes["best"],
+            sizes["fast"]
+        );
     }
 }
 
