@@ -7,6 +7,9 @@
 //! ```text
 //! bench_wire                   # measure, update "current", keep baseline
 //! bench_wire --record-baseline # measure, (re)record the baseline too
+//! bench_wire --decode-smoke    # CI gate: decode the corpus byte-exactly
+//!                              # and assert decode throughput clears a
+//!                              # fixed floor; no JSON is written
 //! ```
 
 use codecomp_bench::{subjects, Scale};
@@ -17,6 +20,12 @@ use std::time::Instant;
 
 const OUT_PATH: &str = "BENCH_wire.json";
 const SAMPLES: usize = 9;
+/// Decode-throughput floor for `--decode-smoke`. The cached-table
+/// decoder measures ~10.5 MiB/s on the corpus (with telemetry on); the
+/// pre-cache decoder measured ~3.4 MiB/s. 6 MiB/s sits far enough above
+/// the old decoder to catch a cache-path regression outright, with
+/// headroom below the measured figure to absorb CI-machine jitter.
+const DECODE_FLOOR_MIB_S: f64 = 6.0;
 
 /// Median wall-clock throughput of `f` in MiB/s for `bytes` of work.
 fn measure(bytes: usize, mut f: impl FnMut()) -> f64 {
@@ -51,6 +60,7 @@ fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
 
 fn main() {
     let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    let decode_smoke = std::env::args().any(|a| a == "--decode-smoke");
     telemetry::install(telemetry::Collector::metrics_only());
 
     let subjects = subjects(Scale::CorpusOnly);
@@ -63,6 +73,33 @@ fn main() {
         })
         .collect();
     let wire_bytes: usize = images.iter().map(Vec::len).sum();
+
+    if decode_smoke {
+        // CI gate: correctness first (every image must reproduce its
+        // module exactly), then a one-sided throughput floor. No JSON
+        // is written so the gate never perturbs the tracker.
+        for (s, img) in subjects.iter().zip(&images) {
+            assert_eq!(
+                decompress(img).expect("corpus image decodes"),
+                s.ir,
+                "decode smoke: roundtrip mismatch"
+            );
+        }
+        let mib_s = measure(wire_bytes, || {
+            for img in &images {
+                decompress(img).expect("decodes");
+            }
+        });
+        println!(
+            "decode smoke: {mib_s:.2} MiB/s over {wire_bytes} wire bytes (floor {DECODE_FLOOR_MIB_S} MiB/s)"
+        );
+        if mib_s < DECODE_FLOOR_MIB_S {
+            eprintln!("bench_wire: decode throughput fell below the {DECODE_FLOOR_MIB_S} MiB/s floor");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // Throughput denominators: encode is rated over the produced wire
     // bytes, decode over the wire bytes consumed.
     let encode_mib_s = measure(wire_bytes, || {

@@ -151,7 +151,9 @@ impl<'a> BitReader<'a> {
 #[derive(Debug, Clone, Default)]
 pub struct LsbBitWriter {
     bytes: Vec<u8>,
-    acc: u32,
+    /// 64-bit accumulator: `used` is always < 8 after a push, so a full
+    /// 32-bit value shifted by at most 7 still fits.
+    acc: u64,
     used: u8,
 }
 
@@ -165,13 +167,13 @@ impl LsbBitWriter {
     ///
     /// # Panics
     ///
-    /// Panics if `count > 24`.
+    /// Panics if `count > 32`.
     pub fn write_bits(&mut self, value: u32, count: u8) {
-        assert!(count <= 24, "cannot write more than 24 bits at once");
+        assert!(count <= 32, "cannot write more than 32 bits at once");
         if count == 0 {
             return;
         }
-        self.acc |= (value & ((1u32 << count) - 1)) << self.used;
+        self.acc |= (u64::from(value) & ((1u64 << count) - 1)) << self.used;
         self.used += count;
         while self.used >= 8 {
             self.bytes.push((self.acc & 0xFF) as u8);
@@ -347,6 +349,33 @@ mod tests {
         for &(v, n) in &values {
             assert_eq!(r.read_bits(n).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn lsb_wide_pushes_roundtrip_at_exact_boundaries() {
+        // The old ceiling was 24 bits; 24, 25 and 32 must all survive,
+        // both byte-aligned and at the worst misalignment (7 bits used).
+        for lead in [0u8, 7] {
+            let mut w = LsbBitWriter::new();
+            w.write_bits(0x55, lead);
+            w.write_bits(0xAB_CDEF, 24);
+            w.write_bits(0x1AB_CDEF, 25);
+            w.write_bits(0xDEAD_BEEF, 32);
+            w.write_bits(u32::MAX, 32);
+            let bytes = w.finish();
+            let mut r = LsbBitReader::new(&bytes);
+            assert_eq!(r.read_bits(lead).unwrap(), u32::from(0x55 & ((1u16 << lead) - 1) as u8));
+            assert_eq!(r.read_bits(24).unwrap(), 0xAB_CDEF);
+            assert_eq!(r.read_bits(25).unwrap(), 0x1AB_CDEF);
+            assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+            assert_eq!(r.read_bits(32).unwrap(), u32::MAX);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 32 bits")]
+    fn lsb_rejects_33_bit_push() {
+        LsbBitWriter::new().write_bits(0, 33);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Description-keyed decode-table caching.
+//!
+//! Wire modules and DEFLATE streams re-transmit the same canonical code
+//! descriptions over and over — every section of every module carries
+//! its own length vector, and most of them repeat across sections and
+//! across modules (the fixed DEFLATE trees being the extreme case).
+//! Building a two-level lookup table is far more expensive than looking
+//! one up, so decoders intern finished tables here, keyed by the exact
+//! byte description they were built from: equal descriptions build
+//! equal tables, which makes a cached table indistinguishable from a
+//! fresh per-section rebuild.
+//!
+//! [`DescCache`] is a generation-stamped LRU behind a mutex. Lookups
+//! bump a logical clock; when the map outgrows its capacity the
+//! least-recently-used half is evicted in one sweep, so the steady
+//! state oscillates between `capacity / 2` and `capacity` entries
+//! instead of paying an eviction per insert. Hits, misses and
+//! evictions accumulate in relaxed atomics — a lookup never touches
+//! the telemetry registry — and are published as counters under the
+//! cache's name (`<name>.hits`, `<name>.misses`, `<name>.evictions`)
+//! when a decoder calls [`DescCache::flush_stats`] at the end of a
+//! pass.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use codecomp_core::telemetry;
+
+/// A table interned under its byte description.
+#[derive(Debug)]
+struct Slot<T> {
+    value: Arc<T>,
+    /// Logical time of the last hit (or the insert).
+    stamp: u64,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    map: BTreeMap<Box<[u8]>, Slot<T>>,
+    clock: u64,
+}
+
+impl<T> Default for Inner<T> {
+    fn default() -> Self {
+        Inner {
+            map: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+}
+
+/// A process-wide cache of decode tables keyed by the byte description
+/// they were built from.
+///
+/// Only successful builds are cached: a description that fails to
+/// build (oversubscribed lengths, say) is rebuilt — and re-rejected —
+/// on every appearance, so corrupt inputs cannot pin cache slots.
+#[derive(Debug)]
+pub struct DescCache<T> {
+    name: &'static str,
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<T> DescCache<T> {
+    /// A cache publishing telemetry under `name`, holding at most
+    /// `capacity` tables (halved on overflow).
+    ///
+    /// `const` so instances can live in `static`s without lazy-init
+    /// wrappers.
+    #[must_use]
+    pub const fn new(name: &'static str, capacity: usize) -> Self {
+        DescCache {
+            name,
+            capacity,
+            inner: Mutex::new(Inner {
+                map: BTreeMap::new(),
+                clock: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A panic mid-update cannot leave the map structurally torn
+        // (every mutation is a single BTreeMap call), so poisoning is
+        // safe to shrug off.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publishes and drains the accumulated hit/miss/eviction counts.
+    ///
+    /// Lookups only touch relaxed atomics; this is the single point
+    /// that renders counter names and walks the telemetry registry, so
+    /// decoders call it once per pass rather than once per section.
+    /// Counts are drained even when no collector is installed, so a
+    /// later flush never attributes earlier uncollected activity.
+    pub fn flush_stats(&self) {
+        let hits = self.hits.swap(0, Ordering::Relaxed);
+        let misses = self.misses.swap(0, Ordering::Relaxed);
+        let evictions = self.evictions.swap(0, Ordering::Relaxed);
+        if !telemetry::enabled() {
+            return;
+        }
+        if hits > 0 {
+            telemetry::counter_add(&format!("{}.hits", self.name), hits);
+        }
+        if misses > 0 {
+            telemetry::counter_add(&format!("{}.misses", self.name), misses);
+        }
+        if evictions > 0 {
+            telemetry::counter_add(&format!("{}.evictions", self.name), evictions);
+        }
+    }
+
+    /// The cached table for `key`, building and interning it on a miss.
+    ///
+    /// The build runs outside the lock; if two threads race on the same
+    /// fresh key both build and the later insert wins, which is
+    /// harmless because equal descriptions build equal tables.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` returns; failed builds are never cached.
+    pub fn get_or_build<E>(
+        &self,
+        key: &[u8],
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        {
+            let mut inner = self.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(slot) = inner.map.get_mut(key) {
+                slot.stamp = clock;
+                let value = Arc::clone(&slot.value);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(value);
+            }
+        }
+        let value = Arc::new(build()?);
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner
+            .map
+            .insert(key.to_vec().into_boxed_slice(), Slot {
+                value: Arc::clone(&value),
+                stamp: clock,
+            });
+        let evicted = if inner.map.len() > self.capacity {
+            Self::evict_oldest_half(&mut inner)
+        } else {
+            0
+        };
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(value)
+    }
+
+    /// Drops the least-recently-used half of the map (rounded up), so
+    /// the survivors are the newer half by stamp. Returns the count.
+    fn evict_oldest_half(inner: &mut Inner<T>) -> u64 {
+        let mut stamps: Vec<u64> = inner.map.values().map(|s| s.stamp).collect();
+        stamps.sort_unstable();
+        let cutoff = stamps[stamps.len() / 2];
+        let before = inner.map.len();
+        inner.map.retain(|_, slot| slot.stamp > cutoff);
+        (before - inner.map.len()) as u64
+    }
+
+    /// Empties the cache — the test hook that turns the next lookup of
+    /// every description into a cold per-section rebuild.
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+
+    /// Number of cached tables.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Table(Vec<u8>);
+
+    fn build_ok(key: &[u8]) -> Result<Table, ()> {
+        Ok(Table(key.to_vec()))
+    }
+
+    #[test]
+    fn hit_returns_same_table() {
+        let cache: DescCache<Table> = DescCache::new("test.cache.a", 8);
+        let a = cache.get_or_build(b"abc", || build_ok(b"abc")).unwrap();
+        let b = cache.get_or_build(b"abc", || -> Result<Table, ()> {
+            panic!("must not rebuild on a hit")
+        });
+        assert!(Arc::ptr_eq(&a, &b.unwrap()));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_tables() {
+        let cache: DescCache<Table> = DescCache::new("test.cache.b", 8);
+        let a = cache.get_or_build(b"a", || build_ok(b"a")).unwrap();
+        let b = cache.get_or_build(b"b", || build_ok(b"b")).unwrap();
+        assert_ne!(*a, *b);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache: DescCache<Table> = DescCache::new("test.cache.c", 8);
+        assert!(cache.get_or_build(b"bad", || Err::<Table, ()>(())).is_err());
+        assert!(cache.is_empty());
+        // The same key still reaches the builder next time.
+        assert!(cache.get_or_build(b"bad", || build_ok(b"bad")).is_ok());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn overflow_evicts_the_older_half() {
+        let cache: DescCache<Table> = DescCache::new("test.cache.d", 4);
+        for i in 0..4u8 {
+            cache.get_or_build(&[i], || build_ok(&[i])).unwrap();
+        }
+        // Touch key 0 so it is the most recently used.
+        cache
+            .get_or_build(&[0], || -> Result<Table, ()> { panic!("hit expected") })
+            .unwrap();
+        // The fifth insert overflows; the LRU half goes.
+        cache.get_or_build(&[9], || build_ok(&[9])).unwrap();
+        assert!(cache.len() <= 3, "len {} after eviction", cache.len());
+        // The most recent entries survive.
+        cache
+            .get_or_build(&[9], || -> Result<Table, ()> { panic!("9 was just inserted") })
+            .unwrap();
+        cache
+            .get_or_build(&[0], || -> Result<Table, ()> { panic!("0 was just touched") })
+            .unwrap();
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache: DescCache<Table> = DescCache::new("test.cache.e", 8);
+        cache.get_or_build(b"x", || build_ok(b"x")).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod arith;
 pub mod bits;
+pub mod cache;
 pub mod huffman;
 pub mod model;
 pub mod mtf;

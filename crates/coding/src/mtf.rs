@@ -119,6 +119,45 @@ pub fn mtf_decode_budgeted<T: Clone + PartialEq>(
     mtf_decode(encoded).ok_or(CodingError::InvalidCode)
 }
 
+/// Batched inverse MTF for the wire format's identity side table.
+///
+/// The wire decoder always reconstructs streams whose first-occurrence
+/// table is the identity permutation `0..table_len` (the occurrence
+/// index *is* the symbol), so the generic [`mtf_decode`] machinery —
+/// recency membership scans, `remove` + `insert` double shifts, a
+/// clone per symbol — collapses to one array pass: a new symbol is the
+/// next counter value, a repeat is a single bounded `copy_within`
+/// front-move. Output is identical to [`mtf_decode`] over
+/// `MtfEncoded { indices, table: (0..table_len).collect() }`.
+///
+/// Returns `None` when an index references a recency position that
+/// does not exist or more than `table_len` first occurrences appear.
+pub fn mtf_decode_identity(indices: &[u32], table_len: usize) -> Option<Vec<u32>> {
+    let mut recency: Vec<u32> = Vec::with_capacity(table_len);
+    let mut next_new: u32 = 0;
+    let mut out = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        if idx == 0 {
+            if next_new as usize >= table_len {
+                return None;
+            }
+            recency.insert(0, next_new);
+            out.push(next_new);
+            next_new += 1;
+        } else {
+            let pos = idx as usize - 1;
+            if pos >= recency.len() {
+                return None;
+            }
+            let sym = recency[pos];
+            recency.copy_within(0..pos, 1);
+            recency[0] = sym;
+            out.push(sym);
+        }
+    }
+    Some(out)
+}
+
 /// Classic MTF transform over the alphabet `0..alphabet`.
 ///
 /// The recency list is initialized to the identity permutation, so no
@@ -240,6 +279,50 @@ mod tests {
             table: vec![7u32, 7],
         };
         assert!(mtf_decode(&enc).is_none());
+    }
+
+    #[test]
+    fn identity_decode_matches_generic_decode() {
+        // Exhaustive-ish: every encodable stream shape over a small
+        // alphabet plus the paper's example, checked against the
+        // generic decoder with an identity table.
+        let streams: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 0, 0],
+            vec![0, 1, 0, 2, 2, 1, 1, 1],
+            (0..40).map(|i| i % 5).collect(),
+            vec![3, 1, 4, 1, 5, 2, 6, 5, 3, 5, 0, 0, 2],
+        ];
+        for stream in streams {
+            let enc = mtf_encode(&stream);
+            let table_len = enc.table.len();
+            // Relabel so the side table is the identity permutation,
+            // which is exactly what the wire decoder reconstructs.
+            let relabeled: Vec<u32> = stream
+                .iter()
+                .map(|s| enc.table.iter().position(|t| t == s).unwrap() as u32)
+                .collect();
+            let enc_id = mtf_encode(&relabeled);
+            assert_eq!(enc_id.indices, enc.indices);
+            assert_eq!(enc_id.table, (0..table_len as u32).collect::<Vec<_>>());
+            assert_eq!(
+                mtf_decode_identity(&enc.indices, table_len),
+                mtf_decode(&enc_id),
+                "stream {stream:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_decode_rejects_bad_input() {
+        // More zeros than the declared table.
+        assert!(mtf_decode_identity(&[0, 0], 1).is_none());
+        // Recency position that does not exist yet.
+        assert!(mtf_decode_identity(&[1], 4).is_none());
+        assert!(mtf_decode_identity(&[0, 3], 4).is_none());
+        // Valid boundary: position exactly at the list edge.
+        assert_eq!(mtf_decode_identity(&[0, 0, 2], 2), Some(vec![0, 1, 0]));
     }
 
     #[test]

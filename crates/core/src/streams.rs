@@ -6,9 +6,9 @@
 //! stream (over an interned pattern table) plus one literal stream per
 //! operator class; the joiner inverts it exactly.
 
-use crate::treepat::TreePattern;
+use crate::treepat::{stream_key_of, TreePattern};
 use crate::CoreError;
-use codecomp_ir::op::Literal;
+use codecomp_ir::op::{Literal, Op, Width};
 use codecomp_ir::tree::Tree;
 use std::collections::BTreeMap;
 
@@ -70,25 +70,100 @@ impl SplitStreams {
     ///
     /// [`CoreError`] if a stream underflows or a symbol is out of range.
     pub fn join(&self) -> Result<Vec<Tree>, CoreError> {
-        let mut cursors: BTreeMap<String, usize> = BTreeMap::new();
-        let mut out = Vec::with_capacity(self.pattern_stream.len());
-        for &sym in &self.pattern_stream {
-            let pat = self
-                .patterns
+        self.clone().join_consuming()
+    }
+
+    /// [`Self::join`] that consumes the streams instead of cloning them.
+    ///
+    /// This is the decode hot path: the generic joiner rendered a
+    /// stream-key `String` and chased a `BTreeMap` cursor for *every*
+    /// literal. Here the slot→stream mapping is resolved once per
+    /// distinct pattern (memoized against the sorted key list) and
+    /// literals are moved out of their streams in order, so the
+    /// per-literal work is one indexed iterator step. Missing-stream
+    /// and underflow errors still surface at the same consumption
+    /// point, with the same messages, as [`Self::join`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::join`].
+    pub fn join_consuming(self) -> Result<Vec<Tree>, CoreError> {
+        let SplitStreams {
+            patterns,
+            pattern_stream,
+            literals,
+        } = self;
+        Self::join_parts(&patterns, &pattern_stream, literals)
+    }
+
+    /// [`Self::join_consuming`] over borrowed pattern parts: callers
+    /// that intern the decoded pattern table (wire's payload-keyed
+    /// cache) reassemble against a shared `&[TreePattern]` without
+    /// cloning it, consuming only the literal streams.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::join`].
+    pub fn join_parts(
+        patterns: &[TreePattern],
+        pattern_stream: &[u32],
+        literals: BTreeMap<StreamKey, Vec<Literal>>,
+    ) -> Result<Vec<Tree>, CoreError> {
+        /// Where a pattern's literal slot draws from.
+        #[derive(Clone, Copy)]
+        enum Slot {
+            Stream(usize),
+            /// Operator with no stream; the key is only rendered if the
+            /// slot is actually consumed, so unreferenced patterns
+            /// cannot fail a decode.
+            Missing(Op, Width),
+        }
+        let mut keys: Vec<String> = Vec::with_capacity(literals.len());
+        let mut streams: Vec<std::vec::IntoIter<Literal>> = Vec::with_capacity(literals.len());
+        for (key, stream) in literals {
+            // BTreeMap iterates sorted, so `keys` supports binary search.
+            keys.push(key);
+            streams.push(stream.into_iter());
+        }
+        // Slot resolution renders a stream-key `String` per distinct
+        // *operator*, not per pattern slot: patterns share a handful of
+        // literal-bearing operators, so memoizing on `(Op, Width)` cuts
+        // thousands of key allocations per module to a dozen.
+        let mut op_slots: BTreeMap<(Op, Width), Slot> = BTreeMap::new();
+        let mut slot_maps: Vec<Option<Vec<Slot>>> = (0..patterns.len()).map(|_| None).collect();
+        let mut out = Vec::with_capacity(pattern_stream.len());
+        for &sym in pattern_stream {
+            let pat = patterns
                 .get(sym as usize)
                 .ok_or_else(|| CoreError::Mismatch(format!("bad pattern symbol {sym}")))?;
-            let tree = pat.rebuild(&mut |key| {
-                let stream = self
-                    .literals
-                    .get(key)
-                    .ok_or_else(|| CoreError::StreamUnderflow(format!("no stream {key}")))?;
-                let cursor = cursors.entry(key.to_string()).or_insert(0);
-                let lit = stream
-                    .get(*cursor)
-                    .ok_or_else(|| CoreError::StreamUnderflow(format!("stream {key} empty")))?
-                    .clone();
-                *cursor += 1;
-                Ok(lit)
+            let slots = slot_maps[sym as usize].get_or_insert_with(|| {
+                let mut v = Vec::with_capacity(pat.literal_slots());
+                pat.walk(&mut |node| {
+                    if node.has_literal {
+                        let slot = *op_slots.entry((node.op, node.width)).or_insert_with(|| {
+                            match keys.binary_search(&stream_key_of(node.op, node.width)) {
+                                Ok(i) => Slot::Stream(i),
+                                Err(_) => Slot::Missing(node.op, node.width),
+                            }
+                        });
+                        v.push(slot);
+                    }
+                });
+                v
+            });
+            let mut slot_idx = 0;
+            let tree = pat.rebuild_slots(&mut || {
+                let slot = slots[slot_idx];
+                slot_idx += 1;
+                match slot {
+                    Slot::Stream(i) => streams[i].next().ok_or_else(|| {
+                        CoreError::StreamUnderflow(format!("stream {} empty", keys[i]))
+                    }),
+                    Slot::Missing(op, width) => Err(CoreError::StreamUnderflow(format!(
+                        "no stream {}",
+                        stream_key_of(op, width)
+                    ))),
+                }
             })?;
             out.push(tree);
         }

@@ -246,6 +246,21 @@ impl Registry {
         intern(&self.histograms, name)
     }
 
+    /// Zeroes every existing gauge whose name starts with `prefix`.
+    ///
+    /// This is the reset half of the per-section "reset-and-set"
+    /// contract: stages that publish one gauge per dynamic name (e.g.
+    /// `wire.encode.section_bytes.<key>`) zero the whole family first so
+    /// a later snapshot never mixes sections from two different inputs.
+    /// Walks under the read lock without allocating.
+    pub fn zero_gauges_with_prefix(&self, prefix: &str) {
+        for (name, gauge) in self.gauges.read().expect("registry lock").iter() {
+            if name.starts_with(prefix) {
+                gauge.set(0);
+            }
+        }
+    }
+
     /// A point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {

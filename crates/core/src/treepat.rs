@@ -87,6 +87,38 @@ impl TreePattern {
         }
         Tree::build(self.op, literal, kids).map_err(|e| crate::CoreError::Mismatch(e.to_string()))
     }
+
+    /// Keyless [`Self::rebuild`]: draws one literal per slot in prefix
+    /// order without rendering stream keys. Callers that resolved the
+    /// slot→stream mapping up front (via [`Self::slot_stream_keys`])
+    /// use this to skip the per-slot `String` allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::rebuild`].
+    pub fn rebuild_slots(
+        &self,
+        next: &mut impl FnMut() -> Result<Literal, crate::CoreError>,
+    ) -> Result<Tree, crate::CoreError> {
+        let literal = if self.has_literal { Some(next()?) } else { None };
+        let mut kids = Vec::with_capacity(self.kids.len());
+        for k in &self.kids {
+            kids.push(k.rebuild_slots(next)?);
+        }
+        Tree::build(self.op, literal, kids).map_err(|e| crate::CoreError::Mismatch(e.to_string()))
+    }
+
+    /// Stream key of every literal slot, in the prefix order
+    /// [`Self::rebuild`] and [`Self::rebuild_slots`] consume them.
+    pub fn slot_stream_keys(&self) -> Vec<String> {
+        let mut keys = Vec::with_capacity(self.literal_slots());
+        self.walk(&mut |node| {
+            if node.has_literal {
+                keys.push(stream_key_of(node.op, node.width));
+            }
+        });
+        keys
+    }
 }
 
 /// A literal-stream key rendered as the paper renders it.

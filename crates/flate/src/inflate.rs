@@ -424,13 +424,12 @@ fn inflate_governed(
                 stats.stored_bytes += (out.len() - block_start) as u64;
             }
             0b01 => {
-                let lit = Decoder::from_lengths(&fixed_litlen_lengths(), Completeness::Exact)?;
-                let dist = Decoder::from_lengths(&fixed_dist_lengths(), Completeness::Exact)?;
-                inflate_block(&mut r, &lit, &dist, &mut out, max_output, &mut stats)?;
+                let (lit, dist) = fixed_tables()?;
+                inflate_block(&mut r, lit, dist, &mut out, max_output, &mut stats)?;
             }
             0b10 => {
-                let (lit, dist) = read_dynamic_tables(&mut r)?;
-                inflate_block(&mut r, &lit, &dist, &mut out, max_output, &mut stats)?;
+                let tables = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &tables.0, &tables.1, &mut out, max_output, &mut stats)?;
             }
             _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
         }
@@ -467,8 +466,45 @@ fn inflate_stored(
     Ok(())
 }
 
+/// The fixed-code tables of RFC 1951 §3.2.6, built once per process.
+///
+/// Every `btype=01` block uses the same two trees, so rebuilding them
+/// per block was pure decode overhead.
+fn fixed_tables() -> Result<&'static (Decoder, Decoder), FlateError> {
+    static FIXED: std::sync::OnceLock<(Decoder, Decoder)> = std::sync::OnceLock::new();
+    if let Some(t) = FIXED.get() {
+        return Ok(t);
+    }
+    // The fixed lengths are spec constants, so these builds cannot fail
+    // in a correct build; keeping the error path avoids a panic source.
+    let lit = Decoder::from_lengths(&fixed_litlen_lengths(), Completeness::Exact)?;
+    let dist = Decoder::from_lengths(&fixed_dist_lengths(), Completeness::Exact)?;
+    Ok(FIXED.get_or_init(|| (lit, dist)))
+}
+
+/// Dynamic-block tables interned by their expanded length vector (plus
+/// `hlit`, which fixes the lit/dist split). The code description still
+/// has to be *parsed* from the bit stream every block — it is inline
+/// data — but repeat descriptions skip the two table builds, which
+/// dominate small-block decode.
+static DYN_TABLE_CACHE: codecomp_coding::cache::DescCache<(Decoder, Decoder)> =
+    codecomp_coding::cache::DescCache::new("flate.inflate.table_cache", 128);
+
+/// Empties the dynamic-table cache (test hook for cold-cache runs).
+pub fn clear_table_cache() {
+    DYN_TABLE_CACHE.clear();
+}
+
+/// Publishes the dynamic-table cache's accumulated hit/miss/eviction
+/// counts to telemetry. Decoders call this once per pass.
+pub fn flush_table_cache_stats() {
+    DYN_TABLE_CACHE.flush_stats();
+}
+
 #[allow(clippy::same_item_push)] // RLE expansion genuinely repeats values
-fn read_dynamic_tables(r: &mut BitSource<'_>) -> Result<(Decoder, Decoder), FlateError> {
+fn read_dynamic_tables(
+    r: &mut BitSource<'_>,
+) -> Result<std::sync::Arc<(Decoder, Decoder)>, FlateError> {
     let hlit = r.read_bits(5)? as usize + 257;
     let hdist = r.read_bits(5)? as usize + 1;
     let hclen = r.read_bits(4)? as usize + 4;
@@ -509,11 +545,18 @@ fn read_dynamic_tables(r: &mut BitSource<'_>) -> Result<(Decoder, Decoder), Flat
     if lengths.len() != hlit + hdist {
         return Err(FlateError::Corrupt("code length overrun".into()));
     }
-    let lit = Decoder::from_lengths(&lengths[..hlit], Completeness::Exact)?;
-    // RFC 1951 §3.2.7: a block with no matches may carry one distance
-    // code (or none); anything else must be complete.
-    let dist = Decoder::from_lengths(&lengths[hlit..], Completeness::ExactOrDegenerate)?;
-    Ok((lit, dist))
+    // hlit ≤ 288 and hdist ≤ 32, so the key fits a fixed stack buffer.
+    let mut key = [0u8; 322];
+    key[0] = (hlit & 0xFF) as u8;
+    key[1] = (hlit >> 8) as u8;
+    key[2..2 + lengths.len()].copy_from_slice(&lengths);
+    DYN_TABLE_CACHE.get_or_build(&key[..2 + lengths.len()], || {
+        let lit = Decoder::from_lengths(&lengths[..hlit], Completeness::Exact)?;
+        // RFC 1951 §3.2.7: a block with no matches may carry one distance
+        // code (or none); anything else must be complete.
+        let dist = Decoder::from_lengths(&lengths[hlit..], Completeness::ExactOrDegenerate)?;
+        Ok((lit, dist))
+    })
 }
 
 fn inflate_block(

@@ -22,39 +22,51 @@ impl Tree {
     ///
     /// [`IrError::Malformed`] if the child count or literal kind does not
     /// match the opcode's signature.
+    #[inline]
     pub fn build(op: Op, literal: Option<Literal>, kids: Vec<Tree>) -> Result<Tree, IrError> {
-        match op.opcode.arity() {
-            Some(n) if kids.len() != n => {
-                return Err(IrError::Malformed(format!(
+        let arity_ok = match op.opcode.arity() {
+            Some(n) => kids.len() == n,
+            None => kids.len() <= 1,
+        };
+        let want = op.opcode.literal_kind();
+        let got = literal.as_ref().map_or(LiteralKind::None, Literal::kind);
+        if arity_ok && want == got && !(op.opcode == Opcode::Cvt && op.from.is_none()) {
+            return Ok(Tree { op, literal, kids });
+        }
+        Err(Self::build_error(op, literal, &kids))
+    }
+
+    /// The diagnostic for a [`Tree::build`] rejection, out of line so the
+    /// hot constructor stays small enough to inline.
+    #[cold]
+    fn build_error(op: Op, literal: Option<Literal>, kids: &[Tree]) -> IrError {
+        if let Some(n) = op.opcode.arity() {
+            if kids.len() != n {
+                return IrError::Malformed(format!(
                     "{} expects {} children, got {}",
                     op.mnemonic(),
                     n,
                     kids.len()
-                )));
+                ));
             }
-            None if kids.len() > 1 => {
-                return Err(IrError::Malformed(format!(
-                    "{} expects at most one child, got {}",
-                    op.mnemonic(),
-                    kids.len()
-                )));
-            }
-            _ => {}
+        } else if kids.len() > 1 {
+            return IrError::Malformed(format!(
+                "{} expects at most one child, got {}",
+                op.mnemonic(),
+                kids.len()
+            ));
         }
         let want = op.opcode.literal_kind();
         let got = literal.as_ref().map_or(LiteralKind::None, Literal::kind);
         if want != got {
-            return Err(IrError::Malformed(format!(
+            return IrError::Malformed(format!(
                 "{} expects literal kind {:?}, got {:?}",
                 op.mnemonic(),
                 want,
                 got
-            )));
+            ));
         }
-        if op.opcode == Opcode::Cvt && op.from.is_none() {
-            return Err(IrError::Malformed("CVT requires a source type".into()));
-        }
-        Ok(Tree { op, literal, kids })
+        IrError::Malformed("CVT requires a source type".into())
     }
 
     /// The operator at the root.

@@ -189,7 +189,7 @@ impl DemandImage {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        out.push(options_byte(self.options));
+        out.push(self.options.to_byte());
         put_uvarint(&mut out, self.globals.len() as u64);
         for g in &self.globals {
             put_string(&mut out, &g.name);
@@ -217,7 +217,9 @@ impl DemandImage {
         if c.take(4)? != MAGIC {
             return Err(WireError::Corrupt("bad magic".into()));
         }
-        let options = options_from_byte(c.u8()?)?;
+        // Shares the container decoder's strict parse, so demand images
+        // reject reserved option bits the same way `decompress` does.
+        let options = WireOptions::from_byte(c.u8()?)?;
         let nglobals = c.uvarint()? as usize;
         // Counts are attacker-controlled: cap the preallocation by what
         // the input could possibly hold so a corrupt varint cannot
@@ -555,31 +557,6 @@ fn collect_symbols(tree: &Tree, out: &mut BTreeSet<String>) {
     }
 }
 
-// The options byte round-trips through the public WireOptions fields.
-fn options_byte(o: WireOptions) -> u8 {
-    u8::from(o.split_streams)
-        | (u8::from(o.mtf) << 1)
-        | (match o.coder {
-            crate::format::Coder::Raw => 0,
-            crate::format::Coder::Huffman => 1,
-            crate::format::Coder::Arithmetic => 2,
-        } << 2)
-        | (u8::from(o.deflate) << 4)
-}
-
-fn options_from_byte(b: u8) -> Result<WireOptions, WireError> {
-    Ok(WireOptions {
-        split_streams: b & 1 != 0,
-        mtf: b & 2 != 0,
-        coder: match (b >> 2) & 3 {
-            0 => crate::format::Coder::Raw,
-            1 => crate::format::Coder::Huffman,
-            2 => crate::format::Coder::Arithmetic,
-            other => return Err(WireError::Corrupt(format!("bad coder tag {other}"))),
-        },
-        deflate: b & 16 != 0,
-    })
-}
 
 #[cfg(test)]
 mod tests {

@@ -3,9 +3,9 @@
 use crate::bytesio::{put_ivarint, put_string, put_uvarint, Cursor};
 use crate::WireError;
 use codecomp_coding::arith::{ArithDecoder, ArithEncoder};
-use codecomp_coding::huffman::{HuffmanDecoder, HuffmanEncoder};
+use codecomp_coding::huffman::{cached_decoder, HuffmanEncoder};
 use codecomp_coding::model::AdaptiveModel;
-use codecomp_coding::mtf::{mtf_decode, mtf_encode, MtfEncoded};
+use codecomp_coding::mtf::{mtf_decode_identity, mtf_encode};
 use codecomp_core::streams::SplitStreams;
 use codecomp_core::telemetry;
 use codecomp_core::treepat::TreePattern;
@@ -72,15 +72,27 @@ impl Default for WireOptions {
     }
 }
 
+/// Bits 5-7 of the options byte are reserved for future format
+/// revisions and must be zero in current-version images.
+const RESERVED_OPTION_BITS: u8 = 0xE0;
+
 impl WireOptions {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         u8::from(self.split_streams)
             | (u8::from(self.mtf) << 1)
             | (self.coder.tag() << 2)
             | (u8::from(self.deflate) << 4)
     }
 
-    fn from_byte(b: u8) -> Result<Self, WireError> {
+    pub(crate) fn from_byte(b: u8) -> Result<Self, WireError> {
+        // A set reserved bit means the image was produced by a newer
+        // format revision; decoding it as current-version would silently
+        // misinterpret the payload, so it is malformed input here.
+        if b & RESERVED_OPTION_BITS != 0 {
+            return Err(WireError::Corrupt(format!(
+                "reserved wire option bits set: {b:#04x}"
+            )));
+        }
         Ok(Self {
             split_streams: b & 1 != 0,
             mtf: b & 2 != 0,
@@ -201,13 +213,8 @@ pub fn compress(module: &Module, options: WireOptions) -> Result<WireReport, Wir
         // Section names are per-module, so first zero every gauge a
         // previously encoded module may have left behind.
         if let Some(c) = telemetry::collector() {
-            for (name, _) in c.metrics.snapshot().gauges {
-                if name.starts_with("wire.encode.section_bytes.")
-                    || name.starts_with("wire.encode.section_symbols.")
-                {
-                    telemetry::gauge_set(&name, 0);
-                }
-            }
+            c.metrics.zero_gauges_with_prefix("wire.encode.section_bytes.");
+            c.metrics.zero_gauges_with_prefix("wire.encode.section_symbols.");
         }
         let mut section_total = 0usize;
         for (key, len) in &report_sections {
@@ -245,10 +252,201 @@ pub fn decompress(bytes: &[u8]) -> Result<Module, WireError> {
     decompress_budgeted(bytes, &Budget::default())
 }
 
+/// Batched decode telemetry: the hot loop mutates plain fields and one
+/// [`DecodeStats::flush`] on success publishes everything — the old
+/// per-section `counter_add` calls each paid a registry lock and a
+/// name lookup inside the measured region.
+#[derive(Debug, Default)]
+struct DecodeStats {
+    enabled: bool,
+    ns_inflate: u64,
+    ns_entry_table: u64,
+    ns_indices: u64,
+    ns_table_build: u64,
+    ns_mtf: u64,
+    ns_join: u64,
+    symbols: u64,
+    table_entries: u64,
+    /// `(section key, compressed payload bytes, symbols)` in image order;
+    /// `$meta` carries no symbol stream and reports 0 symbols.
+    sections: Vec<(String, u64, u64)>,
+}
+
+impl DecodeStats {
+    fn new() -> Self {
+        DecodeStats {
+            enabled: telemetry::enabled(),
+            ..DecodeStats::default()
+        }
+    }
+
+    #[inline]
+    fn start(&self) -> Option<std::time::Instant> {
+        self.enabled.then(std::time::Instant::now)
+    }
+
+    #[inline]
+    fn elapsed(t: Option<std::time::Instant>) -> u64 {
+        t.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    }
+
+    /// Publishes the batch, mirroring the encode side's reset-and-set
+    /// gauge contract: stale `wire.decode.section_*` gauges from a
+    /// previously decoded module are zeroed before this module's
+    /// sections are set, and `container_bytes` plus the section byte
+    /// gauges sum exactly to `total_bytes`.
+    fn flush(&self, total_bytes: u64) {
+        // Cache stats accumulate in relaxed atomics across every
+        // lookup; drain them here so hit/miss counters cost one
+        // registry walk per decode instead of one per section.
+        codecomp_coding::huffman::flush_decoder_cache_stats();
+        codecomp_flate::inflate::flush_table_cache_stats();
+        PATTERN_TABLE_CACHE.flush_stats();
+        if !self.enabled {
+            return;
+        }
+        telemetry::counter_add("wire.decode.ns.inflate", self.ns_inflate);
+        telemetry::counter_add("wire.decode.ns.entry_table", self.ns_entry_table);
+        telemetry::counter_add("wire.decode.ns.indices", self.ns_indices);
+        telemetry::counter_add("wire.decode.ns.table_build", self.ns_table_build);
+        telemetry::counter_add("wire.decode.ns.mtf", self.ns_mtf);
+        telemetry::counter_add("wire.decode.ns.join", self.ns_join);
+        telemetry::counter_add("wire.decode.symbols", self.symbols);
+        telemetry::counter_add("wire.decode.table_entries", self.table_entries);
+        if let Some(c) = telemetry::collector() {
+            c.metrics.zero_gauges_with_prefix("wire.decode.section_bytes.");
+            c.metrics.zero_gauges_with_prefix("wire.decode.section_symbols.");
+        }
+        let mut section_total = 0u64;
+        for (key, bytes, symbols) in &self.sections {
+            telemetry::gauge_set(&format!("wire.decode.section_bytes.{key}"), *bytes);
+            telemetry::gauge_set(&format!("wire.decode.section_symbols.{key}"), *symbols);
+            section_total += bytes;
+        }
+        telemetry::gauge_set(
+            "wire.decode.container_bytes",
+            total_bytes.saturating_sub(section_total),
+        );
+        telemetry::gauge_set("wire.decode.total_bytes", total_bytes);
+    }
+}
+
+/// A decoded `$patterns` section: the interned pattern table plus the
+/// per-statement symbol stream, with the admission facts a cold decode
+/// checked so cache hits replay the same budget decisions.
+#[derive(Debug)]
+struct PatternTable {
+    patterns: Vec<TreePattern>,
+    stream: Vec<u32>,
+    /// Deepest `check_pattern_depth` argument the cold decode issued.
+    max_depth: u32,
+}
+
+/// The pattern table *is* a decode structure — the symbol table the
+/// tree stream indexes into — so it is interned like a Huffman table,
+/// keyed by the options byte plus the exact inflated section payload:
+/// equal payloads decode to equal tables. Demand loaders re-decode the
+/// same per-function images repeatedly and hit this on every call
+/// after the first.
+static PATTERN_TABLE_CACHE: codecomp_coding::cache::DescCache<PatternTable> =
+    codecomp_coding::cache::DescCache::new("wire.patterns.table_cache", 64);
+
+/// Empties the pattern-table cache (test hook for cold-cache runs).
+pub fn clear_pattern_table_cache() {
+    PATTERN_TABLE_CACHE.clear();
+}
+
+/// Depth of the deepest node, counted the way `decode_pattern_node`
+/// counts it (root at 0).
+fn pattern_depth(p: &TreePattern) -> u32 {
+    p.kids.iter().map(pattern_depth).max().map_or(0, |d| d + 1)
+}
+
+/// The decoded pattern table for a `$patterns` payload, interning it
+/// on first sight.
+///
+/// A cache hit replays exactly the admission checks and fuel charges
+/// the cold decode issued against `budget` — table entries, pattern
+/// depth, stream symbols, and (for the arithmetic coder) the model
+/// alphabet — so a tight budget rejects a hot table the same way it
+/// rejects a cold one.
+fn cached_pattern_table(
+    payload: &[u8],
+    options: WireOptions,
+    budget: &Budget,
+    stats: &mut DecodeStats,
+) -> Result<std::sync::Arc<PatternTable>, WireError> {
+    let mut key = Vec::with_capacity(1 + payload.len());
+    key.push(options.to_byte());
+    key.extend_from_slice(payload);
+    let mut was_cold = false;
+    let table = PATTERN_TABLE_CACHE.get_or_build(&key, || {
+        was_cold = true;
+        let mut pc = Cursor::new(payload);
+        let (patterns, stream) = decode_symbol_stream(&mut pc, options, budget, stats, |c| {
+            decode_pattern(c, budget)
+        })?;
+        let max_depth = patterns.iter().map(pattern_depth).max().unwrap_or(0);
+        Ok::<_, WireError>(PatternTable {
+            patterns,
+            stream,
+            max_depth,
+        })
+    })?;
+    if !was_cold {
+        budget.check_table_entries(table.patterns.len() as u64)?;
+        budget.charge_fuel(table.patterns.len() as u64)?;
+        if !table.patterns.is_empty() {
+            budget.check_pattern_depth(table.max_depth)?;
+        }
+        if !table.stream.is_empty() {
+            budget.check_stream_symbols(table.stream.len() as u64)?;
+            budget.charge_fuel(table.stream.len() as u64)?;
+            if options.coder == Coder::Arithmetic {
+                let alphabet = if options.mtf {
+                    table.patterns.len() + 1
+                } else {
+                    table.patterns.len()
+                };
+                budget.check_table_entries(alphabet.max(1) as u64)?;
+            }
+        }
+        stats.symbols += table.stream.len() as u64;
+        stats.table_entries += table.patterns.len() as u64;
+    }
+    Ok(table)
+}
+
+/// Reads one framed section (key, length, payload) at the cursor and
+/// inflates its payload.
+fn read_section<'a>(
+    c: &mut Cursor<'a>,
+    options: WireOptions,
+    budget: &Budget,
+    stats: &mut DecodeStats,
+) -> Result<(String, Vec<u8>, u64), WireError> {
+    let key = c.string()?;
+    let len = c.usize_varint()?;
+    let payload = c.take(len)?;
+    let t = stats.start();
+    let raw = if options.deflate {
+        inflate_budgeted(payload, budget)?
+    } else {
+        budget.check_output_bytes(payload.len() as u64)?;
+        payload.to_vec()
+    };
+    stats.ns_inflate += DecodeStats::elapsed(t);
+    Ok((key, raw, len as u64))
+}
+
 /// Budget-governed [`decompress`]: every stage — section DEFLATE,
 /// stream symbol counts, table sizes, pattern nesting, decode fuel —
 /// is checked against `budget`, and usage high-water marks are
 /// recorded on it.
+///
+/// Decoding is single-pass over the container framing: each section is
+/// inflated and handed straight to its stream decoder as the cursor
+/// reaches it, with no intermediate `(key, payload)` section list.
 ///
 /// # Errors
 ///
@@ -258,48 +456,25 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
     let _span = telemetry::span("wire.decompress");
     telemetry::counter_add("wire.decode.modules", 1);
     telemetry::counter_add("wire.decode.input_bytes", bytes.len() as u64);
+    let mut stats = DecodeStats::new();
     let mut c = Cursor::new(bytes);
     if c.take(4)? != MAGIC {
         return Err(WireError::Corrupt("bad magic".into()));
     }
     let options = WireOptions::from_byte(c.u8()?)?;
     let n_sections = c.usize_varint()?;
-    // Cap pre-allocation by what the input could possibly hold (every
-    // section needs at least two bytes); the loop still reads exactly
-    // `n_sections` entries or errors on truncation.
-    let mut sections: Vec<(String, Vec<u8>)> = Vec::with_capacity(n_sections.min(c.remaining() / 2));
-    for _ in 0..n_sections {
-        let key = c.string()?;
-        let len = c.usize_varint()?;
-        let payload = c.take(len)?;
-        let raw = if options.deflate {
-            inflate_budgeted(payload, budget)?
-        } else {
-            budget.check_output_bytes(payload.len() as u64)?;
-            payload.to_vec()
-        };
-        sections.push((key, raw));
+
+    // Section 1: $meta — globals and function shapes.
+    if n_sections == 0 {
+        return Err(WireError::Corrupt("missing $meta".into()));
     }
-    if c.remaining() != 0 {
-        return Err(WireError::Corrupt(
-            "trailing bytes after last section".into(),
-        ));
-    }
-    let mut iter = sections.into_iter();
-    let (meta_key, meta) = iter
-        .next()
-        .ok_or_else(|| WireError::Corrupt("missing $meta".into()))?;
+    let (meta_key, meta, meta_len) = read_section(&mut c, options, budget, &mut stats)?;
     if meta_key != "$meta" {
         return Err(WireError::Corrupt("first section is not $meta".into()));
     }
-    let (pat_key, pat_raw) = iter
-        .next()
-        .ok_or_else(|| WireError::Corrupt("missing $patterns".into()))?;
-    if pat_key != "$patterns" {
-        return Err(WireError::Corrupt("second section is not $patterns".into()));
+    if stats.enabled {
+        stats.sections.push((meta_key, meta_len, 0));
     }
-
-    // Meta.
     let mut mc = Cursor::new(&meta);
     let nglobals = mc.usize_varint()?;
     budget.check_table_entries(nglobals as u64)?;
@@ -329,40 +504,60 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
         func_meta.push((name, params, frame, stmts));
     }
 
-    // Patterns.
-    let mut pc = Cursor::new(&pat_raw);
-    let (patterns, pattern_stream) =
-        decode_symbol_stream(&mut pc, options, budget, |c| decode_pattern(c, budget))?;
-
-    // Literal streams.
-    let mut literal_sections: Vec<(String, Vec<Literal>)> = Vec::new();
-    for (key, raw) in iter {
-        let mut lc = Cursor::new(&raw);
-        let lits = decode_literal_stream(&mut lc, options, budget)?;
-        literal_sections.push((key, lits));
+    // Section 2: $patterns — the operator-pattern stream.
+    if n_sections == 1 {
+        return Err(WireError::Corrupt("missing $patterns".into()));
+    }
+    let (pat_key, pat_raw, pat_len) = read_section(&mut c, options, budget, &mut stats)?;
+    if pat_key != "$patterns" {
+        return Err(WireError::Corrupt("second section is not $patterns".into()));
+    }
+    let table = cached_pattern_table(&pat_raw, options, budget, &mut stats)?;
+    if stats.enabled {
+        stats
+            .sections
+            .push((pat_key, pat_len, table.stream.len() as u64));
     }
 
-    // Rebuild trees.
+    // Remaining sections: literal streams, decoded as they are framed.
+    let mut literal_sections: Vec<(String, Vec<Literal>)> =
+        Vec::with_capacity((n_sections - 2).min(c.remaining() / 2));
+    for _ in 2..n_sections {
+        let (key, raw, len) = read_section(&mut c, options, budget, &mut stats)?;
+        let mut lc = Cursor::new(&raw);
+        let lits = decode_literal_stream(&mut lc, options, budget, &mut stats)?;
+        if stats.enabled {
+            stats.sections.push((key.clone(), len, lits.len() as u64));
+        }
+        literal_sections.push((key, lits));
+    }
+    if c.remaining() != 0 {
+        return Err(WireError::Corrupt(
+            "trailing bytes after last section".into(),
+        ));
+    }
+
+    // Rebuild trees against the (possibly shared) pattern table.
+    let t_join = stats.start();
     let trees: Vec<Tree> = if options.split_streams {
-        let literals = literal_sections.into_iter().collect();
-        let split = SplitStreams {
-            patterns: patterns.clone(),
-            pattern_stream: pattern_stream.clone(),
-            literals,
-        };
-        split.join()?
+        SplitStreams::join_parts(
+            &table.patterns,
+            &table.stream,
+            literal_sections.into_iter().collect(),
+        )?
     } else {
         let (_, all) = literal_sections
             .into_iter()
             .next()
             .ok_or_else(|| WireError::Corrupt("missing $literals".into()))?;
         let mut queue = all.into_iter();
-        let mut trees = Vec::with_capacity(pattern_stream.len());
-        for &sym in &pattern_stream {
-            let pat = patterns
+        let mut trees = Vec::with_capacity(table.stream.len());
+        for &sym in &table.stream {
+            let pat = table
+                .patterns
                 .get(sym as usize)
                 .ok_or_else(|| WireError::Corrupt(format!("bad pattern symbol {sym}")))?;
-            let tree = pat.rebuild(&mut |_| {
+            let tree = pat.rebuild_slots(&mut || {
                 queue
                     .next()
                     .ok_or_else(|| codecomp_core::CoreError::StreamUnderflow("literals".into()))
@@ -371,31 +566,34 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
         }
         trees
     };
+    stats.ns_join += DecodeStats::elapsed(t_join);
 
     // Slice trees into functions.
     let mut module = Module {
         globals,
         functions: Vec::new(),
     };
-    let mut cursor = 0usize;
+    let mut trees = trees.into_iter();
+    let mut remaining = trees.len();
     for (name, params, frame, stmts) in func_meta {
-        // `stmts` is attacker-controlled; compare without `cursor + stmts`,
-        // which could overflow.
-        if stmts > trees.len() - cursor {
+        // `stmts` is attacker-controlled; compare against what is left,
+        // never `cursor + stmts`, which could overflow.
+        if stmts > remaining {
             return Err(WireError::Corrupt(
                 "statement count overruns tree stream".into(),
             ));
         }
         let mut f = Function::new(name, params, frame);
-        f.body = trees[cursor..cursor + stmts].to_vec();
-        cursor += stmts;
+        f.body = trees.by_ref().take(stmts).collect();
+        remaining -= stmts;
         module.functions.push(f);
     }
-    if cursor != trees.len() {
+    if remaining != 0 {
         return Err(WireError::Corrupt(
             "trailing trees after last function".into(),
         ));
     }
+    stats.flush(bytes.len() as u64);
     Ok(module)
 }
 
@@ -540,35 +738,42 @@ fn decode_symbol_stream<T>(
     c: &mut Cursor<'_>,
     options: WireOptions,
     budget: &Budget,
+    stats: &mut DecodeStats,
     mut read_entry: impl FnMut(&mut Cursor<'_>) -> Result<T, WireError>,
 ) -> Result<(Vec<T>, Vec<u32>), WireError> {
     let table_len = c.usize_varint()?;
     budget.check_table_entries(table_len as u64)?;
     budget.charge_fuel(table_len as u64)?;
+    let t_table = stats.start();
     let mut table = Vec::with_capacity(table_len.min(c.remaining()));
     for _ in 0..table_len {
         table.push(read_entry(c)?);
     }
+    stats.ns_entry_table += DecodeStats::elapsed(t_table);
     let alphabet = if options.mtf {
         table_len + 1
     } else {
         table_len
     };
-    let indices = decode_indices(c, alphabet.max(1), options.coder, budget)?;
+    let t_idx = stats.start();
+    let indices = decode_indices(c, alphabet.max(1), options.coder, budget, stats)?;
+    stats.ns_indices += DecodeStats::elapsed(t_idx);
+    let t_mtf = stats.start();
     let occurrences = if options.mtf {
-        let enc = MtfEncoded {
-            indices,
-            table: (0..table_len as u32).collect(),
-        };
-        mtf_decode(&enc).ok_or_else(|| WireError::Corrupt("bad MTF index".into()))?
+        // Occurrence values are first-occurrence table indices, so the
+        // MTF side table is the identity and the batched array decoder
+        // applies.
+        mtf_decode_identity(&indices, table_len)
+            .ok_or_else(|| WireError::Corrupt("bad MTF index".into()))?
     } else {
         indices
     };
+    stats.ns_mtf += DecodeStats::elapsed(t_mtf);
     if occurrences.iter().any(|&o| o as usize >= table_len) && !occurrences.is_empty() {
         return Err(WireError::Corrupt("occurrence beyond table".into()));
     }
-    telemetry::counter_add("wire.decode.symbols", occurrences.len() as u64);
-    telemetry::counter_add("wire.decode.table_entries", table_len as u64);
+    stats.symbols += occurrences.len() as u64;
+    stats.table_entries += table_len as u64;
     Ok((table, occurrences))
 }
 
@@ -606,8 +811,9 @@ fn decode_literal_stream(
     c: &mut Cursor<'_>,
     options: WireOptions,
     budget: &Budget,
+    stats: &mut DecodeStats,
 ) -> Result<Vec<Literal>, WireError> {
-    let (table, occurrences) = decode_symbol_stream(c, options, budget, decode_literal)?;
+    let (table, occurrences) = decode_symbol_stream(c, options, budget, stats, decode_literal)?;
     occurrences
         .into_iter()
         .map(|o| {
@@ -670,6 +876,7 @@ fn decode_indices(
     alphabet: usize,
     coder: Coder,
     budget: &Budget,
+    stats: &mut DecodeStats,
 ) -> Result<Vec<u32>, WireError> {
     let count = c.usize_varint()?;
     if count == 0 {
@@ -693,10 +900,15 @@ fn decode_indices(
             Ok(out)
         }
         Coder::Huffman => {
-            let lengths = c.take(alphabet)?.to_vec();
+            let lengths = c.take(alphabet)?;
             let nbytes = c.usize_varint()?;
             let bits = c.take(nbytes)?;
-            let dec = HuffmanDecoder::from_lengths(&lengths)?;
+            let t_build = stats.start();
+            // The length vector keys a process-wide decoder cache, so a
+            // code description seen in any earlier section (or module)
+            // skips the table build entirely.
+            let dec = cached_decoder(lengths)?;
+            stats.ns_table_build += DecodeStats::elapsed(t_build);
             // Table-driven bulk decode: two-level lookup against a
             // 64-bit reservoir instead of a bit-walk per symbol.
             let out = dec.decode_exact(bits, count)?;
@@ -835,6 +1047,28 @@ mod tests {
             let mut bad = packed.bytes.clone();
             bad[i] ^= 0x5A;
             let _ = decompress(&bad);
+        }
+    }
+
+    #[test]
+    fn reserved_option_bits_rejected() {
+        // Every value with any of bits 5-7 set is a future-revision
+        // marker and must not decode as a current-version options byte.
+        for b in 0u8..=255 {
+            let parsed = WireOptions::from_byte(b);
+            if b & 0xE0 != 0 {
+                assert!(parsed.is_err(), "byte {b:#04x} should be rejected");
+            }
+        }
+        // A whole image with a reserved bit set is malformed, even when
+        // the rest of the image is a valid current-version module.
+        let m = sample_module();
+        let mut packed = compress(&m, WireOptions::default()).unwrap().bytes;
+        assert_eq!(packed[4] & 0xE0, 0, "encoder must not emit reserved bits");
+        packed[4] |= 0x80;
+        match decompress(&packed) {
+            Err(WireError::Corrupt(msg)) => assert!(msg.contains("reserved")),
+            other => panic!("expected Corrupt(reserved ...), got {other:?}"),
         }
     }
 

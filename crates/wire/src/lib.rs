@@ -33,7 +33,10 @@ pub mod demand;
 mod format;
 
 pub use demand::{DemandError, DemandImage, DemandLoader, DemandReport, SalvageReport};
-pub use format::{compress, decompress, decompress_budgeted, Coder, WireOptions, WireReport};
+pub use format::{
+    clear_pattern_table_cache, compress, decompress, decompress_budgeted, Coder, WireOptions,
+    WireReport,
+};
 
 use std::error::Error;
 use std::fmt;

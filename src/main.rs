@@ -156,28 +156,38 @@ fn report_telemetry(t: &TelemetryFlags) -> Result<(), AnyError> {
 }
 
 /// The `--stats` table: the paper's per-stream byte breakdown, read
-/// back from the wire encoder's gauges. The rows sum exactly to the
-/// wire-module size.
+/// back from the wire encoder's (and, after an unpack, the decoder's)
+/// reset-and-set gauges. The rows sum exactly to the wire-module size.
 fn print_stats(snap: &telemetry::Snapshot) {
-    eprintln!("per-stage stream breakdown:");
-    let prefix = "wire.encode.section_bytes.";
+    let encoded = print_stream_table(snap, "encode");
+    let decoded = print_stream_table(snap, "decode");
+    if !encoded && !decoded {
+        eprintln!("per-stage stream breakdown:");
+        eprintln!("  (no wire activity in this run)");
+    }
+    print_stage_counters(snap);
+}
+
+/// One direction of the stream table (`dir` is `"encode"` or
+/// `"decode"`); returns whether any rows existed.
+fn print_stream_table(snap: &telemetry::Snapshot, dir: &str) -> bool {
+    let prefix = format!("wire.{dir}.section_bytes.");
     let mut sum = 0u64;
     let mut rows = Vec::new();
     for (name, bytes) in &snap.gauges {
         if *bytes == 0 {
             continue; // zeroed leftovers from an earlier module
         }
-        if let Some(key) = name.strip_prefix(prefix) {
-            let symbols = snap.gauge(&format!("wire.encode.section_symbols.{key}"));
+        if let Some(key) = name.strip_prefix(&prefix) {
+            let symbols = snap.gauge(&format!("wire.{dir}.section_symbols.{key}"));
             rows.push((key.to_string(), *bytes, symbols));
             sum += bytes;
         }
     }
     if rows.is_empty() {
-        eprintln!("  (no wire encode in this run)");
-        print_stage_counters(snap);
-        return;
+        return false;
     }
+    eprintln!("per-stage stream breakdown ({dir}):");
     rows.sort_by_key(|row| std::cmp::Reverse(row.1));
     eprintln!("  {:>12} {:>10} {:>10}", "stream", "bytes", "symbols");
     for (key, bytes, symbols) in &rows {
@@ -186,16 +196,18 @@ fn print_stats(snap: &telemetry::Snapshot) {
             None => eprintln!("  {key:>12} {bytes:>10} {:>10}", "-"),
         }
     }
-    let container = snap.gauge("wire.encode.container_bytes").unwrap_or(0);
+    let container = snap
+        .gauge(&format!("wire.{dir}.container_bytes"))
+        .unwrap_or(0);
     sum += container;
     eprintln!("  {:>12} {container:>10}", "container");
     eprintln!("  {:>12} {sum:>10}", "total");
-    if let Some(total) = snap.gauge("wire.encode.total_bytes") {
+    if let Some(total) = snap.gauge(&format!("wire.{dir}.total_bytes")) {
         if total != sum {
-            eprintln!("  WARNING: section sum {sum} != encoded total {total}");
+            eprintln!("  WARNING: section sum {sum} != {dir} total {total}");
         }
     }
-    print_stage_counters(snap);
+    true
 }
 
 /// Compact per-stage counter summary below the stream table.
@@ -212,6 +224,15 @@ fn print_stage_counters(snap: &telemetry::Snapshot) {
         "flate.deflate.input_bytes",
         "wire.encode.symbols",
         "wire.decode.symbols",
+        "coding.huffman.table_cache.hits",
+        "coding.huffman.table_cache.misses",
+        "coding.huffman.table_cache.evictions",
+        "flate.inflate.table_cache.hits",
+        "flate.inflate.table_cache.misses",
+        "flate.inflate.table_cache.evictions",
+        "wire.patterns.table_cache.hits",
+        "wire.patterns.table_cache.misses",
+        "wire.patterns.table_cache.evictions",
         "brisc.interp.dispatches",
         "brisc.interp.fuel_consumed",
     ];

@@ -230,6 +230,27 @@ fn cli_telemetry_flags() {
         .expect("stats table has a total row");
     assert_eq!(total, on_disk, "--stats total must equal the image size");
 
+    // Decode-side --stats: unpack prints the decoder's reset-and-set
+    // stream table plus the decode-table cache hit/miss counters.
+    let (_, stderr, ok) = run(
+        &["wire", "unpack", "tele.ccwf", "-o", "tele-back.ccir", "--stats"],
+        &dir,
+    );
+    assert!(ok, "wire unpack --stats failed: {stderr}");
+    assert!(
+        stderr.contains("per-stage stream breakdown (decode)"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("WARNING"), "decode sections must sum: {stderr}");
+    assert!(
+        stderr.contains("coding.huffman.table_cache.misses"),
+        "cache counters missing from --stats: {stderr}"
+    );
+    assert!(
+        stderr.contains("wire.patterns.table_cache.misses"),
+        "pattern cache counters missing from --stats: {stderr}"
+    );
+
     // --metrics=PATH dumps a registry snapshot holding the same total.
     let (_, stderr, ok) = run(
         &["wire", "pack", "tele.c", "--metrics=metrics.json"],
