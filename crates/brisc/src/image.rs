@@ -13,6 +13,7 @@ use crate::entry::{DictEntry, FieldKind, ImmEnc, InstPattern, PatternField};
 use crate::markov::{MarkovTables, BLOCK_START};
 use crate::BriscError;
 use codecomp_coding::bits::{BitReader, BitWriter};
+use codecomp_core::cov_hit;
 use codecomp_vm::encode::{BaseOp, Field};
 use codecomp_vm::isa::Inst;
 use codecomp_vm::program::VmGlobal;
@@ -151,15 +152,15 @@ impl BriscImage {
         let mut cursor = pos;
         let ctx = self.effective_ctx(ctx);
         let entry_id = self.markov.decode_opcode(ctx, &self.code, &mut cursor)?;
-        let entry = self
-            .dictionary
-            .get(entry_id as usize)
-            .ok_or_else(|| BriscError::Corrupt(format!("bad entry id {entry_id}")))?;
+        let Some(entry) = self.dictionary.get(entry_id as usize) else {
+            cov_hit!("brisc.decode.bad_entry_id");
+            return Err(BriscError::Corrupt(format!("bad entry id {entry_id}")));
+        };
         let operand_bytes = (entry.wildcard_bits() as usize).div_ceil(8);
-        let operand_slice = self
-            .code
-            .get(cursor..cursor + operand_bytes)
-            .ok_or_else(|| BriscError::Corrupt("operands past end of code".into()))?;
+        let Some(operand_slice) = self.code.get(cursor..cursor + operand_bytes) else {
+            cov_hit!("brisc.decode.operand_overrun");
+            return Err(BriscError::Corrupt("operands past end of code".into()));
+        };
         let mut bits = BitReader::new(operand_slice);
         let mut values = Vec::new();
         for p in &entry.patterns {
@@ -570,15 +571,16 @@ pub fn serialize_entry(entry: &DictEntry) -> Vec<u8> {
 fn deserialize_entry(r: &mut Rd<'_>) -> Result<DictEntry, BriscError> {
     let n = r.usize_varint()?;
     if n == 0 || n > 16 {
+        cov_hit!("brisc.entry.bad_pattern_count");
         return Err(BriscError::Corrupt(format!("bad pattern count {n}")));
     }
     let mut patterns = Vec::with_capacity(n);
     for _ in 0..n {
         let base_byte = r.u8()?;
-        let base = *base_op_index()
-            .0
-            .get(usize::from(base_byte))
-            .ok_or_else(|| BriscError::Corrupt(format!("bad base op {base_byte}")))?;
+        let Some(&base) = base_op_index().0.get(usize::from(base_byte)) else {
+            cov_hit!("brisc.entry.bad_base_op");
+            return Err(BriscError::Corrupt(format!("bad base op {base_byte}")));
+        };
         let arity =
             codecomp_vm::encode::fields(&codecomp_vm::encode::canonical_instance(base)).len();
         let mut fields = Vec::with_capacity(arity);
@@ -597,7 +599,10 @@ fn deserialize_entry(r: &mut Rd<'_>) -> Result<DictEntry, BriscError> {
                     i32::try_from(r.ivarint()?)
                         .map_err(|_| BriscError::Corrupt("burned imm out of range".into()))?,
                 )),
-                other => return Err(BriscError::Corrupt(format!("bad field tag {other}"))),
+                other => {
+                    cov_hit!("brisc.entry.bad_field_tag");
+                    return Err(BriscError::Corrupt(format!("bad field tag {other}")));
+                }
             });
         }
         patterns.push(InstPattern { base, fields });
@@ -718,19 +723,28 @@ impl BriscImage {
     ) -> Result<BriscImage, BriscError> {
         let mut outer = Rd { bytes, pos: 0 };
         if outer.take(4)? != b"CCBR" {
+            cov_hit!("brisc.image.bad_magic");
             return Err(BriscError::Corrupt("bad magic".into()));
         }
+        cov_hit!("brisc.image.magic_ok");
         let order0 = outer.u8()? != 0;
         let header_len = outer.usize_varint()?;
         let packed_header = outer.take(header_len)?;
         let header =
             codecomp_flate::inflate_budgeted(packed_header, budget).map_err(|e| match e {
-                codecomp_flate::FlateError::LimitExceeded { limit } => BriscError::Limit {
-                    what: "header inflate output/fuel".into(),
-                    limit,
-                },
-                other => BriscError::Corrupt(format!("header: {other}")),
+                codecomp_flate::FlateError::LimitExceeded { limit } => {
+                    cov_hit!("brisc.image.header_limit");
+                    BriscError::Limit {
+                        what: "header inflate output/fuel".into(),
+                        limit,
+                    }
+                }
+                other => {
+                    cov_hit!("brisc.image.header_corrupt");
+                    BriscError::Corrupt(format!("header: {other}"))
+                }
             })?;
+        cov_hit!("brisc.image.header_inflated");
         let mut r = Rd {
             bytes: &header,
             pos: 0,
@@ -768,12 +782,14 @@ impl BriscImage {
             let frame_size = r.u32_varint()?;
             let nsaved = r.usize_varint()?;
             if nsaved > usize::from(Reg::COUNT) {
+                cov_hit!("brisc.image.saved_regs_overflow");
                 return Err(BriscError::Corrupt("too many saved registers".into()));
             }
             let mut saved_regs = Vec::with_capacity(nsaved);
             for _ in 0..nsaved {
                 let n = r.u8()?;
                 if n >= Reg::COUNT {
+                    cov_hit!("brisc.image.bad_saved_reg");
                     return Err(BriscError::Corrupt("bad saved register".into()));
                 }
                 saved_regs.push(Reg::new(n));
@@ -801,22 +817,26 @@ impl BriscImage {
             });
         }
         if r.pos != header.len() {
+            cov_hit!("brisc.image.trailing_header");
             return Err(BriscError::Corrupt("trailing header bytes".into()));
         }
         let code_len = outer.usize_varint()?;
         budget.check_output_bytes(code_len as u64)?;
         let code = outer.take(code_len)?.to_vec();
         if outer.pos != bytes.len() {
+            cov_hit!("brisc.image.trailing_bytes");
             return Err(BriscError::Corrupt("trailing bytes".into()));
         }
         for f in &functions {
             if u64::from(f.start) + u64::from(f.len) > code.len() as u64 {
+                cov_hit!("brisc.image.function_overruns_code");
                 return Err(BriscError::Corrupt(format!(
                     "function {} extends past the code blob",
                     f.name
                 )));
             }
         }
+        cov_hit!("brisc.image.load_ok");
         codecomp_core::telemetry::gauge_set(
             "brisc.dictionary_entries",
             dictionary.len() as u64,

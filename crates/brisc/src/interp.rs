@@ -13,6 +13,7 @@
 use crate::image::BriscImage;
 use crate::markov::BLOCK_START;
 use crate::BriscError;
+use codecomp_core::cov_hit;
 use codecomp_vm::interp::{alu_eval, cond_eval, DONE, FUNC_BASE, GLOBAL_BASE, HOST_BASE, RA_BASE};
 use codecomp_vm::isa::{FuncRef, Inst, MemWidth};
 use codecomp_vm::reg::Reg;
@@ -103,6 +104,7 @@ impl<'a> BriscMachine<'a> {
         for i in 0..image.functions.len() {
             let budget = codecomp_core::Budget::new(limits);
             if let Err(e) = image.validate_function(i, &budget) {
+                cov_hit!("brisc.interp.quarantine_on_load");
                 let cause = codecomp_core::DecodeError::from(e);
                 if codecomp_core::telemetry::enabled() {
                     codecomp_core::telemetry::counter_add("brisc.interp.quarantines", 1);
@@ -217,14 +219,16 @@ impl<'a> BriscMachine<'a> {
         let mut ctx = BLOCK_START;
         loop {
             if self.fuel == 0 {
+                cov_hit!("brisc.interp.fuel_exhausted");
                 return Err(BriscError::Exec("fuel exhausted".into()));
             }
             self.fuel -= 1;
-            let func = self
-                .image
-                .function_at(pc)
-                .ok_or_else(|| BriscError::Exec(format!("pc {pc} outside all functions")))?;
+            let Some(func) = self.image.function_at(pc) else {
+                cov_hit!("brisc.interp.pc_outside_functions");
+                return Err(BriscError::Exec(format!("pc {pc} outside all functions")));
+            };
             if let Some(cause) = &self.quarantine[func] {
+                cov_hit!("brisc.interp.quarantine_trap");
                 return Err(BriscError::Quarantined {
                     name: self.image.functions[func].name.clone(),
                     cause: cause.clone(),
@@ -487,6 +491,7 @@ impl<'a> BriscMachine<'a> {
             self.set_reg(Reg::RA, i64::from(RA_BASE) + return_to as i64);
             return Ok(Flow::Goto(f.start as usize));
         }
+        cov_hit!("brisc.interp.call_bad_address");
         Err(BriscError::Exec(format!(
             "call to non-function address {addr:#x}"
         )))
@@ -499,6 +504,7 @@ impl<'a> BriscMachine<'a> {
         if addr >= RA_BASE {
             return Ok(Flow::Goto((addr - RA_BASE) as usize));
         }
+        cov_hit!("brisc.interp.return_bad_address");
         Err(BriscError::Exec(format!(
             "jump to non-code address {addr:#x}"
         )))
@@ -518,7 +524,10 @@ impl<'a> BriscMachine<'a> {
                 self.regs[0] = 0;
                 Ok(())
             }
-            other => Err(BriscError::Exec(format!("unknown host function {other}"))),
+            other => {
+                cov_hit!("brisc.interp.unknown_host_fn");
+                Err(BriscError::Exec(format!("unknown host function {other}")))
+            }
         }
     }
 
@@ -526,6 +535,7 @@ impl<'a> BriscMachine<'a> {
         let a = addr as usize;
         let size = width.bytes() as usize;
         if a == 0 || a + size > self.mem.len() {
+            cov_hit!("brisc.interp.bad_load");
             return Err(BriscError::Exec(format!(
                 "bad load of {size} bytes at {addr:#x}"
             )));
@@ -546,6 +556,7 @@ impl<'a> BriscMachine<'a> {
         let a = addr as usize;
         let size = width.bytes() as usize;
         if a == 0 || a + size > self.mem.len() {
+            cov_hit!("brisc.interp.bad_store");
             return Err(BriscError::Exec(format!(
                 "bad store of {size} bytes at {addr:#x}"
             )));

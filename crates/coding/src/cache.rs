@@ -33,12 +33,16 @@ struct Slot<T> {
     value: Arc<T>,
     /// Logical time of the last hit (or the insert).
     stamp: u64,
+    /// Cache generation the entry was interned under; entries from an
+    /// older generation are treated as misses and dropped on contact.
+    generation: u64,
 }
 
 #[derive(Debug)]
 struct Inner<T> {
     map: BTreeMap<Box<[u8]>, Slot<T>>,
     clock: u64,
+    generation: u64,
 }
 
 impl<T> Default for Inner<T> {
@@ -46,6 +50,7 @@ impl<T> Default for Inner<T> {
         Inner {
             map: BTreeMap::new(),
             clock: 0,
+            generation: 0,
         }
     }
 }
@@ -80,6 +85,7 @@ impl<T> DescCache<T> {
             inner: Mutex::new(Inner {
                 map: BTreeMap::new(),
                 clock: 0,
+                generation: 0,
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -137,23 +143,34 @@ impl<T> DescCache<T> {
             let mut inner = self.lock();
             inner.clock += 1;
             let clock = inner.clock;
-            if let Some(slot) = inner.map.get_mut(key) {
-                slot.stamp = clock;
-                let value = Arc::clone(&slot.value);
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(value);
+            let generation = inner.generation;
+            match inner.map.get_mut(key) {
+                Some(slot) if slot.generation == generation => {
+                    slot.stamp = clock;
+                    let value = Arc::clone(&slot.value);
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value);
+                }
+                Some(_) => {
+                    // A stale generation is a miss; drop the carcass so
+                    // it cannot pin a slot through the next eviction.
+                    inner.map.remove(key);
+                }
+                None => {}
             }
         }
         let value = Arc::new(build()?);
         let mut inner = self.lock();
         inner.clock += 1;
         let clock = inner.clock;
+        let generation = inner.generation;
         inner
             .map
             .insert(key.to_vec().into_boxed_slice(), Slot {
                 value: Arc::clone(&value),
                 stamp: clock,
+                generation,
             });
         let evicted = if inner.map.len() > self.capacity {
             Self::evict_oldest_half(&mut inner)
@@ -183,6 +200,33 @@ impl<T> DescCache<T> {
     /// every description into a cold per-section rebuild.
     pub fn clear(&self) {
         self.lock().map.clear();
+    }
+
+    /// Starts a new cache generation in O(1): every existing entry
+    /// becomes logically invisible (a lookup treats it as a miss and
+    /// removes it lazily). The fuzzing campaign uses this as its
+    /// per-case snapshot/reset — hostile inputs cannot warm state that
+    /// a later case observes — without paying [`Self::clear`]'s full
+    /// sweep on the hot path.
+    pub fn bump_generation(&self) {
+        self.lock().generation += 1;
+    }
+
+    /// The current generation stamp (starts at 0, bumped by
+    /// [`Self::bump_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    /// Number of entries interned under the *current* generation, i.e.
+    /// the entries a lookup can actually hit.
+    pub fn live_len(&self) -> usize {
+        let inner = self.lock();
+        inner
+            .map
+            .values()
+            .filter(|s| s.generation == inner.generation)
+            .count()
     }
 
     /// Number of cached tables.
@@ -257,6 +301,26 @@ mod tests {
         cache
             .get_or_build(&[0], || -> Result<Table, ()> { panic!("0 was just touched") })
             .unwrap();
+    }
+
+    #[test]
+    fn generation_bump_invalidates_without_sweeping() {
+        let cache: DescCache<Table> = DescCache::new("test.cache.g", 8);
+        let a = cache.get_or_build(b"k", || build_ok(b"k")).unwrap();
+        assert_eq!(cache.live_len(), 1);
+        cache.bump_generation();
+        assert_eq!(cache.generation(), 1);
+        // The stale entry is invisible: the builder runs again and the
+        // new value replaces the carcass.
+        assert_eq!(cache.live_len(), 0);
+        let b = cache.get_or_build(b"k", || build_ok(b"k")).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "stale-generation entry was served");
+        assert_eq!(cache.live_len(), 1);
+        // Within the new generation it hits normally.
+        let c = cache
+            .get_or_build(b"k", || -> Result<Table, ()> { panic!("hit expected") })
+            .unwrap();
+        assert!(Arc::ptr_eq(&b, &c));
     }
 
     #[test]

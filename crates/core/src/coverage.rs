@@ -1,0 +1,237 @@
+//! Edge-coverage instrumentation for the fuzzing campaign.
+//!
+//! AFL-style coverage: every instrumented branch site calls
+//! [`cov_hit!`](crate::cov_hit), which folds the site into a process-wide
+//! *edge* bitmap — `edge = prev_site ^ site`, with `prev_site` shifted so
+//! A→B and B→A light different bits. The fuzz driver ([`crate::fuzz`])
+//! clears the map before each case and diffs it against the set of edges
+//! ever seen; an input that lights a new bit has reached decoder state no
+//! earlier input reached and earns a place in the corpus.
+//!
+//! The whole module is compiled to empty inline stubs unless the
+//! `coverage` cargo feature is enabled, so instrumented decode paths cost
+//! literally nothing in normal builds — the macro expands to a call to an
+//! empty `#[inline(always)]` function taking a constant. The feature
+//! lives on `codecomp-core` alone; downstream crates instrument with
+//! `cov_hit!` unconditionally and inherit whichever mode the final
+//! artifact selected.
+
+/// Words in the edge bitmap; 1024 × 64 = 65,536 edge bits, the classic
+/// AFL map size — small enough to scan per case, sparse enough that
+/// hash collisions between sites stay rare at our instrumentation
+/// density (~200 sites).
+pub const MAP_WORDS: usize = 1024;
+
+/// Bits in the edge bitmap.
+pub const MAP_BITS: u32 = (MAP_WORDS * 64) as u32;
+
+/// Compile-time FNV-1a over a site label, reduced to the map domain.
+///
+/// `cov_hit!` invokes this in `const` position over `file!()`/`line!()`
+/// (or an explicit label), so every instrumentation site gets a stable
+/// pseudo-unique id with no central registry to maintain.
+#[must_use]
+pub const fn site_id(label: &str, line: u32, column: u32) -> u32 {
+    let bytes = label.as_bytes();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash ^= line as u64;
+    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    hash ^= column as u64;
+    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    (hash % MAP_BITS as u64) as u32
+}
+
+/// Records one hit of an instrumentation site.
+///
+/// Sites are folded into *edges* against the previous site on the same
+/// thread; use [`cov_hit!`](crate::cov_hit) rather than calling this
+/// directly so the site id is computed at compile time.
+#[inline(always)]
+pub fn hit(site: u32) {
+    imp::hit(site);
+}
+
+/// Whether this build carries live instrumentation (the `coverage`
+/// feature). When `false` every other function in this module is an
+/// inert stub and all counts are zero.
+#[must_use]
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "coverage")
+}
+
+/// Clears the edge map and the per-thread edge predecessor, making the
+/// next execution's coverage attributable to that execution alone.
+/// Call before each fuzz case.
+pub fn reset() {
+    imp::reset();
+}
+
+/// Folds the current edge map into `seen` (a `MAP_WORDS`-word bitmap of
+/// every edge the campaign has observed) and returns how many bits were
+/// new. `seen` shorter than `MAP_WORDS` is extended.
+pub fn new_edges(seen: &mut Vec<u64>) -> u32 {
+    seen.resize(MAP_WORDS, 0);
+    imp::new_edges(seen)
+}
+
+/// Copies the current edge map into a fresh bitmap (all zeros without
+/// the `coverage` feature).
+#[must_use]
+pub fn snapshot() -> Vec<u64> {
+    let mut out = vec![0u64; MAP_WORDS];
+    imp::copy_into(&mut out);
+    out
+}
+
+/// Number of edge bits currently set in the map.
+#[must_use]
+pub fn edges_hit() -> u32 {
+    let mut tmp = vec![0u64; MAP_WORDS];
+    imp::copy_into(&mut tmp);
+    tmp.iter().map(|w| w.count_ones()).sum()
+}
+
+#[cfg(feature = "coverage")]
+mod imp {
+    use super::MAP_WORDS;
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Interior mutability in a `const` is exactly what a static atomic
+    // array initializer needs; each array element is its own atomic.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static MAP: [AtomicU64; MAP_WORDS] = [ZERO; MAP_WORDS];
+
+    thread_local! {
+        static PREV: Cell<u32> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    pub fn hit(site: u32) {
+        let edge = PREV.with(|prev| {
+            let e = prev.get() ^ site;
+            // Shift so a tight A→A loop still lights a bit and A→B is
+            // distinct from B→A.
+            prev.set(site >> 1);
+            e
+        }) % (MAP_WORDS as u32 * 64);
+        MAP[(edge / 64) as usize].fetch_or(1 << (edge % 64), Ordering::Relaxed);
+    }
+
+    pub fn reset() {
+        for w in &MAP {
+            w.store(0, Ordering::Relaxed);
+        }
+        PREV.with(|prev| prev.set(0));
+    }
+
+    pub fn copy_into(out: &mut [u64]) {
+        for (dst, src) in out.iter_mut().zip(&MAP) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+    }
+
+    pub fn new_edges(seen: &mut [u64]) -> u32 {
+        let mut new = 0;
+        for (s, w) in seen.iter_mut().zip(&MAP) {
+            let cur = w.load(Ordering::Relaxed);
+            new += (cur & !*s).count_ones();
+            *s |= cur;
+        }
+        new
+    }
+}
+
+#[cfg(not(feature = "coverage"))]
+mod imp {
+    #[inline(always)]
+    pub fn hit(_site: u32) {}
+
+    pub fn reset() {}
+
+    pub fn copy_into(_out: &mut [u64]) {}
+
+    pub fn new_edges(_seen: &mut [u64]) -> u32 {
+        0
+    }
+}
+
+/// Marks an edge-coverage instrumentation site.
+///
+/// `cov_hit!()` derives the site id from `file!()`/`line!()`/`column!()`
+/// at compile time; `cov_hit!("label")` hashes an explicit label instead
+/// (useful when one lexical site stands for a semantic event). Both
+/// forms compile to a call to an empty inline function unless the
+/// `coverage` feature of `codecomp-core` is enabled.
+#[macro_export]
+macro_rules! cov_hit {
+    () => {{
+        const SITE: u32 =
+            $crate::coverage::site_id(::core::file!(), ::core::line!(), ::core::column!());
+        $crate::coverage::hit(SITE);
+    }};
+    ($label:expr) => {{
+        const SITE: u32 = $crate::coverage::site_id($label, 0, 0);
+        $crate::coverage::hit(SITE);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_ids_are_stable_and_in_range() {
+        let a = site_id("src/a.rs", 10, 4);
+        assert_eq!(a, site_id("src/a.rs", 10, 4));
+        assert!(a < MAP_BITS);
+        assert_ne!(a, site_id("src/a.rs", 11, 4));
+        assert_ne!(a, site_id("src/b.rs", 10, 4));
+    }
+
+    #[test]
+    fn disabled_build_reports_nothing() {
+        if enabled() {
+            return;
+        }
+        reset();
+        crate::cov_hit!("x");
+        crate::cov_hit!();
+        let mut seen = Vec::new();
+        assert_eq!(new_edges(&mut seen), 0);
+        assert_eq!(edges_hit(), 0);
+        assert_eq!(seen.len(), MAP_WORDS);
+    }
+
+    #[test]
+    #[cfg(feature = "coverage")]
+    fn edges_accumulate_and_reset() {
+        reset();
+        crate::cov_hit!("a");
+        crate::cov_hit!("b");
+        assert!(edges_hit() >= 1);
+        let mut seen = Vec::new();
+        let first = new_edges(&mut seen);
+        assert!(first >= 1);
+        // Same path again: nothing new.
+        reset();
+        crate::cov_hit!("a");
+        crate::cov_hit!("b");
+        assert_eq!(new_edges(&mut seen), 0);
+        // A different successor is a different edge.
+        reset();
+        crate::cov_hit!("a");
+        crate::cov_hit!("c");
+        assert!(new_edges(&mut seen) >= 1);
+        reset();
+        assert_eq!(edges_hit(), 0);
+    }
+}

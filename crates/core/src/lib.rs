@@ -24,14 +24,19 @@
 //!   decode entry point in the workspace.
 //! - [`fault`]: seeded fault injection (xorshift PRNG + byte mutators)
 //!   backing the workspace fault-injection harness.
+//! - [`coverage`]: feature-gated edge-coverage instrumentation
+//!   ([`cov_hit!`]) and [`fuzz`]: the coverage-guided campaign driver
+//!   built on it.
 //! - [`telemetry`]: zero-dependency observability — the metrics
 //!   [`telemetry::Registry`] and structured [`telemetry::TraceSink`]
 //!   every pipeline stage reports into when a collector is installed.
 
+pub mod coverage;
 pub mod dict;
 pub mod entropy;
 pub mod error;
 pub mod fault;
+pub mod fuzz;
 pub mod limits;
 pub mod streams;
 pub mod telemetry;

@@ -12,7 +12,7 @@
 pub mod programs;
 pub mod synth;
 
-pub use synth::{synthetic, SynthConfig};
+pub use synth::{synthetic, synthetic_modules, MultiModuleConfig, SynthConfig};
 
 use codecomp_front::{compile, FrontError};
 use codecomp_ir::Module;

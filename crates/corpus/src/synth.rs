@@ -167,6 +167,246 @@ pub fn synthetic(seed: u64, config: SynthConfig) -> String {
     src
 }
 
+/// Parameters for [`synthetic_modules`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultiModuleConfig {
+    /// Number of translation units to generate.
+    pub modules: usize,
+    /// Functions emitted *identically* into every module. Their bodies
+    /// (and the globals they touch) are byte-for-byte the same text in
+    /// each unit, so each module's compressed image carries the same
+    /// pattern and code-length descriptions — the repetition that makes
+    /// cross-module decode-table interning observable.
+    pub shared_functions: usize,
+    /// Module-private functions per unit (on top of the shared pool).
+    pub functions_per_module: usize,
+    /// Statements per function body (approximate).
+    pub statements_per_function: usize,
+    /// Module-private global scalars/arrays per unit.
+    pub globals: usize,
+    /// Depth of the nested expression trees some statements carry; the
+    /// deep spines stress tree-structured pattern extraction.
+    pub max_expr_depth: usize,
+}
+
+impl Default for MultiModuleConfig {
+    fn default() -> Self {
+        Self {
+            modules: 4,
+            shared_functions: 12,
+            functions_per_module: 40,
+            statements_per_function: 8,
+            globals: 5,
+            max_expr_depth: 6,
+        }
+    }
+}
+
+/// A callable the statement generator may target.
+#[derive(Debug, Clone)]
+struct Callee {
+    name: String,
+    arity: usize,
+}
+
+/// Generates a multi-module program: `config.modules` translation units
+/// that each compile independently under [`codecomp_front::compile`]
+/// and define their own `main`.
+///
+/// Every unit starts with an identical shared prelude (globals plus
+/// `shared_functions` function bodies) followed by module-private
+/// globals and functions, so compressing the units one after another
+/// re-presents the same decode-table descriptions across module
+/// boundaries. Deterministic in `seed`.
+pub fn synthetic_modules(seed: u64, config: MultiModuleConfig) -> Vec<String> {
+    // The shared prelude comes from its own generator so its text does
+    // not depend on how many modules consume it.
+    let mut pool_rng = XorShift64::new(seed ^ 0x5EED_0F00_D5EA_D00Du64);
+    let mut prelude = String::new();
+    let mut shared_arrays: Vec<(String, usize)> = Vec::new();
+    for g in 0..config.globals.max(2) {
+        if pool_rng.chance(1, 2) {
+            let _ = writeln!(prelude, "int s{g} = {};", pool_rng.range_i64(-100, 100));
+        } else {
+            let n = pool_rng.range_usize(4, 32);
+            let _ = writeln!(prelude, "int s{g}[{n}];");
+            shared_arrays.push((format!("s{g}"), n));
+        }
+    }
+    let mut shared_callees: Vec<Callee> = Vec::new();
+    for f in 0..config.shared_functions {
+        let name = format!("shared{f}");
+        let arity = pool_rng.range_usize(0, 4);
+        emit_synth_function(
+            &mut prelude,
+            &mut pool_rng,
+            &name,
+            arity,
+            config.statements_per_function,
+            &shared_callees,
+            &shared_arrays,
+            config.max_expr_depth,
+        );
+        shared_callees.push(Callee { name, arity });
+    }
+
+    (0..config.modules)
+        .map(|m| {
+            let mut rng =
+                XorShift64::new(seed ^ (m as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let mut src = prelude.clone();
+            let mut arrays = shared_arrays.clone();
+            for g in 0..config.globals {
+                if rng.chance(1, 2) {
+                    let _ = writeln!(src, "int h{g} = {};", rng.range_i64(-100, 100));
+                } else {
+                    let n = rng.range_usize(4, 32);
+                    let _ = writeln!(src, "int h{g}[{n}];");
+                    arrays.push((format!("h{g}"), n));
+                }
+            }
+            let mut callees = shared_callees.clone();
+            for f in 0..config.functions_per_module {
+                let name = format!("local{f}");
+                let arity = rng.range_usize(0, 4);
+                emit_synth_function(
+                    &mut src,
+                    &mut rng,
+                    &name,
+                    arity,
+                    config.statements_per_function,
+                    &callees,
+                    &arrays,
+                    config.max_expr_depth,
+                );
+                callees.push(Callee { name, arity });
+            }
+            let _ = writeln!(src, "int main() {{");
+            let _ = writeln!(src, "    int total = 0;");
+            let _ = writeln!(src, "    int rep;");
+            let _ = writeln!(src, "    for (rep = 0; rep < 10; rep++) {{");
+            let calls = callees.len().min(16);
+            for _ in 0..calls {
+                let c = &callees[rng.range_usize(0, callees.len())];
+                let _ = writeln!(
+                    src,
+                    "        total = total * 31 + {}({});",
+                    c.name,
+                    main_args(&mut rng, c.arity)
+                );
+            }
+            let _ = writeln!(src, "    }}");
+            let _ = writeln!(src, "    return total % 1000003;");
+            let _ = writeln!(src, "}}");
+            src
+        })
+        .collect()
+}
+
+/// Emits one terminating function body using the same statement mix as
+/// [`synthetic`], plus deep nested expression statements.
+#[allow(clippy::too_many_arguments)] // one-shot emitter, not an API surface
+fn emit_synth_function(
+    src: &mut String,
+    rng: &mut XorShift64,
+    name: &str,
+    params: usize,
+    statements: usize,
+    callees: &[Callee],
+    arrays: &[(String, usize)],
+    max_expr_depth: usize,
+) {
+    let mut header = format!("int {name}(");
+    for p in 0..params {
+        if p > 0 {
+            header.push_str(", ");
+        }
+        let _ = write!(header, "int p{p}");
+    }
+    header.push_str(") {");
+    let _ = writeln!(src, "{header}");
+    let _ = writeln!(src, "    int acc = {};", rng.range_i64(0, 10));
+    let locals = rng.range_usize(1, 4);
+    for l in 0..locals {
+        let _ = writeln!(src, "    int v{l} = {};", rng.range_i64(-20, 20));
+    }
+    for s in 0..statements {
+        match rng.below(7) {
+            0 => {
+                let bound = rng.range_i64(2, 12);
+                let expr = flat_expr(rng, params, locals);
+                let _ = writeln!(
+                    src,
+                    "    {{ int i{s}; for (i{s} = 0; i{s} < {bound}; i{s}++) acc += {expr}; }}"
+                );
+            }
+            1 => {
+                let expr = flat_expr(rng, params, locals);
+                let cmp = ["<", "<=", ">", ">=", "==", "!="][rng.range_usize(0, 6)];
+                let rhs = rng.range_i64(-50, 50);
+                let delta = rng.range_i64(1, 9);
+                let _ = writeln!(
+                    src,
+                    "    if (acc {cmp} {rhs}) acc += {expr}; else acc -= {delta};"
+                );
+            }
+            2 if !callees.is_empty() => {
+                let c = &callees[rng.range_usize(0, callees.len())];
+                let args = callee_args(rng, c.arity, params, locals);
+                let _ = writeln!(src, "    acc = acc * 3 + {}({args}) % 1009;", c.name);
+            }
+            3 => {
+                let l = rng.range_usize(0, locals);
+                let expr = flat_expr(rng, params, locals);
+                let _ = writeln!(src, "    v{l} = ({expr}) % 2003;");
+            }
+            4 if !arrays.is_empty() => {
+                let (gname, n) = &arrays[rng.range_usize(0, arrays.len())];
+                let idx = rng.range_usize(0, *n);
+                let _ = writeln!(src, "    {gname}[{idx}] = acc % 251;");
+                let _ = writeln!(src, "    acc += {gname}[{idx}] * 2;");
+            }
+            5 if max_expr_depth > 0 => {
+                let expr = deep_expr(rng, params, locals, max_expr_depth);
+                let _ = writeln!(src, "    acc = ({expr}) % 9973;");
+            }
+            _ => {
+                let expr = flat_expr(rng, params, locals);
+                let shift = rng.range_i64(1, 5);
+                let _ = writeln!(src, "    acc = (acc ^ ({expr})) + (acc >> {shift});");
+            }
+        }
+    }
+    let _ = writeln!(src, "    return acc % 65521;");
+    let _ = writeln!(src, "}}");
+}
+
+/// A shallow two-or-three operand expression (the [`synthetic`] mix).
+fn flat_expr(rng: &mut XorShift64, params: usize, locals: usize) -> String {
+    arith_expr(rng, params, locals, 0, &[])
+}
+
+/// A nested expression whose parse tree has depth `depth`: one spine
+/// always recurses, and siblings occasionally recurse too, so the tree
+/// is deep without exploding exponentially.
+fn deep_expr(rng: &mut XorShift64, params: usize, locals: usize, depth: usize) -> String {
+    if depth == 0 {
+        return operand(rng, params, locals);
+    }
+    let op = ["+", "-", "*", "&", "|", "^"][rng.range_usize(0, 6)];
+    let spine = deep_expr(rng, params, locals, depth - 1);
+    let side = if rng.chance(1, 3) {
+        deep_expr(rng, params, locals, depth - 1)
+    } else {
+        operand(rng, params, locals)
+    };
+    if rng.chance(1, 2) {
+        format!("({spine} {op} {side})")
+    } else {
+        format!("({side} {op} {spine})")
+    }
+}
+
 fn pick_array(rng: &mut XorShift64, array_sizes: &[Option<usize>]) -> Option<(usize, usize)> {
     let arrays: Vec<(usize, usize)> = array_sizes
         .iter()
@@ -253,6 +493,75 @@ mod tests {
         assert_eq!(a, b);
         let c = synthetic(6, SynthConfig::default());
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn multi_module_units_compile_run_and_share_the_prelude() {
+        let cfg = MultiModuleConfig {
+            modules: 3,
+            shared_functions: 6,
+            functions_per_module: 10,
+            statements_per_function: 6,
+            globals: 4,
+            max_expr_depth: 5,
+        };
+        let units = synthetic_modules(21, cfg);
+        assert_eq!(units.len(), 3);
+        // Every unit opens with the identical shared prelude, ending at
+        // the last shared function's closing brace.
+        let marker = "int shared5(";
+        let prelude_end = units[0].find(marker).expect("shared function present");
+        let prelude = &units[0][..prelude_end];
+        for u in &units {
+            assert!(u.starts_with(prelude), "shared prelude diverges");
+        }
+        for (i, u) in units.iter().enumerate() {
+            let m = compile(u).unwrap_or_else(|e| panic!("module {i}: {e}\n{u}"));
+            // shared + locals + main
+            assert_eq!(m.functions.len(), 6 + 10 + 1, "module {i} function count");
+            let out = Evaluator::new(&m, 1 << 22, 1 << 26)
+                .unwrap()
+                .run("main", &[])
+                .unwrap_or_else(|e| panic!("module {i} failed to run: {e}"));
+            let again = Evaluator::new(&m, 1 << 22, 1 << 26)
+                .unwrap()
+                .run("main", &[])
+                .unwrap();
+            assert_eq!(out.value, again.value, "module {i} nondeterministic");
+        }
+    }
+
+    #[test]
+    fn multi_module_is_deterministic_and_scales_to_hundreds_of_functions() {
+        let cfg = MultiModuleConfig::default();
+        let a = synthetic_modules(3, cfg);
+        let b = synthetic_modules(3, cfg);
+        assert_eq!(a, b);
+        // Default shape: 4 modules × (12 shared + 40 local + main).
+        let total: usize = a
+            .iter()
+            .map(|u| compile(u).unwrap().functions.len())
+            .sum();
+        assert!(total >= 200, "only {total} functions across modules");
+    }
+
+    #[test]
+    fn deep_expressions_nest() {
+        let mut rng = XorShift64::new(77);
+        let e = deep_expr(&mut rng, 2, 2, 8);
+        let depth = e
+            .chars()
+            .scan(0i32, |d, c| {
+                match c {
+                    '(' => *d += 1,
+                    ')' => *d -= 1,
+                    _ => {}
+                }
+                Some(*d)
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(depth >= 8, "expression not deep enough: {depth} in {e}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::deflate::{
 };
 use crate::FlateError;
 use codecomp_coding::huffman::canonical_codes;
+use codecomp_core::cov_hit;
 
 /// Root table index width. 10 bits resolves every fixed-tree code (≤ 9
 /// bits) and the vast majority of dynamic codes in one probe while
@@ -189,6 +190,7 @@ impl Decoder {
         let mut max_len = 0u32;
         for &l in lengths {
             if l > 15 {
+                cov_hit!("flate.tables.len_over_15");
                 return Err(FlateError::Corrupt("code length > 15".into()));
             }
             if l > 0 {
@@ -202,13 +204,18 @@ impl Decoder {
             kraft += u64::from(count[len]) << (15 - len);
         }
         if kraft > 1 << 15 {
+            cov_hit!("flate.tables.oversubscribed");
             return Err(FlateError::Corrupt("oversubscribed code lengths".into()));
         }
         let degenerate_ok = completeness == Completeness::ExactOrDegenerate && used <= 1;
         if kraft < 1 << 15 && !degenerate_ok {
+            cov_hit!("flate.tables.undersubscribed");
             return Err(FlateError::Corrupt(
                 "incomplete (undersubscribed) code lengths".into(),
             ));
+        }
+        if degenerate_ok && kraft < 1 << 15 {
+            cov_hit!("flate.tables.degenerate");
         }
 
         // Canonical first-code per length (MSB-first code values).
@@ -305,10 +312,12 @@ impl Decoder {
             e = self.table[(base + sub_idx as u32) as usize];
         }
         if e == 0 {
+            cov_hit!("flate.decode.invalid_code");
             return Err(FlateError::Corrupt("invalid Huffman code".into()));
         }
         let len = e & 0x1F;
         if len > src.count {
+            cov_hit!("flate.decode.truncated_code");
             return Err(FlateError::Truncated);
         }
         src.consume(len);
@@ -420,18 +429,24 @@ fn inflate_governed(
         let btype = r.read_bits(2)?;
         match btype {
             0b00 => {
+                cov_hit!("flate.block.stored");
                 inflate_stored(&mut r, &mut out, max_output)?;
                 stats.stored_bytes += (out.len() - block_start) as u64;
             }
             0b01 => {
+                cov_hit!("flate.block.fixed");
                 let (lit, dist) = fixed_tables()?;
                 inflate_block(&mut r, lit, dist, &mut out, max_output, &mut stats)?;
             }
             0b10 => {
+                cov_hit!("flate.block.dynamic");
                 let tables = read_dynamic_tables(&mut r)?;
                 inflate_block(&mut r, &tables.0, &tables.1, &mut out, max_output, &mut stats)?;
             }
-            _ => return Err(FlateError::Corrupt("reserved block type 11".into())),
+            _ => {
+                cov_hit!("flate.block.reserved");
+                return Err(FlateError::Corrupt("reserved block type 11".into()));
+            }
         }
         if let Some(b) = budget {
             // Charged after the block so the hot loop stays free of
@@ -439,6 +454,7 @@ fn inflate_governed(
             b.charge_fuel(1 + (out.len() - block_start) as u64)?;
         }
         if bfinal {
+            cov_hit!("flate.stream.final_block");
             stats.flush(out.len() as u64);
             return Ok(out);
         }
@@ -454,9 +470,11 @@ fn inflate_stored(
     let len = r.read_bits(16)? as u16;
     let nlen = r.read_bits(16)? as u16;
     if len != !nlen {
+        cov_hit!("flate.stored.len_mismatch");
         return Err(FlateError::Corrupt("stored block LEN/NLEN mismatch".into()));
     }
     if usize::from(len) > max_output.saturating_sub(out.len()) {
+        cov_hit!("flate.stored.limit");
         return Err(FlateError::LimitExceeded {
             limit: max_output as u64,
         });
@@ -495,6 +513,12 @@ pub fn clear_table_cache() {
     DYN_TABLE_CACHE.clear();
 }
 
+/// Starts a new dynamic-table cache generation: O(1) lazy invalidation
+/// of every interned table. The fuzz campaign's per-case reset.
+pub fn bump_table_cache_generation() {
+    DYN_TABLE_CACHE.bump_generation();
+}
+
 /// Publishes the dynamic-table cache's accumulated hit/miss/eviction
 /// counts to telemetry. Decoders call this once per pass.
 pub fn flush_table_cache_stats() {
@@ -519,30 +543,38 @@ fn read_dynamic_tables(
         match sym {
             0..=15 => lengths.push(sym as u8),
             16 => {
-                let &last = lengths
-                    .last()
-                    .ok_or_else(|| FlateError::Corrupt("repeat with no previous length".into()))?;
+                let Some(&last) = lengths.last() else {
+                    cov_hit!("flate.clc.repeat_without_prior");
+                    return Err(FlateError::Corrupt("repeat with no previous length".into()));
+                };
+                cov_hit!("flate.clc.repeat_prev");
                 let n = r.read_bits(2)? + 3;
                 for _ in 0..n {
                     lengths.push(last);
                 }
             }
             17 => {
+                cov_hit!("flate.clc.zero_run_short");
                 let n = r.read_bits(3)? + 3;
                 for _ in 0..n {
                     lengths.push(0);
                 }
             }
             18 => {
+                cov_hit!("flate.clc.zero_run_long");
                 let n = r.read_bits(7)? + 11;
                 for _ in 0..n {
                     lengths.push(0);
                 }
             }
-            _ => return Err(FlateError::Corrupt("invalid code-length symbol".into())),
+            _ => {
+                cov_hit!("flate.clc.invalid_symbol");
+                return Err(FlateError::Corrupt("invalid code-length symbol".into()));
+            }
         }
     }
     if lengths.len() != hlit + hdist {
+        cov_hit!("flate.clc.overrun");
         return Err(FlateError::Corrupt("code length overrun".into()));
     }
     // hlit ≤ 288 and hdist ≤ 32, so the key fits a fixed stack buffer.
@@ -550,13 +582,20 @@ fn read_dynamic_tables(
     key[0] = (hlit & 0xFF) as u8;
     key[1] = (hlit >> 8) as u8;
     key[2..2 + lengths.len()].copy_from_slice(&lengths);
-    DYN_TABLE_CACHE.get_or_build(&key[..2 + lengths.len()], || {
+    let mut was_cold = false;
+    let tables = DYN_TABLE_CACHE.get_or_build(&key[..2 + lengths.len()], || {
+        was_cold = true;
+        cov_hit!("flate.tables.cold_build");
         let lit = Decoder::from_lengths(&lengths[..hlit], Completeness::Exact)?;
         // RFC 1951 §3.2.7: a block with no matches may carry one distance
         // code (or none); anything else must be complete.
         let dist = Decoder::from_lengths(&lengths[hlit..], Completeness::ExactOrDegenerate)?;
-        Ok((lit, dist))
-    })
+        Ok::<_, FlateError>((lit, dist))
+    })?;
+    if !was_cold {
+        cov_hit!("flate.tables.warm_hit");
+    }
+    Ok(tables)
 }
 
 fn inflate_block(
@@ -575,6 +614,7 @@ fn inflate_block(
         match sym {
             0..=255 => {
                 if out.len() >= max_output {
+                    cov_hit!("flate.body.literal_limit");
                     return Err(FlateError::LimitExceeded {
                         limit: max_output as u64,
                     });
@@ -582,7 +622,10 @@ fn inflate_block(
                 out.push(sym as u8);
                 stats.literals += 1;
             }
-            256 => return Ok(()),
+            256 => {
+                cov_hit!("flate.body.end_of_block");
+                return Ok(());
+            }
             257..=285 => {
                 let (base, extra) = LENGTH_TABLE[sym - 257];
                 let len = usize::from(base) + r.take_bits(u32::from(extra))? as usize;
@@ -592,14 +635,17 @@ fn inflate_block(
                 }
                 let dsym = dist.decode_prefilled(r)?;
                 if dsym >= 30 {
+                    cov_hit!("flate.body.invalid_distance_code");
                     return Err(FlateError::Corrupt("invalid distance code".into()));
                 }
                 let (dbase, dextra) = DIST_TABLE[dsym];
                 let d = usize::from(dbase) + r.take_bits(u32::from(dextra))? as usize;
                 if d == 0 || d > out.len() {
+                    cov_hit!("flate.body.distance_overreach");
                     return Err(FlateError::Corrupt("distance beyond output start".into()));
                 }
                 if len > max_output.saturating_sub(out.len()) {
+                    cov_hit!("flate.body.match_limit");
                     return Err(FlateError::LimitExceeded {
                         limit: max_output as u64,
                     });
@@ -611,13 +657,17 @@ fn inflate_block(
                 } else {
                     // Overlapping (d < len): bytes must appear one at a
                     // time, each copy reading what the previous wrote.
+                    cov_hit!("flate.body.overlapping_copy");
                     for i in 0..len {
                         let b = out[start + i];
                         out.push(b);
                     }
                 }
             }
-            _ => return Err(FlateError::Corrupt("invalid literal/length symbol".into())),
+            _ => {
+                cov_hit!("flate.body.invalid_litlen");
+                return Err(FlateError::Corrupt("invalid literal/length symbol".into()));
+            }
         }
     }
 }

@@ -6,6 +6,7 @@ use codecomp_coding::arith::{ArithDecoder, ArithEncoder};
 use codecomp_coding::huffman::{cached_decoder, HuffmanEncoder};
 use codecomp_coding::model::AdaptiveModel;
 use codecomp_coding::mtf::{mtf_decode_identity, mtf_encode};
+use codecomp_core::cov_hit;
 use codecomp_core::streams::SplitStreams;
 use codecomp_core::telemetry;
 use codecomp_core::treepat::TreePattern;
@@ -89,10 +90,12 @@ impl WireOptions {
         // format revision; decoding it as current-version would silently
         // misinterpret the payload, so it is malformed input here.
         if b & RESERVED_OPTION_BITS != 0 {
+            cov_hit!("wire.options.reserved_bits");
             return Err(WireError::Corrupt(format!(
                 "reserved wire option bits set: {b:#04x}"
             )));
         }
+        cov_hit!("wire.options.ok");
         Ok(Self {
             split_streams: b & 1 != 0,
             mtf: b & 2 != 0,
@@ -356,6 +359,12 @@ pub fn clear_pattern_table_cache() {
     PATTERN_TABLE_CACHE.clear();
 }
 
+/// Starts a new pattern-table cache generation: O(1) lazy invalidation
+/// of every interned table. The fuzz campaign's per-case reset.
+pub fn bump_pattern_table_cache_generation() {
+    PATTERN_TABLE_CACHE.bump_generation();
+}
+
 /// Depth of the deepest node, counted the way `decode_pattern_node`
 /// counts it (root at 0).
 fn pattern_depth(p: &TreePattern) -> u32 {
@@ -382,6 +391,7 @@ fn cached_pattern_table(
     let mut was_cold = false;
     let table = PATTERN_TABLE_CACHE.get_or_build(&key, || {
         was_cold = true;
+        cov_hit!("wire.patterns.cold");
         let mut pc = Cursor::new(payload);
         let (patterns, stream) = decode_symbol_stream(&mut pc, options, budget, stats, |c| {
             decode_pattern(c, budget)
@@ -394,6 +404,7 @@ fn cached_pattern_table(
         })
     })?;
     if !was_cold {
+        cov_hit!("wire.patterns.warm");
         budget.check_table_entries(table.patterns.len() as u64)?;
         budget.charge_fuel(table.patterns.len() as u64)?;
         if !table.patterns.is_empty() {
@@ -430,8 +441,10 @@ fn read_section<'a>(
     let payload = c.take(len)?;
     let t = stats.start();
     let raw = if options.deflate {
+        cov_hit!("wire.section.deflated");
         inflate_budgeted(payload, budget)?
     } else {
+        cov_hit!("wire.section.raw");
         budget.check_output_bytes(payload.len() as u64)?;
         payload.to_vec()
     };
@@ -459,19 +472,24 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
     let mut stats = DecodeStats::new();
     let mut c = Cursor::new(bytes);
     if c.take(4)? != MAGIC {
+        cov_hit!("wire.magic.bad");
         return Err(WireError::Corrupt("bad magic".into()));
     }
+    cov_hit!("wire.magic.ok");
     let options = WireOptions::from_byte(c.u8()?)?;
     let n_sections = c.usize_varint()?;
 
     // Section 1: $meta — globals and function shapes.
     if n_sections == 0 {
+        cov_hit!("wire.meta.missing");
         return Err(WireError::Corrupt("missing $meta".into()));
     }
     let (meta_key, meta, meta_len) = read_section(&mut c, options, budget, &mut stats)?;
     if meta_key != "$meta" {
+        cov_hit!("wire.meta.wrong_key");
         return Err(WireError::Corrupt("first section is not $meta".into()));
     }
+    cov_hit!("wire.meta.ok");
     if stats.enabled {
         stats.sections.push((meta_key, meta_len, 0));
     }
@@ -506,10 +524,12 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
 
     // Section 2: $patterns — the operator-pattern stream.
     if n_sections == 1 {
+        cov_hit!("wire.patterns.missing");
         return Err(WireError::Corrupt("missing $patterns".into()));
     }
     let (pat_key, pat_raw, pat_len) = read_section(&mut c, options, budget, &mut stats)?;
     if pat_key != "$patterns" {
+        cov_hit!("wire.patterns.wrong_key");
         return Err(WireError::Corrupt("second section is not $patterns".into()));
     }
     let table = cached_pattern_table(&pat_raw, options, budget, &mut stats)?;
@@ -532,6 +552,7 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
         literal_sections.push((key, lits));
     }
     if c.remaining() != 0 {
+        cov_hit!("wire.trailing_bytes");
         return Err(WireError::Corrupt(
             "trailing bytes after last section".into(),
         ));
@@ -540,12 +561,14 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
     // Rebuild trees against the (possibly shared) pattern table.
     let t_join = stats.start();
     let trees: Vec<Tree> = if options.split_streams {
+        cov_hit!("wire.join.split");
         SplitStreams::join_parts(
             &table.patterns,
             &table.stream,
             literal_sections.into_iter().collect(),
         )?
     } else {
+        cov_hit!("wire.join.mixed");
         let (_, all) = literal_sections
             .into_iter()
             .next()
@@ -579,6 +602,7 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
         // `stmts` is attacker-controlled; compare against what is left,
         // never `cursor + stmts`, which could overflow.
         if stmts > remaining {
+            cov_hit!("wire.functions.stmt_overrun");
             return Err(WireError::Corrupt(
                 "statement count overruns tree stream".into(),
             ));
@@ -589,10 +613,12 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
         module.functions.push(f);
     }
     if remaining != 0 {
+        cov_hit!("wire.functions.trailing_trees");
         return Err(WireError::Corrupt(
             "trailing trees after last function".into(),
         ));
     }
+    cov_hit!("wire.decode.ok");
     stats.flush(bytes.len() as u64);
     Ok(module)
 }
@@ -615,6 +641,7 @@ fn decode_pattern(c: &mut Cursor<'_>, budget: &Budget) -> Result<TreePattern, Wi
     let count = c.usize_varint()?;
     let (pat, used) = decode_pattern_node(c, 0, budget)?;
     if used != count {
+        cov_hit!("wire.pattern.count_mismatch");
         return Err(WireError::Corrupt(format!(
             "pattern node count mismatch: header {count}, actual {used}"
         )));
@@ -630,8 +657,11 @@ fn decode_pattern_node(
     // Bounds stack use against hand-crafted deeply-nested inputs.
     budget.check_pattern_depth(depth)?;
     let byte = c.u8()?;
-    let desc = desc_for_byte(byte)
-        .ok_or_else(|| WireError::Corrupt(format!("unknown operator byte {byte}")))?;
+    let Some(desc) = desc_for_byte(byte) else {
+        cov_hit!("wire.pattern.unknown_op");
+        return Err(WireError::Corrupt(format!("unknown operator byte {byte}")));
+    };
+    cov_hit!("wire.pattern.node");
     let (op, width) = desc_to_op(desc);
     let arity = match op.opcode {
         Opcode::Ret => usize::from(op.ty != codecomp_ir::op::IrType::V),
@@ -681,17 +711,32 @@ fn encode_literal(out: &mut Vec<u8>, lit: &Literal) {
 
 fn decode_literal(c: &mut Cursor<'_>) -> Result<Literal, WireError> {
     Ok(match c.u8()? {
-        0 => Literal::Int(c.ivarint()?),
-        1 => Literal::Offset(
-            i32::try_from(c.ivarint()?)
-                .map_err(|_| WireError::Corrupt("offset out of range".into()))?,
-        ),
-        2 => Literal::Label(
-            u32::try_from(c.uvarint()?)
-                .map_err(|_| WireError::Corrupt("label out of range".into()))?,
-        ),
-        3 => Literal::Symbol(c.string()?),
-        other => return Err(WireError::Corrupt(format!("bad literal tag {other}"))),
+        0 => {
+            cov_hit!("wire.literal.int");
+            Literal::Int(c.ivarint()?)
+        }
+        1 => {
+            cov_hit!("wire.literal.offset");
+            Literal::Offset(
+                i32::try_from(c.ivarint()?)
+                    .map_err(|_| WireError::Corrupt("offset out of range".into()))?,
+            )
+        }
+        2 => {
+            cov_hit!("wire.literal.label");
+            Literal::Label(
+                u32::try_from(c.uvarint()?)
+                    .map_err(|_| WireError::Corrupt("label out of range".into()))?,
+            )
+        }
+        3 => {
+            cov_hit!("wire.literal.symbol");
+            Literal::Symbol(c.string()?)
+        }
+        other => {
+            cov_hit!("wire.literal.bad_tag");
+            return Err(WireError::Corrupt(format!("bad literal tag {other}")));
+        }
     })
 }
 
@@ -760,16 +805,22 @@ fn decode_symbol_stream<T>(
     stats.ns_indices += DecodeStats::elapsed(t_idx);
     let t_mtf = stats.start();
     let occurrences = if options.mtf {
+        cov_hit!("wire.stream.mtf");
         // Occurrence values are first-occurrence table indices, so the
         // MTF side table is the identity and the batched array decoder
         // applies.
-        mtf_decode_identity(&indices, table_len)
-            .ok_or_else(|| WireError::Corrupt("bad MTF index".into()))?
+        let Some(occ) = mtf_decode_identity(&indices, table_len) else {
+            cov_hit!("wire.stream.bad_mtf_index");
+            return Err(WireError::Corrupt("bad MTF index".into()));
+        };
+        occ
     } else {
+        cov_hit!("wire.stream.direct");
         indices
     };
     stats.ns_mtf += DecodeStats::elapsed(t_mtf);
     if occurrences.iter().any(|&o| o as usize >= table_len) && !occurrences.is_empty() {
+        cov_hit!("wire.stream.occurrence_overflow");
         return Err(WireError::Corrupt("occurrence beyond table".into()));
     }
     stats.symbols += occurrences.len() as u64;
@@ -880,6 +931,7 @@ fn decode_indices(
 ) -> Result<Vec<u32>, WireError> {
     let count = c.usize_varint()?;
     if count == 0 {
+        cov_hit!("wire.indices.empty");
         return Ok(Vec::new());
     }
     // An attacker-supplied count above the stream-symbol ceiling is
@@ -890,6 +942,7 @@ fn decode_indices(
     budget.charge_fuel(count as u64)?;
     match coder {
         Coder::Raw => {
+            cov_hit!("wire.indices.raw");
             let mut out = Vec::with_capacity(count.min(c.remaining()));
             for _ in 0..count {
                 out.push(
@@ -900,6 +953,7 @@ fn decode_indices(
             Ok(out)
         }
         Coder::Huffman => {
+            cov_hit!("wire.indices.huffman");
             let lengths = c.take(alphabet)?;
             let nbytes = c.usize_varint()?;
             let bits = c.take(nbytes)?;
@@ -915,6 +969,7 @@ fn decode_indices(
             Ok(out.into_iter().map(|s| s as u32).collect())
         }
         Coder::Arithmetic => {
+            cov_hit!("wire.indices.arith");
             let nbytes = c.usize_varint()?;
             let bytes = c.take(nbytes)?;
             let mut model = AdaptiveModel::with_budget(alphabet, budget)?;

@@ -34,7 +34,8 @@ mod format;
 
 pub use demand::{DemandError, DemandImage, DemandLoader, DemandReport, SalvageReport};
 pub use format::{
-    clear_pattern_table_cache, compress, decompress, decompress_budgeted, Coder, WireOptions,
+    bump_pattern_table_cache_generation, clear_pattern_table_cache, compress, decompress,
+    decompress_budgeted, Coder, WireOptions,
     WireReport,
 };
 

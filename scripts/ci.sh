@@ -71,4 +71,18 @@ for trace in "$tdir"/pack.jsonl "$tdir"/run.jsonl "$tdir"/brisc.jsonl; do
     "$bin" telemetry check "$trace"
 done
 
+# Coverage-guided fuzz smoke: a budgeted campaign over every decoder
+# with the `coverage` feature on. `codecomp fuzz` exits nonzero on any
+# panic or limit violation and writes reproducers for the regression
+# harness to replay, so a finding fails CI with the input preserved.
+# CODECOMP_FUZZ_CASES scales the budget (default ~30s on a dev box).
+echo "==> coverage-guided fuzz smoke (all decoders)"
+fuzz_start=$SECONDS
+cargo build --release --offline -q --features coverage
+cbin=target/release/code-compression
+"$cbin" fuzz --target all --cases "${CODECOMP_FUZZ_CASES:-3000}" --seed 1 \
+    --save-repros
+cargo test -q --offline --test regressions
+echo "==> fuzz smoke took $((SECONDS - fuzz_start))s"
+
 echo "==> ci.sh: all checks passed"

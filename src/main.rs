@@ -10,12 +10,19 @@
 //! codecomp brisc pack <src.c|.ccir> [-o F]   produce a BRISC image (.ccbr)
 //! codecomp brisc run <in.ccbr> [-- args]     interpret the image in place
 //! codecomp brisc info <in.ccbr>              dictionary / model statistics
+//! codecomp fuzz [--target T] [--cases N]     coverage-guided fuzzing campaign
 //! ```
 
 use code_compression::brisc::interp::BriscMachine;
 use code_compression::brisc::translate::translate;
 use code_compression::brisc::{compress as brisc_compress, BriscImage, BriscOptions};
-use code_compression::core::{Budget, DecodeLimits};
+use code_compression::core::fuzz::{
+    default_dictionary, run_blind_schedule, run_campaign, union_edges, CampaignReport, FindingKind,
+    FuzzConfig, Verdict,
+};
+use code_compression::core::{coverage, Budget, DecodeLimits};
+use code_compression::corpus::{benchmarks, synthetic_modules, Benchmark, MultiModuleConfig};
+use code_compression::flate::{gzip_compress, gzip_decompress_budgeted, CompressionLevel};
 use code_compression::front::compile;
 use code_compression::ir::binary::{decode_module, encode_module};
 use code_compression::ir::eval::Evaluator;
@@ -24,7 +31,9 @@ use code_compression::vm::codegen::compile_module;
 use code_compression::vm::interp::Machine;
 use code_compression::vm::isa::IsaConfig;
 use code_compression::core::telemetry;
-use code_compression::wire::{compress as wire_compress, decompress, decompress_budgeted, WireOptions};
+use code_compression::wire::{
+    compress as wire_compress, decompress, decompress_budgeted, DemandImage, WireOptions,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -290,6 +299,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, AnyError> {
             Some("check") => cmd_telemetry_check(&args[2..]),
             _ => usage(),
         },
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => usage(),
         Some(other) => Err(format!("unknown command {other:?} (try `codecomp help`)").into()),
     }
@@ -309,6 +319,8 @@ fn usage() -> Result<ExitCode, AnyError> {
   codecomp brisc run <in.ccbr> [--fuel N] [--max-output N] [-- args...]
   codecomp brisc info <in.ccbr>
   codecomp telemetry check <trace.jsonl>...
+  codecomp fuzz [--target wire|gzip|demand|brisc|all] [--cases N] [--seed N]
+                [--rounds N] [--blind] [--max-input N] [--save-repros]
 
 global telemetry flags (any command, before `--`):
   --stats              per-stage stream breakdown table (stderr)
@@ -678,4 +690,260 @@ fn cmd_brisc_info(args: &[String]) -> Result<ExitCode, AnyError> {
     let combined = image.dictionary.iter().filter(|e| e.len() > 1).count();
     outln!("combined patterns: {combined}")?;
     Ok(ExitCode::SUCCESS)
+}
+
+/// A fuzz target: feeds one input to a decoder and classifies the result.
+type FuzzTarget = Box<dyn FnMut(&[u8]) -> Verdict>;
+
+/// Seed modules for the fuzz corpus: the two smallest benchmarks plus
+/// one multi-module synthetic unit, so cross-module idioms (shared
+/// preludes, deep expression spines) are represented in every seed set.
+fn fuzz_seed_modules() -> Result<Vec<Module>, AnyError> {
+    let mut suite = benchmarks();
+    suite.sort_by_key(|b| b.source.len());
+    let mut modules: Vec<Module> = suite
+        .iter()
+        .take(2)
+        .map(Benchmark::compile)
+        .collect::<Result<_, _>>()?;
+    let synth = synthetic_modules(
+        7,
+        MultiModuleConfig {
+            modules: 1,
+            shared_functions: 3,
+            functions_per_module: 4,
+            statements_per_function: 3,
+            globals: 2,
+            max_expr_depth: 3,
+        },
+    );
+    modules.push(compile(&synth[0])?);
+    Ok(modules)
+}
+
+/// Builds the seed corpus and run closure for one fuzz target.
+fn fuzz_target(name: &str, limits: DecodeLimits) -> Result<(Vec<Vec<u8>>, FuzzTarget), AnyError> {
+    let modules = fuzz_seed_modules()?;
+    match name {
+        "wire" => {
+            let seeds = modules
+                .iter()
+                .map(|m| wire_compress(m, WireOptions::default()).map(|p| p.bytes))
+                .collect::<Result<Vec<_>, _>>()?;
+            let run: FuzzTarget = Box::new(move |bytes| {
+                match decompress_budgeted(bytes, &Budget::new(limits)) {
+                    Ok(_) => Verdict::Accept,
+                    Err(_) => Verdict::Reject,
+                }
+            });
+            Ok((seeds, run))
+        }
+        "gzip" => {
+            let seeds = modules
+                .iter()
+                .map(|m| Ok(gzip_compress(&encode_module(m)?, CompressionLevel::Best)))
+                .collect::<Result<Vec<_>, AnyError>>()?;
+            let run: FuzzTarget = Box::new(move |bytes| {
+                match gzip_decompress_budgeted(bytes, &Budget::new(limits)) {
+                    Ok(out) if out.len() as u64 > limits.max_output_bytes => Verdict::Violation(
+                        format!(
+                            "gzip output {} bytes exceeds {}-byte ceiling",
+                            out.len(),
+                            limits.max_output_bytes
+                        ),
+                    ),
+                    Ok(_) => Verdict::Accept,
+                    Err(_) => Verdict::Reject,
+                }
+            });
+            Ok((seeds, run))
+        }
+        "demand" => {
+            let seeds = modules
+                .iter()
+                .map(|m| DemandImage::build(m, WireOptions::default()).map(|i| i.to_bytes()))
+                .collect::<Result<Vec<_>, _>>()?;
+            let run: FuzzTarget = Box::new(move |bytes| {
+                let Ok(image) = DemandImage::from_bytes(bytes) else {
+                    return Verdict::Reject;
+                };
+                match image.load_all_budgeted(&Budget::new(limits)) {
+                    Ok(_) => Verdict::Accept,
+                    Err(_) => Verdict::Reject,
+                }
+            });
+            Ok((seeds, run))
+        }
+        "brisc" => {
+            let seeds = modules
+                .iter()
+                .map(|m| -> Result<Vec<u8>, AnyError> {
+                    let vm = compile_module(m, IsaConfig::full())?;
+                    Ok(brisc_compress(&vm, BriscOptions::default())?.image.to_bytes())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let run: FuzzTarget = Box::new(move |bytes| {
+                let budget = Budget::new(limits);
+                let Ok(image) = BriscImage::from_bytes_budgeted(bytes, &budget) else {
+                    return Verdict::Reject;
+                };
+                // Execution under a small fuel budget: any run error on a
+                // mutated image is acceptable, but it must not panic.
+                match BriscMachine::new_governed(&image, 1 << 16, 1 << 14, limits) {
+                    Ok(mut machine) => {
+                        let _ = machine.run("main", &[]);
+                        Verdict::Accept
+                    }
+                    Err(_) => Verdict::Reject,
+                }
+            });
+            Ok((seeds, run))
+        }
+        other => Err(format!("fuzz: unknown target {other:?} (wire|gzip|demand|brisc|all)").into()),
+    }
+}
+
+fn print_fuzz_report(name: &str, blind: bool, r: &CampaignReport) -> Result<(), AnyError> {
+    outln!(
+        "fuzz {name} ({}): {} cases, {} executions, {} unique edges, \
+         corpus {} ({} kept for coverage), {} accept / {} reject, {} findings",
+        if blind { "blind" } else { "guided" },
+        r.cases,
+        r.executions,
+        r.unique_edges,
+        r.corpus_size,
+        r.coverage_inputs,
+        r.accepts,
+        r.rejects,
+        r.findings.len()
+    )?;
+    for f in &r.findings {
+        let what = match &f.kind {
+            FindingKind::Panic(msg) => format!("panic: {msg}"),
+            FindingKind::Violation(msg) => format!("limit violation: {msg}"),
+        };
+        outln!("  case {}: {what} ({} byte input)", f.case, f.input.len())?;
+    }
+    Ok(())
+}
+
+/// Persists finding inputs under `tests/regressions/` using the
+/// `<target>__<verdict>__<name>.bin` convention the regression harness
+/// replays. Findings are recorded as `total` — once the underlying bug
+/// is fixed, the decoder must survive the input without panicking,
+/// whatever Result it returns.
+fn save_reproducers(target: &str, seed: u64, r: &CampaignReport) -> Result<(), AnyError> {
+    if r.findings.is_empty() {
+        return Ok(());
+    }
+    let dir = std::path::Path::new("tests/regressions");
+    std::fs::create_dir_all(dir)?;
+    for f in &r.findings {
+        let path = dir.join(format!("{target}__total__seed{seed:x}-case{}.bin", f.case));
+        std::fs::write(&path, &f.input)?;
+        outln!("  wrote reproducer: {}", path.display())?;
+    }
+    Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, AnyError> {
+    let mut target = "all";
+    let mut cases: u64 = 2000;
+    let mut seed: u64 = 1;
+    let mut blind = false;
+    let mut save_repros = false;
+    let mut max_input: usize = 1 << 16;
+    let mut rounds: u64 = 1;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(a) = it.next() {
+        match a {
+            "--target" => target = it.next().ok_or("--target needs a value")?,
+            "--cases" => {
+                cases = parse_size("--cases", it.next().ok_or("--cases needs a value")?)?;
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a value")?;
+                rounds = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--rounds expects an integer, got {v:?}"))?
+                    .max(1);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+            }
+            "--blind" => blind = true,
+            "--save-repros" => save_repros = true,
+            "--max-input" => {
+                max_input =
+                    parse_size("--max-input", it.next().ok_or("--max-input needs a value")?)?
+                        as usize;
+            }
+            other => return Err(format!("fuzz: unknown argument {other:?}").into()),
+        }
+    }
+    if !coverage::enabled() {
+        eprintln!(
+            "note: built without the `coverage` feature; edge counts read 0 and guided \
+             mode degenerates to blind mutation (rebuild with --features coverage)"
+        );
+    }
+    // Per-case budgets small enough that decode bombs are cut off fast.
+    let limits = DecodeLimits {
+        max_output_bytes: 1 << 22,
+        decode_fuel: 1 << 24,
+        max_resident_bytes: 1 << 22,
+        ..DecodeLimits::default()
+    };
+    // Between cases every decode-structure cache rolls its generation,
+    // so one case's hostile residue can never shape the next case.
+    let reset = || {
+        code_compression::coding::huffman::bump_decoder_cache_generation();
+        code_compression::flate::inflate::bump_table_cache_generation();
+        code_compression::wire::bump_pattern_table_cache_generation();
+    };
+    let names: Vec<&str> = if target == "all" {
+        vec!["wire", "gzip", "demand", "brisc"]
+    } else {
+        vec![target]
+    };
+    let mut findings_total = 0usize;
+    for name in names {
+        let (seeds, mut run) = fuzz_target(name, limits)?;
+        let mut reports = Vec::new();
+        for round in 0..rounds {
+            let config = FuzzConfig {
+                seed: seed + round,
+                cases,
+                max_input_len: max_input,
+                guided: !blind,
+                ..FuzzConfig::default()
+            };
+            let report = if blind {
+                run_blind_schedule(&config, &seeds, &mut run, reset)
+            } else {
+                run_campaign(&config, &seeds, &default_dictionary(), &mut run, reset)
+            };
+            print_fuzz_report(name, blind, &report)?;
+            if save_repros {
+                save_reproducers(name, seed + round, &report)?;
+            }
+            findings_total += report.findings.len();
+            reports.push(report);
+        }
+        if rounds > 1 {
+            let maps: Vec<&[u64]> = reports.iter().map(|r| r.edge_map.as_slice()).collect();
+            outln!(
+                "fuzz {name}: union over {rounds} rounds: {} unique edges",
+                union_edges(&maps)
+            )?;
+        }
+    }
+    Ok(if findings_total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }

@@ -16,10 +16,8 @@
 //! builds are never cached, so no mutation may leave residue that
 //! corrupts a later decode.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
 use code_compression::coding::huffman::clear_decoder_cache;
-use code_compression::core::fault::mutation_schedule;
+use code_compression::core::fault::sweep_decoder;
 use code_compression::corpus::benchmarks;
 use code_compression::flate::inflate::clear_table_cache;
 use code_compression::ir::Module;
@@ -153,25 +151,25 @@ fn hostile_inputs_cannot_poison_warm_caches() {
         // Warm every cache with the valid image's tables.
         clear_all_decode_caches();
         assert_eq!(decompress(&image).expect("valid decode"), module);
-        let schedule = mutation_schedule(0xCAFE_0000 + i as u64, image.len(), MUTATIONS_PER_PAYLOAD);
-        for (step, m) in schedule.iter().enumerate() {
-            let mutated = m.apply(&image);
-            let r = catch_unwind(AssertUnwindSafe(|| {
-                let _ = decompress(&mutated);
-            }));
-            assert!(
-                r.is_ok(),
-                "wire/{}: panic on mutation {step} ({m:?}) with warm caches",
-                b.name
-            );
-            // The hostile attempt must leave no residue: the valid
-            // image still decodes to the same module afterwards.
-            let back = decompress(&image).expect("valid image decodes after hostile attempt");
-            assert_eq!(
-                back, module,
-                "wire/{}: decode differs after hostile mutation {step} ({m:?})",
-                b.name
-            );
-        }
+        sweep_decoder(
+            &format!("wire/{}", b.name),
+            &image,
+            0xCAFE_0000 + i as u64,
+            MUTATIONS_PER_PAYLOAD,
+            false,
+            |bytes| {
+                let _ = decompress(bytes);
+            },
+            |case| {
+                // The hostile attempt must leave no residue: the valid
+                // image still decodes to the same module afterwards.
+                let back = decompress(&image).expect("valid image decodes after hostile attempt");
+                assert_eq!(
+                    back, module,
+                    "wire/{}: decode differs after hostile {case}",
+                    b.name
+                );
+            },
+        );
     }
 }

@@ -28,7 +28,7 @@ use code_compression::brisc::BriscImage;
 use code_compression::coding::mtf::{
     mtf_decode, mtf_decode_budgeted, mtf_decode_classic, mtf_decode_classic_budgeted, MtfEncoded,
 };
-use code_compression::core::fault::{mutation_schedule, XorShift64};
+use code_compression::core::fault::{assert_decoder_total, XorShift64};
 use code_compression::core::{Budget, DecodeLimits};
 use code_compression::corpus::benchmarks;
 use code_compression::flate::{gzip_compress, gzip_decompress, CompressionLevel};
@@ -56,24 +56,10 @@ fn test_modules() -> Vec<(&'static str, Module)> {
 }
 
 /// Runs `decode` over every prefix of `payload` and over the seeded
-/// mutation schedule, asserting that no input panics.
-fn attack(what: &str, payload: &[u8], seed: u64, decode: impl Fn(&[u8])) {
-    for len in 0..payload.len() {
-        let prefix = &payload[..len];
-        let r = catch_unwind(AssertUnwindSafe(|| decode(prefix)));
-        assert!(r.is_ok(), "{what}: decoder panicked on {len}-byte prefix");
-    }
-    for (i, m) in mutation_schedule(seed, payload.len(), MUTATIONS_PER_PAYLOAD)
-        .iter()
-        .enumerate()
-    {
-        let mutated = m.apply(payload);
-        let r = catch_unwind(AssertUnwindSafe(|| decode(&mutated)));
-        assert!(
-            r.is_ok(),
-            "{what}: decoder panicked on mutation {i} ({m:?}, seed {seed:#x})"
-        );
-    }
+/// mutation schedule, asserting that no input panics. Thin wrapper
+/// over the shared sweep loop in `core::fault`.
+fn attack(what: &str, payload: &[u8], seed: u64, decode: impl FnMut(&[u8])) {
+    assert_decoder_total(what, payload, seed, MUTATIONS_PER_PAYLOAD, decode);
 }
 
 #[test]
