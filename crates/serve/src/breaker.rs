@@ -1,0 +1,229 @@
+//! Per-function circuit breaker: closed → open → half-open.
+//!
+//! PR 3's quarantine records *that* a unit failed; the breaker decides
+//! *whether another attempt is worth the wire time*. Consecutive
+//! failures trip the breaker open; while open, attempts are refused
+//! until a cooldown elapses; the first attempt after the cooldown runs
+//! in half-open state as a probe. A probe success closes the breaker
+//! (and the caller clears its quarantine entry); a probe failure
+//! re-opens it with an escalated cooldown, so a persistently corrupt
+//! unit consumes retries at an exponentially decaying rate while a
+//! transiently faulty one recovers in one probe.
+
+use crate::{Nanos, MILLI, SECOND};
+
+/// Breaker state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; failures are counted.
+    Closed,
+    /// Attempts refused until the cooldown deadline.
+    Open,
+    /// Cooldown elapsed; the next attempt is a probe.
+    HalfOpen,
+}
+
+/// Tunables for [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip closed → open.
+    pub failure_threshold: u32,
+    /// First cooldown after tripping open.
+    pub cooldown: Nanos,
+    /// Each re-trip from half-open multiplies the cooldown by this.
+    pub escalation: u32,
+    /// Cooldown ceiling; escalation saturates here.
+    pub max_cooldown: Nanos,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: 50 * MILLI,
+            escalation: 4,
+            max_cooldown: 30 * SECOND,
+        }
+    }
+}
+
+/// One function's breaker. Plain data — callers (one per client) own
+/// theirs; no interior locking.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: Nanos,
+    current_cooldown: Nanos,
+    /// Times the breaker tripped closed/half-open → open.
+    pub opens: u64,
+    /// Times an open breaker admitted a half-open probe.
+    pub half_opens: u64,
+    /// Times a probe success closed the breaker again.
+    pub recoveries: u64,
+    /// Attempts refused while open.
+    pub rejects: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    #[must_use]
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: 0,
+            current_cooldown: policy.cooldown.max(1),
+            opens: 0,
+            half_opens: 0,
+            recoveries: 0,
+            rejects: 0,
+        }
+    }
+
+    /// Current state, as of the last `admit`/`record_*` call.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether an attempt may proceed at virtual time `now`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the probe.
+    pub fn admit(&mut self, now: Nanos) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open if now >= self.open_until => {
+                self.state = BreakerState::HalfOpen;
+                self.half_opens += 1;
+                true
+            }
+            BreakerState::Open => {
+                self.rejects += 1;
+                false
+            }
+        }
+    }
+
+    /// Earliest virtual time at which [`Self::admit`] can return true,
+    /// if the breaker is currently refusing attempts.
+    #[must_use]
+    pub fn retry_at(&self) -> Option<Nanos> {
+        match self.state {
+            BreakerState::Open => Some(self.open_until),
+            _ => None,
+        }
+    }
+
+    /// Reports a successful attempt: closes the breaker and resets the
+    /// failure count and cooldown escalation.
+    pub fn record_success(&mut self) {
+        if self.state != BreakerState::Closed {
+            self.recoveries += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.current_cooldown = self.policy.cooldown.max(1);
+    }
+
+    /// Reports a failed attempt at virtual time `now`. A half-open
+    /// probe failure re-opens with an escalated cooldown; a closed
+    /// breaker opens once the consecutive-failure threshold is met.
+    pub fn record_failure(&mut self, now: Nanos) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.current_cooldown = self
+                    .current_cooldown
+                    .saturating_mul(u64::from(self.policy.escalation.max(1)))
+                    .min(self.policy.max_cooldown.max(1));
+                self.trip(now);
+            }
+            BreakerState::Closed
+                if self.consecutive_failures >= self.policy.failure_threshold.max(1) =>
+            {
+                self.trip(now);
+            }
+            _ => {}
+        }
+    }
+
+    fn trip(&mut self, now: Nanos) {
+        self.state = BreakerState::Open;
+        self.open_until = now.saturating_add(self.current_cooldown);
+        self.opens += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 2,
+            cooldown: 100,
+            escalation: 4,
+            max_cooldown: 1_000,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_and_half_opens_after_cooldown() {
+        let mut b = CircuitBreaker::new(policy());
+        assert!(b.admit(0));
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(10);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.retry_at(), Some(110));
+
+        assert!(!b.admit(50), "cooldown still running");
+        assert_eq!(b.rejects, 1);
+        assert!(b.admit(110), "cooldown boundary admits the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.half_opens, 1);
+
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries, 1);
+    }
+
+    #[test]
+    fn probe_failure_escalates_cooldown_to_cap() {
+        let mut b = CircuitBreaker::new(policy());
+        b.record_failure(0);
+        b.record_failure(0); // open, cooldown 100, until 100
+        let mut now = 100;
+        let mut widths = Vec::new();
+        for _ in 0..4 {
+            assert!(b.admit(now));
+            b.record_failure(now);
+            let until = b.retry_at().expect("open after probe failure");
+            widths.push(until - now);
+            now = until;
+        }
+        assert_eq!(widths, vec![400, 1_000, 1_000, 1_000], "x4 then capped");
+        assert_eq!(b.opens, 5);
+
+        // Recovery resets escalation.
+        assert!(b.admit(now));
+        b.record_success();
+        b.record_failure(now);
+        b.record_failure(now);
+        assert_eq!(b.retry_at(), Some(now + 100), "cooldown back to base");
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(policy());
+        for _ in 0..10 {
+            b.record_failure(0);
+            b.record_success();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens, 0, "alternating failure/success never trips");
+    }
+}

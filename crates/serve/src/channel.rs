@@ -1,0 +1,283 @@
+//! Fault-injecting byte transport over `memsim` channel models.
+//!
+//! A [`FaultyChannel`] delivers a payload with the transfer time the
+//! paper's channel models predict (bandwidth + latency), then rolls a
+//! seeded PRNG for an injected fault. The PRNG is keyed on
+//! `(seed, request_id, attempt)` so every attempt of every request has
+//! an independent — but fully reproducible — fate: a corrupted first
+//! attempt can be followed by a clean retry, which is exactly the
+//! transient-fault story the client's quarantine recovery needs.
+
+use codecomp_core::fault::{Mutation, XorShift64};
+use codecomp_core::telemetry;
+use codecomp_memsim::Channel;
+
+use crate::{secs_to_nanos, Nanos, SECOND};
+
+/// What the channel did to one delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelFault {
+    /// Payload cut short mid-transfer.
+    Truncate,
+    /// Payload bits corrupted in flight.
+    Corrupt,
+    /// Payload intact but delivered late (congestion).
+    Delay,
+    /// Nothing arrived before the attempt cutoff.
+    Timeout,
+}
+
+impl ChannelFault {
+    /// Stable name for telemetry fields.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelFault::Truncate => "truncate",
+            ChannelFault::Corrupt => "corrupt",
+            ChannelFault::Delay => "delay",
+            ChannelFault::Timeout => "timeout",
+        }
+    }
+}
+
+/// Outcome of one delivery attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// Bytes arrived (possibly corrupted — the client's decoder is the
+    /// integrity check).
+    Delivered(Vec<u8>),
+    /// The attempt cutoff elapsed with nothing delivered.
+    TimedOut,
+}
+
+/// One delivery attempt's result: what arrived and how long it took in
+/// virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Virtual time the attempt consumed.
+    pub elapsed: Nanos,
+    /// What arrived.
+    pub outcome: DeliveryOutcome,
+    /// The injected fault, if any.
+    pub fault: Option<ChannelFault>,
+}
+
+/// Byte transport abstraction so tests can script exact fault
+/// sequences against the client without probability.
+pub trait Transport {
+    /// Delivers `payload` for `(request_id, attempt)`, returning what
+    /// arrived and the virtual time spent.
+    fn deliver(&self, request_id: u64, attempt: u32, payload: &[u8]) -> Delivery;
+}
+
+/// A `memsim`-modeled channel with seeded deterministic faults.
+#[derive(Debug, Clone)]
+pub struct FaultyChannel {
+    /// Bandwidth/latency model the transfer time comes from.
+    pub model: Channel,
+    /// Base seed; combined with request id and attempt number.
+    pub seed: u64,
+    /// Fault probability numerator (`fault_num / fault_den` of
+    /// attempts are faulted; 0 disables injection).
+    pub fault_num: u64,
+    /// Fault probability denominator.
+    pub fault_den: u64,
+    /// Attempt cutoff: a timeout fault consumes exactly this long.
+    pub timeout: Nanos,
+}
+
+impl FaultyChannel {
+    /// A channel over `model` faulting `fault_num / fault_den` of
+    /// attempts. The attempt cutoff defaults to the larger of one
+    /// virtual second and 64× the model's latency.
+    #[must_use]
+    pub fn new(model: Channel, seed: u64, fault_num: u64, fault_den: u64) -> FaultyChannel {
+        let timeout = secs_to_nanos(model.latency).saturating_mul(64).max(SECOND);
+        FaultyChannel { model, seed, fault_num, fault_den: fault_den.max(1), timeout }
+    }
+
+    /// Same channel with an explicit attempt cutoff.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Nanos) -> FaultyChannel {
+        self.timeout = timeout.max(1);
+        self
+    }
+
+    /// Fault-free transfer time for `bytes` under the model.
+    #[must_use]
+    pub fn transfer_nanos(&self, bytes: usize) -> Nanos {
+        secs_to_nanos(self.model.transfer_time(bytes))
+    }
+
+    fn rng_for(&self, request_id: u64, attempt: u32) -> XorShift64 {
+        // Distinct odd multipliers decorrelate the three key parts;
+        // the constant keeps seed 0 usable.
+        let key = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(request_id.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x94d0_49bb_1331_11eb))
+            | 1;
+        XorShift64::new(key)
+    }
+}
+
+impl Transport for FaultyChannel {
+    fn deliver(&self, request_id: u64, attempt: u32, payload: &[u8]) -> Delivery {
+        let base = self.transfer_nanos(payload.len());
+        let mut rng = self.rng_for(request_id, attempt);
+        if !rng.chance(self.fault_num, self.fault_den) {
+            return Delivery {
+                elapsed: base,
+                outcome: DeliveryOutcome::Delivered(payload.to_vec()),
+                fault: None,
+            };
+        }
+        let fault = match rng.below(4) {
+            0 => ChannelFault::Truncate,
+            1 => ChannelFault::Corrupt,
+            2 => ChannelFault::Delay,
+            _ => ChannelFault::Timeout,
+        };
+        telemetry::counter_add("serve.channel.faults", 1);
+        match fault {
+            ChannelFault::Truncate => {
+                // Cut mid-transfer: proportionally less wire time.
+                let keep = (rng.below(payload.len() as u64 + 1)) as usize;
+                let frac = if payload.is_empty() {
+                    base
+                } else {
+                    // keep/len of the payload crossed the wire.
+                    ((base as u128 * keep as u128 / payload.len() as u128) as u64).max(1)
+                };
+                let bytes = Mutation::Truncate { len: keep }.apply(payload);
+                Delivery {
+                    elapsed: frac,
+                    outcome: DeliveryOutcome::Delivered(bytes),
+                    fault: Some(fault),
+                }
+            }
+            ChannelFault::Corrupt => {
+                // One to four bit flips or a short splice.
+                let mut bytes = payload.to_vec();
+                if bytes.is_empty() {
+                    // Nothing to corrupt; degrade to a truncation-of-nothing.
+                } else if rng.chance(1, 4) {
+                    let offset = rng.below(bytes.len() as u64) as usize;
+                    let len = rng.range_usize(1, bytes.len().min(8) + 1);
+                    bytes = Mutation::Splice { offset, len, seed: rng.next_u64() }.apply(&bytes);
+                } else {
+                    for _ in 0..rng.range_usize(1, 5) {
+                        let offset = rng.below(bytes.len() as u64) as usize;
+                        let bit = (rng.below(8)) as u8;
+                        bytes = Mutation::BitFlip { offset, bit }.apply(&bytes);
+                    }
+                }
+                Delivery {
+                    elapsed: base,
+                    outcome: DeliveryOutcome::Delivered(bytes),
+                    fault: Some(fault),
+                }
+            }
+            ChannelFault::Delay => {
+                // Congestion: 2–8× the modeled transfer time, capped at
+                // the attempt cutoff (a delay past the cutoff *is* a
+                // timeout from the client's seat).
+                let factor = 2 + rng.below(7);
+                let late = base.saturating_mul(factor);
+                if late >= self.timeout {
+                    Delivery {
+                        elapsed: self.timeout,
+                        outcome: DeliveryOutcome::TimedOut,
+                        fault: Some(ChannelFault::Timeout),
+                    }
+                } else {
+                    Delivery {
+                        elapsed: late,
+                        outcome: DeliveryOutcome::Delivered(payload.to_vec()),
+                        fault: Some(fault),
+                    }
+                }
+            }
+            ChannelFault::Timeout => Delivery {
+                elapsed: self.timeout,
+                outcome: DeliveryOutcome::TimedOut,
+                fault: Some(fault),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> FaultyChannel {
+        FaultyChannel::new(Channel::lan_10mbit(), 99, 1, 2)
+    }
+
+    #[test]
+    fn fault_free_channel_is_identity_with_model_timing() {
+        let c = FaultyChannel::new(Channel::modem_28k8(), 1, 0, 100);
+        let payload = vec![0xAB; 3_600];
+        let d = c.deliver(7, 1, &payload);
+        assert_eq!(d.outcome, DeliveryOutcome::Delivered(payload));
+        assert_eq!(d.fault, None);
+        // 3600 B at 3600 B/s + 0.1 s latency = 1.1 virtual seconds.
+        assert_eq!(d.elapsed, secs_to_nanos(1.1));
+    }
+
+    #[test]
+    fn deliveries_are_deterministic_per_request_and_attempt() {
+        let c = chan();
+        let payload: Vec<u8> = (0..=255).collect();
+        for req in 0..50u64 {
+            for attempt in 1..=3u32 {
+                assert_eq!(
+                    c.deliver(req, attempt, &payload),
+                    c.deliver(req, attempt, &payload),
+                    "replay must be bit-identical"
+                );
+            }
+        }
+        // Different attempts of the same request get independent fates.
+        let fates: Vec<_> = (1..=16).map(|a| c.deliver(3, a, &payload).fault).collect();
+        assert!(fates.iter().any(Option::is_some), "some attempts faulted");
+        assert!(fates.iter().any(Option::is_none), "some attempts clean");
+    }
+
+    #[test]
+    fn fault_rate_is_roughly_honored() {
+        let c = FaultyChannel::new(Channel::disk(), 5, 1, 100);
+        let payload = vec![1u8; 64];
+        let faults = (0..2_000u64)
+            .filter(|&r| c.deliver(r, 1, &payload).fault.is_some())
+            .count();
+        // 1% nominal; allow generous slack for PRNG variance.
+        assert!((5..=60).contains(&faults), "unexpected fault count {faults}");
+    }
+
+    #[test]
+    fn empty_payload_never_panics() {
+        let c = FaultyChannel::new(Channel::lan_10mbit(), 17, 1, 1);
+        for req in 0..64 {
+            let d = c.deliver(req, 1, &[]);
+            assert!(d.elapsed > 0 || matches!(d.outcome, DeliveryOutcome::Delivered(_)));
+        }
+    }
+
+    #[test]
+    fn timeout_consumes_exactly_the_cutoff() {
+        let c = FaultyChannel::new(Channel::lan_10mbit(), 23, 1, 1).with_timeout(500);
+        let payload = vec![9u8; 1 << 16];
+        let mut saw_timeout = false;
+        for req in 0..200 {
+            let d = c.deliver(req, 1, &payload);
+            if d.outcome == DeliveryOutcome::TimedOut {
+                assert_eq!(d.elapsed, 500);
+                saw_timeout = true;
+            }
+        }
+        assert!(saw_timeout, "always-fault channel never timed out in 200 tries");
+    }
+}

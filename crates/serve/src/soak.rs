@@ -1,0 +1,657 @@
+//! Discrete-event soak harness: N clients × {modem, LAN, disk} ×
+//! injected fault rates, in virtual time.
+//!
+//! The harness is a single-threaded event loop over virtual
+//! nanoseconds, so a soak of tens of thousands of requests runs in
+//! well under a second of wall clock and is bit-deterministic in its
+//! seed: the same [`SoakConfig`] produces the same [`SoakReport`],
+//! field for field, on every run. Server-side queueing is modeled as a
+//! small pool of virtual decode workers with a bounded projected wait
+//! — arrivals whose wait would exceed the bound are shed with an
+//! explicit retry-after, the same verdict the thread-safe
+//! [`ModuleServer`] issues at real admission saturation.
+//!
+//! Survival properties the harness reports (and tests assert): no
+//! stuck requests, bounded per-request attempts, bounded cache memory,
+//! and eventual delivery of every function that is not corrupt at the
+//! source.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use codecomp_core::fault::XorShift64;
+use codecomp_core::telemetry;
+use codecomp_memsim::Channel;
+use codecomp_wire::demand::DemandImage;
+
+use crate::channel::{FaultyChannel, Transport};
+use crate::client::{AttemptError, ClientConfig, FetchClient, WireEvent};
+use crate::server::{ModuleServer, ServeError, ServerConfig};
+use crate::{secs_to_nanos, Nanos, MILLI};
+
+/// Fixed per-request server overhead added to every virtual service
+/// time (admission, lookup, framing).
+const SERVICE_OVERHEAD: Nanos = 20_000;
+
+/// Bound on breaker-wait/shed reschedules per request, so an
+/// always-open breaker cannot spin the event loop within one request's
+/// deadline window.
+const MAX_WAITS_PER_REQUEST: u32 = 32;
+
+/// The paper's three channel models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// 28.8 kbit/s modem.
+    Modem,
+    /// 10 Mbit/s LAN.
+    Lan,
+    /// Mid-90s disk.
+    Disk,
+}
+
+impl ChannelKind {
+    /// The `memsim` model.
+    #[must_use]
+    pub fn model(self) -> Channel {
+        match self {
+            ChannelKind::Modem => Channel::modem_28k8(),
+            ChannelKind::Lan => Channel::lan_10mbit(),
+            ChannelKind::Disk => Channel::disk(),
+        }
+    }
+
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelKind::Modem => "modem",
+            ChannelKind::Lan => "lan",
+            ChannelKind::Disk => "disk",
+        }
+    }
+}
+
+/// Soak harness tunables.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Master seed; every PRNG in the run derives from it.
+    pub seed: u64,
+    /// Simulated client count, round-robined over the channel kinds.
+    pub clients: usize,
+    /// Requests each client completes (delivered or abandoned).
+    pub requests_per_client: u64,
+    /// Channel fault probability numerator.
+    pub fault_num: u64,
+    /// Channel fault probability denominator.
+    pub fault_den: u64,
+    /// Channel models to spread clients across.
+    pub channels: Vec<ChannelKind>,
+    /// Server configuration.
+    pub server: ServerConfig,
+    /// Client configuration.
+    pub client: ClientConfig,
+    /// Mean virtual gap between a client's requests (jittered ±50%).
+    pub think_time: Nanos,
+    /// Virtual decode worker count.
+    pub workers: usize,
+    /// Shed arrivals whose projected queue wait exceeds this.
+    pub max_queue_wait: Nanos,
+    /// Server decode throughput (bytes/s) for virtual service times.
+    pub decode_rate: f64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seed: 1,
+            clients: 12,
+            requests_per_client: 100,
+            fault_num: 1,
+            fault_den: 100,
+            channels: vec![ChannelKind::Modem, ChannelKind::Lan, ChannelKind::Disk],
+            server: ServerConfig::default(),
+            client: ClientConfig::default(),
+            think_time: 5 * MILLI,
+            workers: 4,
+            max_queue_wait: 250 * MILLI,
+            decode_rate: 4_000_000.0,
+        }
+    }
+}
+
+/// Everything a soak run measured. Same seed → equal reports.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SoakReport {
+    /// Virtual time the run covered.
+    pub virtual_duration: Nanos,
+    /// Requests issued (each ends delivered, failed, or stuck).
+    pub requests: u64,
+    /// Requests that delivered a decoded function.
+    pub delivered: u64,
+    /// Requests abandoned (attempt/deadline/wait budget exhausted, or
+    /// a permanent verdict).
+    pub failed: u64,
+    /// Wire attempts.
+    pub attempts: u64,
+    /// Attempts beyond each request's first.
+    pub retries: u64,
+    /// Shed verdicts (virtual queue + real admission).
+    pub sheds: u64,
+    /// Attempt timeouts.
+    pub timeouts: u64,
+    /// Deliveries that failed client-side decode.
+    pub corrupt_deliveries: u64,
+    /// Source-corrupt verdicts from the server.
+    pub source_corrupt: u64,
+    /// Breaker trips to open.
+    pub breaker_opens: u64,
+    /// Half-open probes admitted.
+    pub breaker_half_opens: u64,
+    /// Probe successes that re-closed a breaker.
+    pub breaker_recoveries: u64,
+    /// Attempts refused by open breakers.
+    pub breaker_rejects: u64,
+    /// Functions that entered quarantine at least once.
+    pub quarantines: u64,
+    /// Quarantine exits.
+    pub quarantine_recoveries: u64,
+    /// Functions still quarantined (summed over clients) at the end.
+    pub quarantined_end: u64,
+    /// Server verification-cache hits.
+    pub cache_hits: u64,
+    /// Server verification-cache misses.
+    pub cache_misses: u64,
+    /// Cache evictions.
+    pub cache_evictions: u64,
+    /// Requests served raw under pressure.
+    pub raw_fallbacks: u64,
+    /// Peak approximate cache bytes.
+    pub peak_cache_bytes: u64,
+    /// Largest per-request wire attempt count observed.
+    pub max_attempts_seen: u32,
+    /// Clients that never finished their quota (must be 0).
+    pub stuck_clients: u64,
+    /// Distinct functions requested.
+    pub names_requested: u64,
+    /// Distinct functions delivered to at least one requester.
+    pub names_delivered: u64,
+    /// Functions requested but never delivered anywhere, excluding
+    /// source-corrupt ones (must be empty for a surviving run).
+    pub undelivered: Vec<String>,
+    /// Functions the server proved corrupt at the source.
+    pub permanently_corrupt: Vec<String>,
+}
+
+impl SoakReport {
+    /// The `serve.*` counter totals this run represents, in a stable
+    /// order. These are what [`Self::publish_telemetry`] adds to the
+    /// registry, and what determinism tests compare.
+    #[must_use]
+    pub fn counter_totals(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("serve.requests", self.requests),
+            ("serve.delivered", self.delivered),
+            ("serve.failed", self.failed),
+            ("serve.attempts", self.attempts),
+            ("serve.retries", self.retries),
+            ("serve.shed", self.sheds),
+            ("serve.timeouts", self.timeouts),
+            ("serve.corrupt_deliveries", self.corrupt_deliveries),
+            ("serve.source_corrupt", self.source_corrupt),
+            ("serve.breaker.opens", self.breaker_opens),
+            ("serve.breaker.half_opens", self.breaker_half_opens),
+            ("serve.breaker.recoveries", self.breaker_recoveries),
+            ("serve.breaker.rejects", self.breaker_rejects),
+            ("serve.quarantines", self.quarantines),
+            ("serve.quarantine.recoveries", self.quarantine_recoveries),
+            ("serve.cache.hits", self.cache_hits),
+            ("serve.cache.misses", self.cache_misses),
+            ("serve.cache.evictions", self.cache_evictions),
+            ("serve.raw_fallbacks", self.raw_fallbacks),
+        ]
+    }
+
+    /// Adds the run's totals to the telemetry registry (one batch, so
+    /// totals stay deterministic) plus the peak-cache gauge.
+    pub fn publish_telemetry(&self) {
+        for (name, v) in self.counter_totals() {
+            telemetry::counter_add(name, v);
+        }
+        telemetry::gauge_max("serve.cache.peak_bytes", self.peak_cache_bytes);
+        telemetry::gauge_set("serve.soak.virtual_millis", self.virtual_duration / MILLI);
+        telemetry::event(
+            "serve.soak.summary",
+            vec![
+                ("requests", self.requests.into()),
+                ("delivered", self.delivered.into()),
+                ("failed", self.failed.into()),
+                ("retries", self.retries.into()),
+                ("sheds", self.sheds.into()),
+                ("stuck_clients", self.stuck_clients.into()),
+                ("undelivered", (self.undelivered.len() as u64).into()),
+            ],
+        );
+    }
+
+    /// Whether the run survived: nothing stuck, nothing silently
+    /// undelivered.
+    #[must_use]
+    pub fn survived(&self) -> bool {
+        self.stuck_clients == 0 && self.undelivered.is_empty()
+    }
+}
+
+/// Virtual decode-worker pool with a bounded projected wait.
+struct VirtualQueue {
+    worker_free: Vec<Nanos>,
+    max_wait: Nanos,
+}
+
+impl VirtualQueue {
+    fn new(workers: usize, max_wait: Nanos) -> VirtualQueue {
+        VirtualQueue { worker_free: vec![0; workers.max(1)], max_wait }
+    }
+
+    /// Books `service` virtual nanos on the earliest-free worker.
+    /// `Err(retry_after)` sheds arrivals whose wait would exceed the
+    /// bound.
+    fn admit(&mut self, now: Nanos, service: Nanos) -> Result<Nanos, Nanos> {
+        let (slot, free) = self
+            .worker_free
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, t)| (t, i))
+            .expect("worker pool is never empty");
+        let start = free.max(now);
+        let wait = start - now;
+        if wait > self.max_wait {
+            return Err(wait);
+        }
+        let finish = start.saturating_add(service);
+        self.worker_free[slot] = finish;
+        Ok(finish)
+    }
+}
+
+struct ActiveRequest {
+    name: String,
+    request_id: u64,
+    attempt: u32,
+    waits: u32,
+    started: Nanos,
+}
+
+struct SimClient {
+    fetch: FetchClient,
+    channel: FaultyChannel,
+    workload: XorShift64,
+    order: Vec<usize>,
+    cursor: usize,
+    done: u64,
+    active: Option<ActiveRequest>,
+}
+
+/// Runs the soak: builds a [`ModuleServer`] over `image`, spreads
+/// `cfg.clients` simulated clients across the channel models, and
+/// drives the event loop until every client finishes its request quota
+/// (or provably cannot, which the report flags as stuck).
+#[must_use]
+pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
+    let names: Vec<String> = image.names().map(str::to_string).collect();
+    let server = ModuleServer::new(image.clone(), cfg.server.clone());
+    let channels: &[ChannelKind] = if cfg.channels.is_empty() {
+        &[ChannelKind::Lan]
+    } else {
+        &cfg.channels
+    };
+
+    let mut report = SoakReport::default();
+    if names.is_empty() || cfg.clients == 0 || cfg.requests_per_client == 0 {
+        return report;
+    }
+
+    let mut clients: Vec<SimClient> = (0..cfg.clients)
+        .map(|i| {
+            let id = i as u64;
+            let kind = channels[i % channels.len()];
+            let attempt_timeout = cfg.client.attempt_timeout;
+            let channel = FaultyChannel::new(
+                kind.model(),
+                cfg.seed ^ 0xc1a0_5eed,
+                cfg.fault_num,
+                cfg.fault_den,
+            )
+            .with_timeout(attempt_timeout);
+            let mut workload =
+                XorShift64::new((cfg.seed ^ id.wrapping_mul(0x2545_f491_4f6c_dd1d)) | 1);
+            // Each client walks its own seeded shuffle of the name
+            // list, so every function is requested by every client
+            // once per lap — eventual delivery is a workload property,
+            // not luck.
+            let mut order: Vec<usize> = (0..names.len()).collect();
+            for j in (1..order.len()).rev() {
+                order.swap(j, workload.below(j as u64 + 1) as usize);
+            }
+            SimClient {
+                fetch: FetchClient::new(id, cfg.client, cfg.seed),
+                channel,
+                workload,
+                order,
+                cursor: 0,
+                done: 0,
+                active: None,
+            }
+        })
+        .collect();
+
+    let mut queue = VirtualQueue::new(cfg.workers, cfg.max_queue_wait);
+    // (virtual time, sequence) orders events totally — sequence breaks
+    // ties deterministically.
+    let mut heap: BinaryHeap<Reverse<(Nanos, u64, usize)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<_>, seq: &mut u64, t: Nanos, c: usize| {
+        heap.push(Reverse((t, *seq, c)));
+        *seq += 1;
+    };
+    for (i, c) in clients.iter_mut().enumerate() {
+        let jitter = c.workload.below(cfg.think_time.max(1));
+        push(&mut heap, &mut seq, jitter, i);
+    }
+
+    let mut next_request_id: u64 = 0;
+    let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut delivered_names: BTreeSet<String> = BTreeSet::new();
+    let mut corrupt_names: BTreeSet<String> = BTreeSet::new();
+    let mut now: Nanos = 0;
+    // Backstop far above any legitimate schedule; tripping it marks
+    // the run stuck instead of hanging the test suite.
+    let event_cap = cfg
+        .clients
+        .max(1) as u64
+        * cfg.requests_per_client
+        * (u64::from(cfg.client.retry.max_attempts.max(1)) + u64::from(MAX_WAITS_PER_REQUEST))
+        * 4
+        + 10_000;
+    let mut events: u64 = 0;
+
+    while let Some(Reverse((t, _, ci))) = heap.pop() {
+        now = now.max(t);
+        events += 1;
+        if events > event_cap {
+            break;
+        }
+        let think = think_gap(cfg.think_time, &mut clients[ci].workload);
+
+        // Start a request if idle.
+        if clients[ci].active.is_none() {
+            if clients[ci].done >= cfg.requests_per_client {
+                continue;
+            }
+            let c = &mut clients[ci];
+            let idx = c.order[c.cursor % c.order.len()];
+            c.cursor += 1;
+            let name = names[idx].clone();
+            requested.insert(name.clone());
+            c.active = Some(ActiveRequest {
+                name,
+                request_id: next_request_id,
+                attempt: 0,
+                waits: 0,
+                started: t,
+            });
+            next_request_id += 1;
+            report.requests += 1;
+        }
+
+        // One attempt step for the active request.
+        let (name, request_id, attempt_no) = {
+            let a = clients[ci].active.as_mut().expect("active request exists");
+            a.attempt += 1;
+            (a.name.clone(), a.request_id, a.attempt)
+        };
+        report.attempts += 1;
+        if attempt_no > 1 {
+            report.retries += 1;
+        }
+        report.max_attempts_seen = report.max_attempts_seen.max(attempt_no);
+
+        // Breaker gate.
+        if let Err(AttemptError::BreakerOpen { until }) = clients[ci].fetch.pre_admit(t, &name) {
+            // No wire traffic: not a wire attempt after all.
+            report.attempts -= 1;
+            if attempt_no > 1 {
+                report.retries -= 1;
+            }
+            let a = clients[ci].active.as_mut().expect("active");
+            a.attempt -= 1;
+            a.waits += 1;
+            let deadline = a.started.saturating_add(cfg.client.retry.deadline);
+            let resume = until.max(t + 1);
+            if a.waits > MAX_WAITS_PER_REQUEST || resume > deadline {
+                finish_request(&mut clients[ci], &mut report, false);
+                push(&mut heap, &mut seq, t.saturating_add(think), ci);
+            } else {
+                push(&mut heap, &mut seq, resume, ci);
+            }
+            continue;
+        }
+
+        // Server phase: virtual queue, then the real (thread-safe)
+        // request.
+        let unit_len = image.unit_size(&name).unwrap_or(0);
+        let service = SERVICE_OVERHEAD
+            + if server.is_cached(&name) {
+                0
+            } else {
+                secs_to_nanos(unit_len as f64 / cfg.decode_rate)
+            };
+        let queue_verdict = queue.admit(t, service);
+        let server_result = match queue_verdict {
+            Err(wait) => Err(ServeError::Shed { retry_after: wait }),
+            Ok(_) => server.request(clients[ci].fetch.id(), &name),
+        };
+        let t_resp = match queue_verdict {
+            Ok(finish) => finish,
+            Err(wait) => t.saturating_add(wait.min(cfg.max_queue_wait)),
+        };
+
+        let (t_done, outcome) = match server_result {
+            Err(ServeError::Shed { retry_after }) => {
+                let e = clients[ci]
+                    .fetch
+                    .on_attempt(t_resp, &name, WireEvent::Shed { retry_after })
+                    .err();
+                (t_resp, e)
+            }
+            Err(ServeError::UnknownFunction) => {
+                let e = clients[ci].fetch.on_attempt(t_resp, &name, WireEvent::Unknown).err();
+                (t_resp, e)
+            }
+            Err(ServeError::Corrupt { what }) => {
+                corrupt_names.insert(name.clone());
+                let e = clients[ci]
+                    .fetch
+                    .on_attempt(t_resp, &name, WireEvent::SourceCorrupt { what })
+                    .err();
+                (t_resp, e)
+            }
+            Ok(resp) => {
+                let delivery = clients[ci].channel.deliver(request_id, attempt_no, &resp.bytes);
+                let t_done = t_resp.saturating_add(delivery.elapsed);
+                let event = match &delivery.outcome {
+                    crate::channel::DeliveryOutcome::TimedOut => WireEvent::TimedOut,
+                    crate::channel::DeliveryOutcome::Delivered(bytes) => {
+                        WireEvent::Delivered { bytes, verified: resp.verified }
+                    }
+                };
+                let e = clients[ci].fetch.on_attempt(t_done, &name, event).err();
+                (t_done, e)
+            }
+        };
+
+        match outcome {
+            None => {
+                delivered_names.insert(name);
+                report.delivered += 1;
+                finish_request(&mut clients[ci], &mut report, true);
+                push(&mut heap, &mut seq, t_done.saturating_add(think), ci);
+            }
+            Some(err) => {
+                match &err {
+                    AttemptError::Shed { .. } => report.sheds += 1,
+                    AttemptError::Timeout => report.timeouts += 1,
+                    AttemptError::CorruptDelivery { .. } => report.corrupt_deliveries += 1,
+                    AttemptError::SourceCorrupt { .. } => report.source_corrupt += 1,
+                    _ => {}
+                }
+                let give_up = err.is_permanent()
+                    || attempt_no >= cfg.client.retry.max_attempts.max(1);
+                let a = clients[ci].active.as_mut().expect("active");
+                let deadline = a.started.saturating_add(cfg.client.retry.deadline);
+                let next_at = match &err {
+                    AttemptError::Shed { retry_after } => {
+                        // Shed is pushback, not failure: honor the
+                        // server's hint (plus jitter), don't burn an
+                        // attempt-sized backoff.
+                        a.attempt -= 1;
+                        report.attempts -= 1;
+                        if attempt_no > 1 {
+                            report.retries -= 1;
+                        }
+                        a.waits += 1;
+                        let jitter = clients[ci].workload.below(MILLI.max(1));
+                        t_done.saturating_add(*retry_after).saturating_add(jitter)
+                    }
+                    _ => clients[ci].fetch.next_retry_at(t_done, &name, attempt_no),
+                };
+                let a = clients[ci].active.as_ref().expect("active");
+                let exhausted_waits = a.waits > MAX_WAITS_PER_REQUEST;
+                let abandon = (give_up && !matches!(err, AttemptError::Shed { .. }))
+                    || exhausted_waits
+                    || next_at > deadline;
+                if abandon {
+                    finish_request(&mut clients[ci], &mut report, false);
+                    push(&mut heap, &mut seq, t_done.saturating_add(think), ci);
+                } else {
+                    push(&mut heap, &mut seq, next_at, ci);
+                }
+            }
+        }
+        now = now.max(t_done);
+    }
+
+    // Fold per-client and server stats into the report.
+    for c in &clients {
+        if c.done < cfg.requests_per_client {
+            report.stuck_clients += 1;
+        }
+        let s = c.fetch.stats();
+        report.quarantines += s.quarantines;
+        report.quarantine_recoveries += s.recoveries;
+        report.quarantined_end += c.fetch.quarantine_len() as u64;
+        let (opens, half_opens, recoveries, rejects) = c.fetch.breaker_totals();
+        report.breaker_opens += opens;
+        report.breaker_half_opens += half_opens;
+        report.breaker_recoveries += recoveries;
+        report.breaker_rejects += rejects;
+    }
+    // Real-admission sheds (ss.shed) already reached clients as shed
+    // verdicts and were counted there; don't double-count them here.
+    let ss = server.stats();
+    report.cache_hits = ss.cache_hits;
+    report.cache_misses = ss.cache_misses;
+    report.cache_evictions = ss.evictions;
+    report.raw_fallbacks = ss.raw_fallbacks;
+    report.peak_cache_bytes = ss.peak_cache_bytes;
+    report.virtual_duration = now;
+    report.names_requested = requested.len() as u64;
+    report.names_delivered = delivered_names.len() as u64;
+    report.permanently_corrupt = corrupt_names.iter().cloned().collect();
+    report.undelivered = requested
+        .iter()
+        .filter(|n| !delivered_names.contains(*n) && !corrupt_names.contains(*n))
+        .cloned()
+        .collect();
+    report
+}
+
+fn finish_request(c: &mut SimClient, report: &mut SoakReport, delivered: bool) {
+    if !delivered {
+        report.failed += 1;
+    }
+    c.active = None;
+    c.done += 1;
+}
+
+fn think_gap(mean: Nanos, rng: &mut XorShift64) -> Nanos {
+    let mean = mean.max(2);
+    mean / 2 + rng.below(mean)
+}
+
+/// Permanently corrupts `count` units of `image` (deterministic in
+/// `seed`), returning the rebuilt image and the names corrupted.
+/// Useful for soak scenarios exercising the source-corrupt path.
+///
+/// # Panics
+///
+/// Panics if `image` round-trips to bytes that no longer parse, which
+/// would be a wire-format bug.
+#[must_use]
+pub fn corrupt_units(image: &DemandImage, count: usize, seed: u64) -> (DemandImage, Vec<String>) {
+    let names: Vec<String> = image.names().map(str::to_string).collect();
+    if names.is_empty() || count == 0 {
+        return (image.clone(), Vec::new());
+    }
+    let mut rng = XorShift64::new(seed | 1);
+    let mut doomed = BTreeSet::new();
+    while doomed.len() < count.min(names.len()) {
+        doomed.insert(names[rng.below(names.len() as u64) as usize].clone());
+    }
+
+    // The image framing is length-prefixed with no checksums, so
+    // smashing bytes inside a unit's payload keeps the image parseable
+    // while breaking that unit's decode. Locate each doomed unit's
+    // payload in the serialized form and XOR its tail third.
+    let mut bytes = image.to_bytes();
+    for name in &doomed {
+        let unit = image.unit_bytes(name).expect("doomed name exists");
+        if let Some(pos) = find_subslice(&bytes, unit) {
+            let start = pos + (unit.len() * 2) / 3;
+            let end = pos + unit.len();
+            for (i, b) in bytes[start..end].iter_mut().enumerate() {
+                *b ^= 0xA5u8.wrapping_add(i as u8);
+            }
+        }
+    }
+    let rebuilt = DemandImage::from_bytes(&bytes).expect("corrupted image still parses");
+    // Keep only names whose decode actually broke (XOR might — in
+    // principle — still yield a valid unit).
+    let corrupted: Vec<String> = doomed
+        .iter()
+        .filter(|n| rebuilt.load_function(n).is_err())
+        .cloned()
+        .collect();
+    (rebuilt, corrupted)
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Per-channel-kind summary convenience for CLI output.
+#[must_use]
+pub fn channel_mix(cfg: &SoakConfig) -> BTreeMap<&'static str, usize> {
+    let mut mix = BTreeMap::new();
+    if cfg.channels.is_empty() {
+        mix.insert(ChannelKind::Lan.name(), cfg.clients);
+        return mix;
+    }
+    for i in 0..cfg.clients {
+        *mix.entry(cfg.channels[i % cfg.channels.len()].name()).or_insert(0) += 1;
+    }
+    mix
+}

@@ -29,7 +29,22 @@ pub struct DemandImage {
     globals: Vec<Global>,
     /// `(name, wire image of a single-function module)`.
     units: Vec<(String, Vec<u8>)>,
+    /// Name → position in `units`, built once at construction so
+    /// per-request lookups are O(log n) instead of a linear scan.
+    index: BTreeMap<String, usize>,
     options: WireOptions,
+}
+
+/// Builds the name→position map, rejecting duplicate unit names (two
+/// units under one name would make demand loads ambiguous).
+fn index_units(units: &[(String, Vec<u8>)]) -> Result<BTreeMap<String, usize>, WireError> {
+    let mut index = BTreeMap::new();
+    for (pos, (name, _)) in units.iter().enumerate() {
+        if index.insert(name.clone(), pos).is_some() {
+            return Err(WireError::Corrupt(format!("duplicate function {name}")));
+        }
+    }
+    Ok(index)
 }
 
 impl DemandImage {
@@ -37,7 +52,8 @@ impl DemandImage {
     ///
     /// # Errors
     ///
-    /// Propagates wire-compression errors.
+    /// Propagates wire-compression errors; [`WireError::Corrupt`] if
+    /// two functions share a name.
     pub fn build(module: &Module, options: WireOptions) -> Result<DemandImage, WireError> {
         let mut units = Vec::with_capacity(module.functions.len());
         for f in &module.functions {
@@ -48,9 +64,11 @@ impl DemandImage {
             let packed = compress(&single, options)?;
             units.push((f.name.clone(), packed.bytes));
         }
+        let index = index_units(&units)?;
         Ok(DemandImage {
             globals: module.globals.clone(),
             units,
+            index,
             options,
         })
     }
@@ -62,10 +80,7 @@ impl DemandImage {
 
     /// Compressed size of one function's unit.
     pub fn unit_size(&self, name: &str) -> Option<usize> {
-        self.units
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, b)| b.len())
+        self.index.get(name).map(|&i| self.units[i].1.len())
     }
 
     /// Total size of all units plus the globals.
@@ -94,10 +109,8 @@ impl DemandImage {
         name: &str,
         budget: &Budget,
     ) -> Result<Function, WireError> {
-        let (_, bytes) = self
-            .units
-            .iter()
-            .find(|(n, _)| n == name)
+        let bytes = self
+            .unit_bytes(name)
             .ok_or_else(|| WireError::Corrupt(format!("no function {name} in image")))?;
         let module = decompress_budgeted(bytes, budget)?;
         module
@@ -109,10 +122,7 @@ impl DemandImage {
 
     /// Raw compressed bytes of one function's unit.
     pub fn unit_bytes(&self, name: &str) -> Option<&[u8]> {
-        self.units
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, b)| b.as_slice())
+        self.index.get(name).map(|&i| self.units[i].1.as_slice())
     }
 
     /// Decompresses every unit back into a whole module.
@@ -211,7 +221,8 @@ impl DemandImage {
     /// # Errors
     ///
     /// [`WireError::Truncated`] if the bytes end before the declared
-    /// structure does; [`WireError::Corrupt`] on malformed input.
+    /// structure does; [`WireError::Corrupt`] on malformed input,
+    /// including two units sharing one name.
     pub fn from_bytes(bytes: &[u8]) -> Result<DemandImage, WireError> {
         let mut c = Cursor::new(bytes);
         if c.take(4)? != MAGIC {
@@ -245,9 +256,11 @@ impl DemandImage {
         if c.remaining() != 0 {
             return Err(WireError::Corrupt("trailing bytes".into()));
         }
+        let index = index_units(&units)?;
         Ok(DemandImage {
             globals,
             units,
+            index,
             options,
         })
     }
@@ -588,6 +601,44 @@ mod tests {
         let m = sample();
         let img = DemandImage::build(&m, WireOptions::default()).unwrap();
         assert_eq!(img.load_all().unwrap(), m);
+    }
+
+    #[test]
+    fn duplicate_unit_names_are_rejected() {
+        let m = sample();
+        // Construction from a module with two same-named functions.
+        let mut dup = m.clone();
+        let mut clash = dup.functions[1].clone();
+        clash.name = dup.functions[0].name.clone();
+        dup.functions.push(clash);
+        let err = DemandImage::build(&dup, WireOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, WireError::Corrupt(ref w) if w.contains("duplicate")),
+            "build must reject duplicates, got {err:?}"
+        );
+
+        // Deserialization of an image whose unit table repeats a name.
+        let mut img = DemandImage::build(&m, WireOptions::default()).unwrap();
+        let repeat = img.units[0].clone();
+        img.units.push(repeat);
+        let bytes = img.to_bytes();
+        let err = DemandImage::from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, WireError::Corrupt(ref w) if w.contains("duplicate")),
+            "from_bytes must reject duplicates, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn indexed_lookup_matches_unit_order() {
+        let m = sample();
+        let img = DemandImage::build(&m, WireOptions::default()).unwrap();
+        for (name, bytes) in &img.units {
+            assert_eq!(img.unit_bytes(name), Some(bytes.as_slice()));
+            assert_eq!(img.unit_size(name), Some(bytes.len()));
+        }
+        assert_eq!(img.unit_bytes("nope"), None);
+        assert_eq!(img.unit_size("nope"), None);
     }
 
     #[test]

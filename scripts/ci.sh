@@ -71,6 +71,19 @@ for trace in "$tdir"/pack.jsonl "$tdir"/run.jsonl "$tdir"/brisc.jsonl; do
     "$bin" telemetry check "$trace"
 done
 
+# Demand-paging soak smoke: a reduced serve-sim run (deterministic,
+# virtual-time) across all three channel models at a 2% fault rate
+# with two units corrupted at the source. `serve-sim` exits nonzero on
+# any stuck client or silently undelivered function, and the summary
+# event lands in the trace, which the schema checker then validates.
+echo "==> demand-paging soak smoke (serve-sim)"
+soak_start=$SECONDS
+"$bin" serve-sim --clients 9 --requests 300 --seed 7 --fault-rate 2 \
+    --corrupt 2 --trace="$tdir/soak.jsonl" > "$tdir/soak.out"
+grep -q "survived" "$tdir/soak.out"
+"$bin" telemetry check "$tdir/soak.jsonl"
+echo "==> soak smoke took $((SECONDS - soak_start))s"
+
 # Coverage-guided fuzz smoke: a budgeted campaign over every decoder
 # with the `coverage` feature on. `codecomp fuzz` exits nonzero on any
 # panic or limit violation and writes reproducers for the regression

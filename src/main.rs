@@ -11,6 +11,7 @@
 //! codecomp brisc run <in.ccbr> [-- args]     interpret the image in place
 //! codecomp brisc info <in.ccbr>              dictionary / model statistics
 //! codecomp fuzz [--target T] [--cases N]     coverage-guided fuzzing campaign
+//! codecomp serve-sim [--clients N] [...]     demand-paging server soak simulation
 //! ```
 
 use code_compression::brisc::interp::BriscMachine;
@@ -27,6 +28,9 @@ use code_compression::front::compile;
 use code_compression::ir::binary::{decode_module, encode_module};
 use code_compression::ir::eval::Evaluator;
 use code_compression::ir::Module;
+use code_compression::serve::soak::{
+    channel_mix, corrupt_units, run_soak, ChannelKind, SoakConfig,
+};
 use code_compression::vm::codegen::compile_module;
 use code_compression::vm::interp::Machine;
 use code_compression::vm::isa::IsaConfig;
@@ -244,6 +248,21 @@ fn print_stage_counters(snap: &telemetry::Snapshot) {
         "wire.patterns.table_cache.evictions",
         "brisc.interp.dispatches",
         "brisc.interp.fuel_consumed",
+        "serve.requests",
+        "serve.delivered",
+        "serve.failed",
+        "serve.retries",
+        "serve.shed",
+        "serve.timeouts",
+        "serve.corrupt_deliveries",
+        "serve.source_corrupt",
+        "serve.breaker.opens",
+        "serve.breaker.rejects",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.cache.evictions",
+        "serve.raw_fallbacks",
+        "serve.channel.faults",
     ];
     let mut any = false;
     for name in interesting {
@@ -300,6 +319,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, AnyError> {
             _ => usage(),
         },
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => usage(),
         Some(other) => Err(format!("unknown command {other:?} (try `codecomp help`)").into()),
     }
@@ -321,6 +341,9 @@ fn usage() -> Result<ExitCode, AnyError> {
   codecomp telemetry check <trace.jsonl>...
   codecomp fuzz [--target wire|gzip|demand|brisc|all] [--cases N] [--seed N]
                 [--rounds N] [--blind] [--max-input N] [--save-repros]
+  codecomp serve-sim [<src.c|.ccir>] [--clients N] [--requests N] [--seed N]
+                     [--fault-rate N|N/D] [--corrupt N] [--workers N]
+                     [--cache SIZE] [--channels modem,lan,disk]
 
 global telemetry flags (any command, before `--`):
   --stats              per-stage stream breakdown table (stderr)
@@ -946,4 +969,189 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, AnyError> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Parses a fault rate: `N` means N percent, `N/D` an explicit ratio.
+fn parse_ratio(flag: &str, s: &str) -> Result<(u64, u64), AnyError> {
+    let (num, den) = match s.split_once('/') {
+        Some((n, d)) => (n.parse::<u64>(), d.parse::<u64>()),
+        None => (s.parse::<u64>(), Ok(100)),
+    };
+    match (num, den) {
+        (Ok(n), Ok(d)) if d > 0 && n <= d => Ok((n, d)),
+        _ => Err(format!("{flag} expects N (percent) or N/D with N <= D, got {s:?}").into()),
+    }
+}
+
+/// Every corpus benchmark merged into one module (names prefixed per
+/// benchmark to stay unique) — the default serve-sim workload, a few
+/// dozen independently fetchable functions.
+fn merged_corpus() -> Result<Module, AnyError> {
+    let mut merged = Module::default();
+    for b in benchmarks() {
+        let module = b.compile()?;
+        for mut f in module.functions {
+            f.name = format!("{}__{}", b.name, f.name);
+            merged.functions.push(f);
+        }
+        for mut g in module.globals {
+            g.name = format!("{}__{}", b.name, g.name);
+            merged.globals.push(g);
+        }
+    }
+    Ok(merged)
+}
+
+fn cmd_serve_sim(args: &[String]) -> Result<ExitCode, AnyError> {
+    let mut cfg = SoakConfig::default();
+    let mut corrupt: usize = 0;
+    let mut input: Option<&str> = None;
+    let mut it = args.iter().map(String::as_str);
+    while let Some(a) = it.next() {
+        match a {
+            "--clients" => {
+                let v = it.next().ok_or("--clients needs a value")?;
+                cfg.clients = parse_size("--clients", v)? as usize;
+            }
+            "--requests" => {
+                let v = it.next().ok_or("--requests needs a value")?;
+                cfg.requests_per_client = parse_size("--requests", v)?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got {v:?}"))?;
+            }
+            "--fault-rate" => {
+                let v = it.next().ok_or("--fault-rate needs a value")?;
+                (cfg.fault_num, cfg.fault_den) = parse_ratio("--fault-rate", v)?;
+            }
+            "--corrupt" => {
+                let v = it.next().ok_or("--corrupt needs a value")?;
+                corrupt = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--corrupt expects an integer, got {v:?}"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                cfg.workers = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers expects an integer, got {v:?}"))?
+                    .max(1);
+            }
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a value")?;
+                cfg.server.max_cache_bytes = parse_size("--cache", v)?;
+            }
+            "--channels" => {
+                let v = it.next().ok_or("--channels needs a value")?;
+                cfg.channels = v
+                    .split(',')
+                    .map(|s| match s.trim() {
+                        "modem" => Ok(ChannelKind::Modem),
+                        "lan" => Ok(ChannelKind::Lan),
+                        "disk" => Ok(ChannelKind::Disk),
+                        other => {
+                            Err(format!("--channels: unknown channel {other:?} (modem|lan|disk)"))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            other if !other.starts_with('-') && input.is_none() => input = Some(other),
+            other => return Err(format!("serve-sim: unknown argument {other:?}").into()),
+        }
+    }
+
+    let module = match input {
+        Some(path) => load_module(path)?,
+        None => merged_corpus()?,
+    };
+    let image = DemandImage::build(&module, WireOptions::default())?;
+    let (image, injected) = if corrupt > 0 {
+        corrupt_units(&image, corrupt, cfg.seed ^ 0x0bad_5eed)
+    } else {
+        (image, Vec::new())
+    };
+
+    outln!(
+        "serve-sim: {} functions, {} unit bytes, {} clients x {} requests, fault rate {}/{}",
+        image.names().count(),
+        image.total_units(),
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.fault_num,
+        cfg.fault_den,
+    )?;
+    for (name, n) in channel_mix(&cfg) {
+        outln!("  {n:>3} clients on {name}")?;
+    }
+    if !injected.is_empty() {
+        outln!("  source-corrupt injected: {}", injected.join(", "))?;
+    }
+
+    let report = run_soak(&image, &cfg);
+    report.publish_telemetry();
+
+    outln!(
+        "soak: {} requests over {:.3} virtual s",
+        report.requests,
+        report.virtual_duration as f64 / 1e9,
+    )?;
+    outln!(
+        "  delivered {}  failed {}  attempts {}  retries {}  max attempts/request {}",
+        report.delivered,
+        report.failed,
+        report.attempts,
+        report.retries,
+        report.max_attempts_seen,
+    )?;
+    outln!(
+        "  sheds {}  timeouts {}  corrupt deliveries {}  source-corrupt verdicts {}",
+        report.sheds,
+        report.timeouts,
+        report.corrupt_deliveries,
+        report.source_corrupt,
+    )?;
+    outln!(
+        "  breaker: opens {}  half-opens {}  recoveries {}  rejects {}",
+        report.breaker_opens,
+        report.breaker_half_opens,
+        report.breaker_recoveries,
+        report.breaker_rejects,
+    )?;
+    outln!(
+        "  quarantine: entered {}  recovered {}  still held {}",
+        report.quarantines,
+        report.quarantine_recoveries,
+        report.quarantined_end,
+    )?;
+    outln!(
+        "  cache: hits {}  misses {}  evictions {}  raw fallbacks {}  peak {} bytes",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_evictions,
+        report.raw_fallbacks,
+        report.peak_cache_bytes,
+    )?;
+    outln!(
+        "  coverage: {}/{} functions delivered",
+        report.names_delivered,
+        report.names_requested,
+    )?;
+    if !report.permanently_corrupt.is_empty() {
+        outln!("  flagged source-corrupt: {}", report.permanently_corrupt.join(", "))?;
+    }
+
+    if report.survived() {
+        outln!("serve-sim: survived (no stuck clients, nothing silently undelivered)")?;
+        Ok(ExitCode::SUCCESS)
+    } else {
+        outln!(
+            "serve-sim: FAILED (stuck clients {}, undelivered: {})",
+            report.stuck_clients,
+            report.undelivered.join(", "),
+        )?;
+        Ok(ExitCode::FAILURE)
+    }
 }

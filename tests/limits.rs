@@ -371,3 +371,41 @@ fn budget_gauges_mirror_deterministic_meters_corpus_wide() {
     assert_eq!(gauge("limits.peak_table_entries"), usage.peak_table_entries);
     assert!(usage.fuel_spent > 0, "whole-corpus decode must spend fuel");
 }
+
+#[test]
+fn wall_clock_deadline_has_exact_boundaries() {
+    use std::time::{Duration, Instant};
+    let _serial = serial();
+    for (name, module) in corpus_modules() {
+        let packed = wire_compress(&module, WireOptions::default()).expect("wire compress");
+
+        // A generous deadline admits the whole decode.
+        let roomy = Budget::default().with_deadline(Duration::from_secs(3600));
+        let back = decompress_budgeted(&packed.bytes, &roomy)
+            .unwrap_or_else(|e| panic!("{name}: roomy deadline must pass: {e}"));
+        assert_eq!(back, module, "{name}");
+
+        // An already-expired deadline trips as a limit — never as
+        // Corrupt/Malformed — before any meter moves.
+        let now = Instant::now();
+        let expired = Budget::default().with_deadline_at(now - Duration::from_nanos(1), Duration::ZERO);
+        assert_limit(
+            decompress_budgeted(&packed.bytes, &expired),
+            "wall-clock deadline",
+            name,
+        );
+
+        // Exact boundary: at the deadline instant the budget still
+        // admits work; one nanosecond past, it refuses.
+        let b = Budget::default().with_deadline_at(now, Duration::from_secs(9));
+        b.check_deadline_at(now)
+            .unwrap_or_else(|e| panic!("{name}: now == deadline must pass: {e}"));
+        match b.check_deadline_at(now + Duration::from_nanos(1)) {
+            Err(DecodeError::LimitExceeded { what, limit }) => {
+                assert_eq!(what, "wall-clock deadline", "{name}");
+                assert_eq!(limit, 9_000_000_000, "{name}: error reports granted nanos");
+            }
+            other => panic!("{name}: past-deadline check must trip as a limit, got {other:?}"),
+        }
+    }
+}
