@@ -107,6 +107,7 @@ struct CFunc {
 /// (functions over 64 KiB of compressed code, > 65280 functions, …).
 pub fn compress(program: &VmProgram, options: BriscOptions) -> Result<BriscReport, BriscError> {
     let _span = codecomp_core::telemetry::span("brisc.compress");
+    let _prof = codecomp_core::profile::scope("brisc.compress");
     let input_bytes = codecomp_vm::encode::code_segment_size(program);
     let mut dictionary: Vec<DictEntry> = Vec::new();
     let mut dict_index: HashMap<DictEntry, u32> = HashMap::new();

@@ -177,6 +177,7 @@ impl<'a> BriscMachine<'a> {
     /// [`BriscError::Corrupt`] if decoding fails mid-run.
     pub fn run(&mut self, entry: &str, args: &[i64]) -> Result<BriscOutcome, BriscError> {
         let _span = codecomp_core::telemetry::span("brisc.run");
+        let _prof = codecomp_core::profile::scope("brisc.run");
         let (fuel_before, instrs_before) = (self.fuel, self.instructions);
         let result = self.run_inner(entry, args);
         if codecomp_core::telemetry::enabled() {

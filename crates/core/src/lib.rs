@@ -30,6 +30,8 @@
 //! - [`telemetry`]: zero-dependency observability — the metrics
 //!   [`telemetry::Registry`] and structured [`telemetry::TraceSink`]
 //!   every pipeline stage reports into when a collector is installed.
+//! - [`profile`]: feature-gated sampling self-profiler emitting
+//!   collapsed-stack (flamegraph) output from scoped stage markers.
 
 pub mod coverage;
 pub mod dict;
@@ -38,6 +40,7 @@ pub mod error;
 pub mod fault;
 pub mod fuzz;
 pub mod limits;
+pub mod profile;
 pub mod streams;
 pub mod telemetry;
 pub mod treepat;

@@ -1,0 +1,416 @@
+//! In-tree sampling self-profiler (feature `profile`).
+//!
+//! The paper's performance claims are about where decode time goes —
+//! framing, entropy decoding, MTF, tree reassembly — and the
+//! `DecodeStats` nanosecond counters answer *how much* but not *in
+//! what shape*. This module answers the shape question with zero
+//! dependencies: instrumented stages push scoped markers
+//! ([`scope`]) onto a per-thread stack, and elapsed time (or explicit
+//! virtual [`tick`]s) is credited to the current stack at a sampling
+//! period, accumulating into collapsed-stack counts — the
+//! `a;b;c count` format every flamegraph renderer consumes.
+//!
+//! Like [`crate::coverage`], the whole module compiles to empty
+//! `#[inline(always)]` stubs unless the `profile` cargo feature is
+//! enabled, so instrumented hot paths cost literally nothing in normal
+//! builds. With the feature on, a scope transition is two `Instant`
+//! reads plus a thread-local update; the global sample map is only
+//! locked when a period boundary credits samples.
+//!
+//! Two clocks are supported:
+//!
+//! - **wall** — scope enter/exit measures real elapsed nanoseconds;
+//!   [`set_wall_period_nanos`] arms it with a sampling period
+//!   (disarmed by default, so instrumented builds stay cheap until a
+//!   driver asks). This is what `codecomp profile <subcommand>` uses.
+//! - **virtual** — deterministic callers (the soak's virtual event
+//!   loop, unit tests) disable the wall clock
+//!   (`set_wall_period_nanos(0)`) and call [`tick`] with explicit
+//!   units; [`set_virtual_period`] controls the crediting granularity.
+//!   Same inputs, same collapsed output, byte for byte.
+//!
+//! The collapsed output ([`render_collapsed`]) is validated by
+//! [`validate_collapsed_line`], which `codecomp telemetry check
+//! --collapsed` applies in CI. The validator is compiled
+//! unconditionally — a non-`profile` build can still check profiles
+//! produced elsewhere.
+
+/// Whether this build carries live profiler instrumentation (the
+/// `profile` feature). When `false`, every recording function in this
+/// module is an inert stub and all sample counts are zero.
+#[must_use]
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "profile")
+}
+
+/// An open profiler scope; pops its frame on drop.
+///
+/// Hold it in a named binding (`let _scope = profile::scope("join")`)
+/// — a bare `_` would drop immediately.
+pub use imp::ScopeGuard;
+
+/// Pushes `name` onto the calling thread's stage stack, crediting the
+/// elapsed wall time since the last transition to the previous stack
+/// first. The returned guard pops the frame on drop.
+#[inline(always)]
+pub fn scope(name: &'static str) -> ScopeGuard {
+    imp::scope(name)
+}
+
+/// Credits `units` virtual ticks to the calling thread's current
+/// stack (sampled at the virtual period). The deterministic
+/// alternative to wall sampling.
+#[inline(always)]
+pub fn tick(units: u64) {
+    imp::tick(units);
+}
+
+/// Sets the wall sampling period in nanoseconds; one sample is
+/// credited per elapsed period. `0` disarms wall sampling entirely
+/// (virtual [`tick`]s still credit). Default: 0 — even an
+/// instrumented build records nothing until a driver (the
+/// `codecomp profile` command) arms it, so carrying the feature costs
+/// only the frame-stack bookkeeping, never clock reads.
+pub fn set_wall_period_nanos(period: u64) {
+    imp::set_wall_period_nanos(period);
+}
+
+/// Sets the virtual crediting period: one sample per `period` ticks
+/// (minimum 1). Default: 1.
+pub fn set_virtual_period(period: u64) {
+    imp::set_virtual_period(period);
+}
+
+/// Clears accumulated samples and the calling thread's clock state.
+/// Other threads' in-flight carry is not reclaimed; reset between
+/// passes from the thread that profiles.
+pub fn reset() {
+    imp::reset();
+}
+
+/// The accumulated collapsed stacks, sorted: `("a;b;c", samples)`.
+#[must_use]
+pub fn collapsed() -> Vec<(String, u64)> {
+    imp::collapsed()
+}
+
+/// Renders the accumulated samples in collapsed-stack form, one
+/// `stack;frames count` line each (flamegraph-compatible). Empty
+/// string when nothing was sampled.
+#[must_use]
+pub fn render_collapsed() -> String {
+    let mut out = String::new();
+    for (stack, n) in collapsed() {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&n.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates one line of collapsed-stack output: `frame[;frame]* N`
+/// with non-empty, space-free frames and a positive sample count.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_collapsed_line(line: &str) -> Result<(), String> {
+    let (stack, count) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| "missing sample count (expected `stack count`)".to_string())?;
+    let n: u64 = count
+        .parse()
+        .map_err(|_| format!("sample count {count:?} is not an integer"))?;
+    if n == 0 {
+        return Err("sample count must be positive".into());
+    }
+    if stack.is_empty() {
+        return Err("empty stack".into());
+    }
+    for frame in stack.split(';') {
+        if frame.is_empty() {
+            return Err("empty frame in stack".into());
+        }
+        if frame.contains(' ') {
+            return Err(format!("frame {frame:?} contains a space"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(feature = "profile")]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    // 0 = disarmed: an instrumented build pays only the frame-stack
+    // push/pop until a driver arms wall sampling (or ticks virtually).
+    static WALL_PERIOD: AtomicU64 = AtomicU64::new(0);
+    static VIRT_PERIOD: AtomicU64 = AtomicU64::new(1);
+    // BTreeMap so `collapsed()` is sorted without a post-pass; the map
+    // is only touched when a period boundary credits samples.
+    static SAMPLES: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+    struct ThreadProf {
+        frames: Vec<&'static str>,
+        last: Option<Instant>,
+        carry_nanos: u64,
+        carry_ticks: u64,
+    }
+
+    thread_local! {
+        static PROF: RefCell<ThreadProf> = const {
+            RefCell::new(ThreadProf {
+                frames: Vec::new(),
+                last: None,
+                carry_nanos: 0,
+                carry_ticks: 0,
+            })
+        };
+    }
+
+    fn credit(frames: &[&'static str], samples: u64) {
+        if samples == 0 || frames.is_empty() {
+            return;
+        }
+        let key = frames.join(";");
+        let mut map = SAMPLES.lock().expect("profile sample lock");
+        *map.entry(key).or_insert(0) += samples;
+    }
+
+    /// Credits wall time elapsed since the previous transition to the
+    /// *current* (pre-transition) stack, then restarts the clock.
+    fn advance_wall(p: &mut ThreadProf) {
+        let period = WALL_PERIOD.load(Ordering::Relaxed);
+        if period == 0 {
+            p.last = None;
+            return;
+        }
+        let now = Instant::now();
+        if let Some(last) = p.last {
+            let elapsed = u64::try_from(now.duration_since(last).as_nanos()).unwrap_or(u64::MAX);
+            p.carry_nanos = p.carry_nanos.saturating_add(elapsed);
+            let samples = p.carry_nanos / period;
+            if samples > 0 {
+                p.carry_nanos %= period;
+                credit(&p.frames, samples);
+            }
+        }
+        p.last = Some(now);
+    }
+
+    /// RAII frame: pops on drop.
+    #[derive(Debug)]
+    pub struct ScopeGuard(());
+
+    impl Drop for ScopeGuard {
+        fn drop(&mut self) {
+            PROF.with(|prof| {
+                let mut p = prof.borrow_mut();
+                advance_wall(&mut p);
+                p.frames.pop();
+            });
+        }
+    }
+
+    pub fn scope(name: &'static str) -> ScopeGuard {
+        PROF.with(|prof| {
+            let mut p = prof.borrow_mut();
+            advance_wall(&mut p);
+            p.frames.push(name);
+        });
+        ScopeGuard(())
+    }
+
+    pub fn tick(units: u64) {
+        PROF.with(|prof| {
+            let mut p = prof.borrow_mut();
+            let period = VIRT_PERIOD.load(Ordering::Relaxed).max(1);
+            p.carry_ticks = p.carry_ticks.saturating_add(units);
+            let samples = p.carry_ticks / period;
+            if samples > 0 {
+                p.carry_ticks %= period;
+                credit(&p.frames, samples);
+            }
+        });
+    }
+
+    pub fn set_wall_period_nanos(period: u64) {
+        WALL_PERIOD.store(period, Ordering::Relaxed);
+    }
+
+    pub fn set_virtual_period(period: u64) {
+        VIRT_PERIOD.store(period.max(1), Ordering::Relaxed);
+    }
+
+    pub fn reset() {
+        SAMPLES.lock().expect("profile sample lock").clear();
+        PROF.with(|prof| {
+            let mut p = prof.borrow_mut();
+            p.last = None;
+            p.carry_nanos = 0;
+            p.carry_ticks = 0;
+        });
+    }
+
+    pub fn collapsed() -> Vec<(String, u64)> {
+        SAMPLES
+            .lock()
+            .expect("profile sample lock")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+mod imp {
+    /// Inert stub guard (zero-sized; constructing and dropping it
+    /// compiles to nothing). The no-op `Drop` keeps explicit
+    /// `drop(guard)` calls at instrumentation sites meaningful in
+    /// both feature configurations.
+    #[derive(Debug)]
+    pub struct ScopeGuard(pub(super) ());
+
+    impl Drop for ScopeGuard {
+        #[inline(always)]
+        fn drop(&mut self) {}
+    }
+
+    #[inline(always)]
+    pub fn scope(_name: &'static str) -> ScopeGuard {
+        ScopeGuard(())
+    }
+
+    #[inline(always)]
+    pub fn tick(_units: u64) {}
+
+    pub fn set_wall_period_nanos(_period: u64) {}
+
+    pub fn set_virtual_period(_period: u64) {}
+
+    pub fn reset() {}
+
+    pub fn collapsed() -> Vec<(String, u64)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sample map and periods are process-global; tests that reset
+    // them must not interleave.
+    #[cfg(feature = "profile")]
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[cfg(feature = "profile")]
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_collapsed_line("a 5").unwrap();
+        validate_collapsed_line("wire.decode;frame;inflate 123").unwrap();
+        for bad in ["", "a", "a 0", "a x", " 5", "a;;b 5", "a b;c 5"] {
+            assert!(validate_collapsed_line(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_build_records_nothing() {
+        if enabled() {
+            return;
+        }
+        reset();
+        let _a = scope("a");
+        tick(100);
+        assert!(collapsed().is_empty());
+        assert_eq!(render_collapsed(), "");
+    }
+
+    #[test]
+    #[cfg(feature = "profile")]
+    fn virtual_ticks_attribute_to_the_current_stack() {
+        let _serial = serial();
+        reset();
+        set_wall_period_nanos(0); // deterministic: virtual clock only
+        set_virtual_period(10);
+        {
+            let _a = scope("a");
+            tick(30);
+            {
+                let _b = scope("b");
+                tick(25);
+            }
+            tick(15);
+        }
+        tick(100); // empty stack: dropped, not attributed
+        let got = collapsed();
+        // a: 30/10 = 3 samples, then 15 ticks + 5 carried from a;b = 2.
+        // a;b: 25/10 = 2 samples, 5 ticks carry to the outer scope.
+        assert_eq!(got, vec![("a".to_string(), 5), ("a;b".to_string(), 2)]);
+        let rendered = render_collapsed();
+        assert_eq!(rendered, "a 5\na;b 2\n");
+        for line in rendered.lines() {
+            validate_collapsed_line(line).unwrap();
+        }
+        reset();
+        assert!(collapsed().is_empty());
+    }
+
+    #[test]
+    #[cfg(feature = "profile")]
+    fn same_tick_sequence_is_deterministic() {
+        let _serial = serial();
+        let run = || {
+            reset();
+            set_wall_period_nanos(0);
+            set_virtual_period(3);
+            let _outer = scope("decode");
+            for i in 0..50u64 {
+                let _inner = scope(if i % 2 == 0 { "mtf" } else { "join" });
+                tick(i % 7);
+            }
+            drop(_outer);
+            render_collapsed()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[cfg(feature = "profile")]
+    fn concurrent_ticks_sum_exactly() {
+        let _serial = serial();
+        reset();
+        set_wall_period_nanos(0);
+        set_virtual_period(1);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = scope("shared");
+                    for _ in 0..1000 {
+                        tick(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total: u64 = collapsed()
+            .iter()
+            .filter(|(k, _)| k == "shared")
+            .map(|&(_, n)| n)
+            .sum();
+        assert_eq!(total, 4000);
+        reset();
+    }
+}

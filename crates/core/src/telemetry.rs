@@ -36,6 +36,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
+pub mod reconcile;
+pub mod stream;
+
 // ---- metrics ---------------------------------------------------------------
 
 /// A monotonically increasing, saturating counter.
@@ -534,11 +537,25 @@ impl TraceEvent {
 pub trait TraceSink: Send + Sync {
     /// Delivers one record.
     fn record(&self, event: &TraceEvent);
+
+    /// Pushes any buffered records to their final destination. The
+    /// default is a no-op; buffering sinks override it. Callers that
+    /// own a process exit path should arrange for a flush on *every*
+    /// exit — including panics — e.g. via a `Drop` guard around
+    /// [`flush_trace`], so truncated runs still yield parseable traces.
+    fn flush(&self) {}
 }
 
 /// A [`TraceSink`] writing one JSON line per record to any writer.
+///
+/// Records are buffered (high-volume traces — a soak emits tens of
+/// thousands of lines — must not pay a syscall per record); call
+/// [`TraceSink::flush`] (or the global [`flush_trace`]) before the
+/// output is read. Because the global collector lives in a `static`
+/// that is never dropped, an explicit flush on process exit is the
+/// *only* thing that lands the tail of the trace.
 pub struct JsonLinesSink {
-    w: Mutex<Box<dyn std::io::Write + Send>>,
+    w: Mutex<std::io::BufWriter<Box<dyn std::io::Write + Send>>>,
 }
 
 impl std::fmt::Debug for JsonLinesSink {
@@ -550,7 +567,9 @@ impl std::fmt::Debug for JsonLinesSink {
 impl JsonLinesSink {
     /// A sink over an arbitrary writer.
     pub fn new(w: Box<dyn std::io::Write + Send>) -> JsonLinesSink {
-        JsonLinesSink { w: Mutex::new(w) }
+        JsonLinesSink {
+            w: Mutex::new(std::io::BufWriter::new(w)),
+        }
     }
 
     /// A sink appending to (truncating) the file at `path`.
@@ -569,7 +588,10 @@ impl TraceSink for JsonLinesSink {
         // A broken pipe must not panic the pipeline; tracing is
         // best-effort by construction.
         let _ = writeln!(w, "{}", event.to_json_line());
-        let _ = w.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().expect("trace sink lock").flush();
     }
 }
 
@@ -636,6 +658,12 @@ impl TraceSink for TeeSink {
     fn record(&self, event: &TraceEvent) {
         for s in &self.sinks {
             s.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
         }
     }
 }
@@ -746,6 +774,15 @@ pub fn histogram_merge(name: &str, local: &LocalHistogram) {
     }
     if let Some(c) = collector() {
         c.metrics.histogram(name).merge(local);
+    }
+}
+
+/// Flushes the installed trace sink, if any. Call on every process
+/// exit path (the collector static is never dropped, so nothing else
+/// lands a buffering sink's tail).
+pub fn flush_trace() {
+    if let Some(sink) = collector().and_then(|c| c.trace.as_ref()) {
+        sink.flush();
     }
 }
 
@@ -1234,6 +1271,34 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_json_quotes_hostile_names() {
+        // Dynamic metric suffixes come from stream keys and (in
+        // principle) user-controlled names; quoting must hold for all
+        // of them or the dump is not JSON.
+        let r = Registry::new();
+        r.counter("wire.encode.section_bytes.$patterns").add(7);
+        r.counter("we\"ird\\name\nwith\tctrl\u{1}").add(1);
+        r.gauge("ga\"uge").set(2);
+        r.histogram("hi\\st").record(3);
+        let json = r.snapshot().to_json();
+        let mut p = JsonParser::new(&json);
+        let v = p.value().unwrap();
+        p.finish().unwrap();
+        // The hostile names round-trip through the parser intact.
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("we\"ird\\name\nwith\tctrl\u{1}"),
+            Some(&Json::Num(1.0))
+        );
+        assert_eq!(
+            counters.get("wire.encode.section_bytes.$patterns"),
+            Some(&Json::Num(7.0))
+        );
+        assert_eq!(v.get("gauges").unwrap().get("ga\"uge"), Some(&Json::Num(2.0)));
+        assert!(v.get("histograms").unwrap().get("hi\\st").is_some());
+    }
+
+    #[test]
     fn trace_event_serialization_golden() {
         // Golden strings: changing them is a schema break — update
         // DESIGN.md § Observability and validate_trace_line together.
@@ -1354,6 +1419,9 @@ mod tests {
             dur_nanos: None,
             fields: vec![("n", FieldValue::U64(3))],
         });
+        // The sink buffers: nothing reaches the writer until a flush.
+        assert!(buf.lock().unwrap().is_empty());
+        sink.flush();
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         for line in text.lines() {
             validate_trace_line(line).unwrap();

@@ -1,0 +1,373 @@
+//! Request-scoped span log and the span ↔ counter reconciliation
+//! checker.
+//!
+//! The serve soak emits one [`ReqSpan`] per lifecycle edge of every
+//! request — the request itself, each wire attempt, the channel
+//! delivery window, the server cache verdict, and breaker/shed waits —
+//! all carrying the request id and attempt number, so each request's
+//! span tree is reconstructable from the flat log
+//! ([`SpanLog::request_tree`]).
+//!
+//! [`reconcile`] is the cross-check that makes the tracing
+//! trustworthy: every `serve.*` counter the soak publishes must equal
+//! the corresponding span population, *exactly* — the span log and the
+//! counters are produced by independent code paths, so any drift
+//! (a span emitted without its counter, a counter bumped without its
+//! span) is a real accounting bug. CI runs this after every
+//! `serve-sim --metrics-interval` smoke and fails on the first
+//! mismatch.
+
+use std::collections::BTreeMap;
+
+use super::Snapshot;
+
+/// Span name for a whole request (attempt 0).
+pub const SPAN_REQUEST: &str = "serve.request";
+/// Span name for one wire attempt.
+pub const SPAN_ATTEMPT: &str = "serve.attempt";
+/// Span name for the channel delivery window of one attempt.
+pub const SPAN_CHANNEL: &str = "serve.channel";
+/// Span name for the server cache verdict of one attempt.
+pub const SPAN_CACHE: &str = "serve.cache";
+/// Span name for the client-side decode verdict of delivered bytes.
+pub const SPAN_DECODE: &str = "serve.decode";
+/// Span name for a shed-and-wait (pushback, not an attempt).
+pub const SPAN_WAIT_SHED: &str = "serve.wait.shed";
+/// Span name for a breaker-refused wait (no wire traffic).
+pub const SPAN_WAIT_BREAKER: &str = "serve.wait.breaker";
+
+/// One request-scoped span: a named interval in virtual time carrying
+/// the request id and attempt number it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqSpan {
+    /// Span name (one of the `SPAN_*` constants for soak spans).
+    pub name: String,
+    /// Request id the span belongs to.
+    pub req: u64,
+    /// Attempt number within the request (1-based; 0 for the
+    /// request-level span and for waits that consumed no attempt).
+    pub attempt: u32,
+    /// Client id that issued the request.
+    pub client: u64,
+    /// Virtual start time (nanos).
+    pub start: u64,
+    /// Virtual end time (nanos, `>= start`).
+    pub end: u64,
+    /// Outcome label (`delivered`, `failed`, `timeout`, `hit`, …).
+    pub outcome: String,
+}
+
+/// A flat, append-only log of [`ReqSpan`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanLog {
+    /// The recorded spans, in emission order.
+    pub spans: Vec<ReqSpan>,
+}
+
+impl SpanLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> SpanLog {
+        SpanLog::default()
+    }
+
+    /// Appends one span.
+    pub fn push(&mut self, span: ReqSpan) {
+        self.spans.push(span);
+    }
+
+    /// Number of recorded spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans named `name`.
+    #[must_use]
+    pub fn count(&self, name: &str) -> u64 {
+        self.spans.iter().filter(|s| s.name == name).count() as u64
+    }
+
+    /// Spans named `name` with outcome `outcome`.
+    #[must_use]
+    pub fn count_outcome(&self, name: &str, outcome: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name && s.outcome == outcome)
+            .count() as u64
+    }
+
+    /// The span tree of request `req`: all its spans sorted by start
+    /// time, then attempt number (the request-level span first among
+    /// ties). Reconstructs the per-request story from the flat log.
+    #[must_use]
+    pub fn request_tree(&self, req: u64) -> Vec<&ReqSpan> {
+        let mut tree: Vec<&ReqSpan> = self.spans.iter().filter(|s| s.req == req).collect();
+        tree.sort_by_key(|s| (s.start, s.attempt, s.end));
+        tree
+    }
+}
+
+/// What [`reconcile`] verified, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Spans examined.
+    pub spans: usize,
+    /// Request-level spans (== `serve.requests`).
+    pub requests: u64,
+    /// Attempt spans (== `serve.attempts`).
+    pub attempts: u64,
+    /// Individual invariants checked.
+    pub checks: usize,
+}
+
+/// Asserts that the span populations in `log` match the `serve.*`
+/// counters in `snap`, and that the spans nest structurally (every
+/// non-request span lies inside its request's window, attempt numbers
+/// are 1..=n without gaps).
+///
+/// # Errors
+///
+/// Every violated invariant, one human-readable line each.
+pub fn reconcile(log: &SpanLog, snap: &Snapshot) -> Result<ReconcileReport, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut checks = 0usize;
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut check = |what: &str, spans: u64, counters: u64| {
+        checks += 1;
+        if spans != counters {
+            errors.push(format!("{what}: {spans} spans vs {counters} from counters"));
+        }
+    };
+
+    // Population counts: every counter equals its span population.
+    check("serve.requests", log.count(SPAN_REQUEST), counter("serve.requests"));
+    check(
+        "serve.delivered",
+        log.count_outcome(SPAN_REQUEST, "delivered"),
+        counter("serve.delivered"),
+    );
+    check("serve.failed", log.count_outcome(SPAN_REQUEST, "failed"), counter("serve.failed"));
+    check("serve.attempts", log.count(SPAN_ATTEMPT), counter("serve.attempts"));
+    check("serve.timeouts", log.count_outcome(SPAN_ATTEMPT, "timeout"), counter("serve.timeouts"));
+    check(
+        "serve.corrupt_deliveries",
+        log.count_outcome(SPAN_ATTEMPT, "corrupt_delivery"),
+        counter("serve.corrupt_deliveries"),
+    );
+    check(
+        "serve.source_corrupt",
+        log.count_outcome(SPAN_ATTEMPT, "source_corrupt"),
+        counter("serve.source_corrupt"),
+    );
+    check("serve.shed", log.count(SPAN_WAIT_SHED), counter("serve.shed"));
+    check(
+        "serve.breaker.rejects",
+        log.count(SPAN_WAIT_BREAKER),
+        counter("serve.breaker.rejects"),
+    );
+    // Retries: attempts beyond each request's first.
+    let mut attempts_per_req: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in log.spans.iter().filter(|s| s.name == SPAN_ATTEMPT) {
+        *attempts_per_req.entry(s.req).or_insert(0) += 1;
+    }
+    let retries: u64 = attempts_per_req.values().map(|&n| n - 1).sum();
+    check("serve.retries", retries, counter("serve.retries"));
+    // Cache verdicts: the server counts a hit or a miss for every
+    // attempt that reaches it with a known name; raw fallbacks and
+    // source-corrupt verdicts are misses that degraded.
+    check("serve.cache.hits", log.count_outcome(SPAN_CACHE, "hit"), counter("serve.cache.hits"));
+    check(
+        "serve.cache.misses",
+        log.count_outcome(SPAN_CACHE, "miss")
+            + log.count_outcome(SPAN_CACHE, "raw")
+            + log.count_outcome(SPAN_CACHE, "source_corrupt"),
+        counter("serve.cache.misses"),
+    );
+    check(
+        "serve.raw_fallbacks",
+        log.count_outcome(SPAN_CACHE, "raw"),
+        counter("serve.raw_fallbacks"),
+    );
+
+    // Structural checks: spans nest inside their request's window and
+    // attempt numbers count 1..=n.
+    let mut windows: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    for s in &log.spans {
+        checks += 1;
+        if s.end < s.start {
+            errors.push(format!("{} req {}: end {} before start {}", s.name, s.req, s.end, s.start));
+        }
+        if s.name == SPAN_REQUEST && windows.insert(s.req, (s.start, s.end)).is_some() {
+            errors.push(format!("request {}: duplicate {SPAN_REQUEST} span", s.req));
+        }
+    }
+    let mut max_attempt: BTreeMap<u64, u32> = BTreeMap::new();
+    for s in &log.spans {
+        if s.name == SPAN_REQUEST {
+            continue;
+        }
+        checks += 1;
+        match windows.get(&s.req) {
+            None => errors.push(format!("{} req {}: no request span", s.name, s.req)),
+            Some(&(start, end)) => {
+                if s.start < start || s.end > end {
+                    errors.push(format!(
+                        "{} req {}: [{}, {}] outside request window [{start}, {end}]",
+                        s.name, s.req, s.start, s.end
+                    ));
+                }
+            }
+        }
+        if s.name == SPAN_ATTEMPT {
+            let prev = max_attempt.entry(s.req).or_insert(0);
+            if s.attempt != *prev + 1 {
+                errors.push(format!(
+                    "req {}: attempt numbers skip from {} to {}",
+                    s.req, *prev, s.attempt
+                ));
+            }
+            *prev = s.attempt.max(*prev);
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(ReconcileReport {
+            spans: log.len(),
+            requests: log.count(SPAN_REQUEST),
+            attempts: log.count(SPAN_ATTEMPT),
+            checks,
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Registry;
+    use super::*;
+
+    fn span(name: &str, req: u64, attempt: u32, start: u64, end: u64, outcome: &str) -> ReqSpan {
+        ReqSpan {
+            name: name.to_string(),
+            req,
+            attempt,
+            client: 0,
+            start,
+            end,
+            outcome: outcome.to_string(),
+        }
+    }
+
+    fn totals_snapshot(totals: &[(&str, u64)]) -> Snapshot {
+        let r = Registry::new();
+        for (name, v) in totals {
+            r.counter(name).add(*v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn matching_log_reconciles() {
+        let mut log = SpanLog::new();
+        // Request 0: two attempts (one timeout, then delivered).
+        log.push(span(SPAN_REQUEST, 0, 0, 10, 100, "delivered"));
+        log.push(span(SPAN_ATTEMPT, 0, 1, 10, 40, "timeout"));
+        log.push(span(SPAN_ATTEMPT, 0, 2, 60, 100, "delivered"));
+        log.push(span(SPAN_CACHE, 0, 2, 70, 70, "miss"));
+        log.push(span(SPAN_CHANNEL, 0, 2, 70, 100, "delivered"));
+        // Request 1: shed once, then delivered from cache.
+        log.push(span(SPAN_REQUEST, 1, 0, 20, 90, "delivered"));
+        log.push(span(SPAN_WAIT_SHED, 1, 1, 20, 50, "shed"));
+        log.push(span(SPAN_ATTEMPT, 1, 1, 55, 90, "delivered"));
+        log.push(span(SPAN_CACHE, 1, 1, 60, 60, "hit"));
+        log.push(span(SPAN_CHANNEL, 1, 1, 60, 90, "delivered"));
+        let snap = totals_snapshot(&[
+            ("serve.requests", 2),
+            ("serve.delivered", 2),
+            ("serve.attempts", 3),
+            ("serve.retries", 1),
+            ("serve.timeouts", 1),
+            ("serve.shed", 1),
+            ("serve.cache.hits", 1),
+            ("serve.cache.misses", 1),
+        ]);
+        let report = reconcile(&log, &snap).unwrap();
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.attempts, 3);
+        assert!(report.checks > 10);
+    }
+
+    #[test]
+    fn drifted_counter_is_caught() {
+        let mut log = SpanLog::new();
+        log.push(span(SPAN_REQUEST, 0, 0, 0, 10, "delivered"));
+        log.push(span(SPAN_ATTEMPT, 0, 1, 0, 10, "delivered"));
+        let snap = totals_snapshot(&[
+            ("serve.requests", 1),
+            ("serve.delivered", 1),
+            ("serve.attempts", 2), // drift: one attempt span, two counted
+        ]);
+        let errors = reconcile(&log, &snap).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("serve.attempts")), "{errors:?}");
+    }
+
+    #[test]
+    fn structural_violations_are_caught() {
+        // Attempt span outside its request window.
+        let mut log = SpanLog::new();
+        log.push(span(SPAN_REQUEST, 0, 0, 10, 20, "failed"));
+        log.push(span(SPAN_ATTEMPT, 0, 1, 5, 20, "timeout"));
+        let snap = totals_snapshot(&[
+            ("serve.requests", 1),
+            ("serve.failed", 1),
+            ("serve.attempts", 1),
+            ("serve.timeouts", 1),
+        ]);
+        let errors = reconcile(&log, &snap).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("outside request window")), "{errors:?}");
+
+        // Attempt numbering must count 1..=n.
+        let mut log = SpanLog::new();
+        log.push(span(SPAN_REQUEST, 0, 0, 0, 30, "failed"));
+        log.push(span(SPAN_ATTEMPT, 0, 1, 0, 10, "timeout"));
+        log.push(span(SPAN_ATTEMPT, 0, 3, 10, 30, "timeout"));
+        let snap = totals_snapshot(&[
+            ("serve.requests", 1),
+            ("serve.failed", 1),
+            ("serve.attempts", 2),
+            ("serve.retries", 1),
+            ("serve.timeouts", 2),
+        ]);
+        let errors = reconcile(&log, &snap).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("attempt numbers skip")), "{errors:?}");
+
+        // An orphan span with no request-level parent.
+        let mut log = SpanLog::new();
+        log.push(span(SPAN_ATTEMPT, 7, 1, 0, 10, "timeout"));
+        let snap = totals_snapshot(&[("serve.attempts", 1), ("serve.timeouts", 1)]);
+        let errors = reconcile(&log, &snap).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("no request span")), "{errors:?}");
+    }
+
+    #[test]
+    fn request_tree_orders_spans() {
+        let mut log = SpanLog::new();
+        log.push(span(SPAN_ATTEMPT, 0, 1, 10, 40, "timeout"));
+        log.push(span(SPAN_REQUEST, 0, 0, 10, 100, "delivered"));
+        log.push(span(SPAN_ATTEMPT, 0, 2, 60, 100, "delivered"));
+        log.push(span(SPAN_REQUEST, 1, 0, 0, 5, "failed"));
+        let tree = log.request_tree(0);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree[0].name, SPAN_REQUEST);
+        assert_eq!(tree[1].attempt, 1);
+        assert_eq!(tree[2].attempt, 2);
+    }
+}

@@ -1,0 +1,439 @@
+//! Time-series streaming: periodic registry samples as delta-encoded
+//! JSON lines.
+//!
+//! A [`MetricsStreamer`] turns a sequence of [`Snapshot`]s into one
+//! JSON line per sampling interval: counters as **deltas** since the
+//! previous sample (unchanged counters are omitted), gauges as
+//! **levels** (emitted only when they change), histograms as bucket
+//! deltas plus p50/p95/p99 computed from the power-of-2 buckets of the
+//! interval's observations alone. Everything is integer arithmetic
+//! over snapshot state, so a stream driven by virtual time is
+//! byte-identical across runs of the same seed — the property the
+//! serve soak's `--metrics-interval` determinism smoke pins.
+//!
+//! The line schema is validated by [`validate_stream_line`] (wired
+//! into `codecomp telemetry check --stream`):
+//!
+//! ```json
+//! {"t":250,"seq":3,"counters":{"serve.requests":41},
+//!  "gauges":{"serve.cache.peak_bytes":65536},
+//!  "histograms":{"serve.request.latency_ns":
+//!    {"count":41,"sum":901,"p50":16383,"p95":65535,"p99":65535,
+//!     "buckets":[[14,30],[16,11]]}}}
+//! ```
+
+use super::{json_string, HistogramSnapshot, Json, JsonParser, Snapshot, HISTOGRAM_BUCKETS};
+
+/// Largest value bucket `i` can hold: 0 for bucket 0, `2^i - 1` for
+/// `0 < i < 64`, and `u64::MAX` for bucket 64 (see
+/// [`super::bucket_of`]).
+#[must_use]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// The `num/den` quantile of a bucketed distribution with `count`
+/// observations, reported as the upper bound of the bucket holding the
+/// rank-`ceil(count * num / den)` observation. Returns 0 for an empty
+/// distribution.
+#[must_use]
+pub fn quantile(buckets: &[u64; HISTOGRAM_BUCKETS], count: u64, num: u64, den: u64) -> u64 {
+    if count == 0 || den == 0 {
+        return 0;
+    }
+    let rank = (u128::from(count) * u128::from(num))
+        .div_ceil(u128::from(den))
+        .clamp(1, u128::from(count));
+    let mut seen: u128 = 0;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += u128::from(n);
+        if seen >= rank {
+            return bucket_upper_bound(i);
+        }
+    }
+    bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Incremental sampler: holds the previous snapshot and a sequence
+/// number, and renders each new snapshot as one delta line.
+#[derive(Debug, Default)]
+pub struct MetricsStreamer {
+    prev: Snapshot,
+    seq: u64,
+}
+
+impl MetricsStreamer {
+    /// A streamer whose first sample deltas against an empty registry.
+    #[must_use]
+    pub fn new() -> MetricsStreamer {
+        MetricsStreamer::default()
+    }
+
+    /// Samples `cur` at time `t` (caller-defined units; the soak uses
+    /// virtual milliseconds), returning the delta line and advancing
+    /// the previous-snapshot state. A line is emitted even when nothing
+    /// changed, so interval boundaries stay visible in the stream.
+    pub fn sample(&mut self, t: u64, cur: &Snapshot) -> String {
+        let line = delta_line(t, self.seq, &self.prev, cur);
+        self.seq += 1;
+        self.prev = cur.clone();
+        line
+    }
+}
+
+/// Renders one stream line: the delta from `prev` to `cur` stamped
+/// `t`/`seq`. Both snapshots must be name-sorted (as
+/// [`super::Registry::snapshot`] produces them).
+#[must_use]
+pub fn delta_line(t: u64, seq: u64, prev: &Snapshot, cur: &Snapshot) -> String {
+    let mut out = format!("{{\"t\":{t},\"seq\":{seq},\"counters\":{{");
+    let mut first = true;
+    merge_walk(&prev.counters, &cur.counters, |name, old, new| {
+        let delta = new.saturating_sub(old.unwrap_or(0));
+        if delta > 0 {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{delta}", json_string(name)));
+        }
+    });
+    out.push_str("},\"gauges\":{");
+    let mut first = true;
+    merge_walk(&prev.gauges, &cur.gauges, |name, old, new| {
+        // Levels, not deltas: a gauge is emitted when it first appears
+        // and whenever it moves.
+        if old != Some(new) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{}:{new}", json_string(name)));
+        }
+    });
+    out.push_str("},\"histograms\":{");
+    let mut first = true;
+    merge_walk_hist(&prev.histograms, &cur.histograms, |name, old, new| {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        let old = old.unwrap_or(&empty);
+        let dcount = new.count.saturating_sub(old.count);
+        if dcount == 0 {
+            return;
+        }
+        let dsum = new.sum.saturating_sub(old.sum);
+        let dbuckets: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| new.buckets[i].saturating_sub(old.buckets[i]));
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{}:{{\"count\":{dcount},\"sum\":{dsum},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+            json_string(name),
+            quantile(&dbuckets, dcount, 50, 100),
+            quantile(&dbuckets, dcount, 95, 100),
+            quantile(&dbuckets, dcount, 99, 100),
+        ));
+        let mut bfirst = true;
+        for (i, &n) in dbuckets.iter().enumerate() {
+            if n > 0 {
+                if !bfirst {
+                    out.push(',');
+                }
+                bfirst = false;
+                out.push_str(&format!("[{i},{n}]"));
+            }
+        }
+        out.push_str("]}");
+    });
+    out.push_str("}}");
+    out
+}
+
+/// Merge-walks two name-sorted `(name, value)` slices, calling `f` for
+/// every name present in `cur` with its old value (if any).
+fn merge_walk(
+    prev: &[(String, u64)],
+    cur: &[(String, u64)],
+    mut f: impl FnMut(&str, Option<u64>, u64),
+) {
+    let mut pi = 0;
+    for (name, new) in cur {
+        while pi < prev.len() && prev[pi].0.as_str() < name.as_str() {
+            pi += 1;
+        }
+        let old = (pi < prev.len() && prev[pi].0 == *name).then(|| prev[pi].1);
+        f(name, old, *new);
+    }
+}
+
+/// [`merge_walk`] for histogram snapshots.
+fn merge_walk_hist<'a>(
+    prev: &'a [(String, HistogramSnapshot)],
+    cur: &'a [(String, HistogramSnapshot)],
+    mut f: impl FnMut(&str, Option<&'a HistogramSnapshot>, &'a HistogramSnapshot),
+) {
+    let mut pi = 0;
+    for (name, new) in cur {
+        while pi < prev.len() && prev[pi].0.as_str() < name.as_str() {
+            pi += 1;
+        }
+        let old = (pi < prev.len() && prev[pi].0 == *name).then(|| &prev[pi].1);
+        f(name, old, new);
+    }
+}
+
+/// Validates one JSON line against the pinned metrics-stream schema.
+///
+/// Required top-level keys, exactly: `t` and `seq` (non-negative
+/// integers), `counters` and `gauges` (objects of non-negative integer
+/// values), `histograms` (object; each value an object with exactly
+/// `count`, `sum`, `p50`, `p95`, `p99` — non-negative integers — and
+/// `buckets`, an array of `[bucket_index, count]` pairs with
+/// `bucket_index < 65` and `count >= 1`).
+///
+/// # Errors
+///
+/// A human-readable description of the first schema violation.
+pub fn validate_stream_line(line: &str) -> Result<(), String> {
+    let mut p = JsonParser::new(line);
+    let v = p.value()?;
+    p.finish()?;
+    let obj = match &v {
+        Json::Object(pairs) => pairs,
+        _ => return Err("record is not a JSON object".into()),
+    };
+    for key in ["t", "seq", "counters", "gauges", "histograms"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    for (k, _) in obj {
+        if !matches!(k.as_str(), "t" | "seq" | "counters" | "gauges" | "histograms") {
+            return Err(format!("unknown key {k:?}"));
+        }
+    }
+    for key in ["t", "seq"] {
+        match v.get(key) {
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {}
+            _ => return Err(format!("{key} must be a non-negative integer")),
+        }
+    }
+    for section in ["counters", "gauges"] {
+        let pairs = match v.get(section) {
+            Some(Json::Object(pairs)) => pairs,
+            _ => return Err(format!("{section} must be an object")),
+        };
+        for (name, val) in pairs {
+            match val {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "{section} entry {name:?} must be a non-negative integer"
+                    ))
+                }
+            }
+        }
+    }
+    let hists = match v.get("histograms") {
+        Some(Json::Object(pairs)) => pairs,
+        _ => return Err("histograms must be an object".into()),
+    };
+    for (name, h) in hists {
+        let hobj = match h {
+            Json::Object(pairs) => pairs,
+            _ => return Err(format!("histogram {name:?} must be an object")),
+        };
+        for (k, _) in hobj {
+            if !matches!(k.as_str(), "count" | "sum" | "p50" | "p95" | "p99" | "buckets") {
+                return Err(format!("histogram {name:?}: unknown key {k:?}"));
+            }
+        }
+        for key in ["count", "sum", "p50", "p95", "p99"] {
+            match h.get(key) {
+                Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "histogram {name:?}: {key} must be a non-negative integer"
+                    ))
+                }
+            }
+        }
+        let buckets = match h.get("buckets") {
+            Some(Json::Array(items)) => items,
+            _ => return Err(format!("histogram {name:?}: buckets must be an array")),
+        };
+        for item in buckets {
+            match item {
+                Json::Array(pair) if pair.len() == 2 => match (&pair[0], &pair[1]) {
+                    (Json::Num(i), Json::Num(n))
+                        if *i >= 0.0
+                            && i.fract() == 0.0
+                            && (*i as usize) < HISTOGRAM_BUCKETS
+                            && *n >= 1.0
+                            && n.fract() == 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "histogram {name:?}: bucket pair must be [index<{HISTOGRAM_BUCKETS}, count>=1]"
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(format!(
+                        "histogram {name:?}: buckets items must be 2-element arrays"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Registry;
+    use super::*;
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let mut b = [0u64; HISTOGRAM_BUCKETS];
+        b[2] = 50; // values 2..=3
+        b[4] = 45; // values 8..=15
+        b[10] = 5; // values 512..=1023
+        let count = 100;
+        assert_eq!(quantile(&b, count, 50, 100), 3);
+        assert_eq!(quantile(&b, count, 95, 100), 15);
+        assert_eq!(quantile(&b, count, 99, 100), 1023);
+        assert_eq!(quantile(&b, 0, 50, 100), 0);
+        // Rank 1 (minimum) lands in the first non-empty bucket.
+        assert_eq!(quantile(&b, count, 1, 1000), 3);
+    }
+
+    #[test]
+    fn first_sample_golden_line() {
+        let r = Registry::new();
+        r.counter("c.hits").add(3);
+        r.gauge("g.level").set(7);
+        r.histogram("h.ns").record(5);
+        r.histogram("h.ns").record(0);
+        let mut s = MetricsStreamer::new();
+        let line = s.sample(250, &r.snapshot());
+        assert_eq!(
+            line,
+            r#"{"t":250,"seq":0,"counters":{"c.hits":3},"gauges":{"g.level":7},"histograms":{"h.ns":{"count":2,"sum":5,"p50":0,"p95":7,"p99":7,"buckets":[[0,1],[3,1]]}}}"#
+        );
+        validate_stream_line(&line).unwrap();
+    }
+
+    #[test]
+    fn deltas_omit_unchanged_and_track_changes() {
+        let r = Registry::new();
+        r.counter("a").add(5);
+        r.counter("b").add(2);
+        r.gauge("g").set(10);
+        let mut s = MetricsStreamer::new();
+        let first = s.sample(100, &r.snapshot());
+        validate_stream_line(&first).unwrap();
+
+        // Only `a` and the gauge move before the second sample.
+        r.counter("a").add(4);
+        r.gauge("g").set(3);
+        let second = s.sample(200, &r.snapshot());
+        assert_eq!(
+            second,
+            r#"{"t":200,"seq":1,"counters":{"a":4},"gauges":{"g":3},"histograms":{}}"#
+        );
+        validate_stream_line(&second).unwrap();
+
+        // Nothing moves: the line still appears, with empty sections.
+        let third = s.sample(300, &r.snapshot());
+        assert_eq!(third, r#"{"t":300,"seq":2,"counters":{},"gauges":{},"histograms":{}}"#);
+        validate_stream_line(&third).unwrap();
+    }
+
+    #[test]
+    fn histogram_deltas_cover_interval_only() {
+        let r = Registry::new();
+        for v in [1u64, 1, 1000] {
+            r.histogram("lat").record(v);
+        }
+        let mut s = MetricsStreamer::new();
+        let first = s.sample(1, &r.snapshot());
+        validate_stream_line(&first).unwrap();
+        assert!(first.contains(r#""count":3"#));
+
+        // Second interval sees only the new observations.
+        for _ in 0..10 {
+            r.histogram("lat").record(4);
+        }
+        let second = s.sample(2, &r.snapshot());
+        validate_stream_line(&second).unwrap();
+        assert!(second.contains(r#""lat":{"count":10,"sum":40,"p50":7,"p95":7,"p99":7,"buckets":[[3,10]]}"#), "{second}");
+    }
+
+    #[test]
+    fn hostile_metric_names_round_trip() {
+        let r = Registry::new();
+        r.counter("we\"ird\\name").add(1);
+        let mut s = MetricsStreamer::new();
+        let line = s.sample(0, &r.snapshot());
+        validate_stream_line(&line).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        let bad = [
+            "",                                                       // not JSON
+            "[]",                                                     // not an object
+            r#"{"seq":0,"counters":{},"gauges":{},"histograms":{}}"#, // missing t
+            r#"{"t":1,"seq":0,"counters":{},"gauges":{},"histograms":{},"x":1}"#, // unknown key
+            r#"{"t":1.5,"seq":0,"counters":{},"gauges":{},"histograms":{}}"#, // fractional t
+            r#"{"t":1,"seq":0,"counters":[],"gauges":{},"histograms":{}}"#, // counters not object
+            r#"{"t":1,"seq":0,"counters":{"a":-1},"gauges":{},"histograms":{}}"#, // negative
+            r#"{"t":1,"seq":0,"counters":{},"gauges":{},"histograms":{"h":{}}}"#, // histogram missing keys
+            r#"{"t":1,"seq":0,"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"p50":1,"p95":1,"p99":1,"buckets":[[65,1]]}}}"#, // bucket index out of range
+            r#"{"t":1,"seq":0,"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,"p50":1,"p95":1,"p99":1,"buckets":[[3,0]]}}}"#, // zero bucket count
+        ];
+        for line in bad {
+            assert!(validate_stream_line(line).is_err(), "accepted: {line}");
+        }
+        validate_stream_line(
+            r#"{"t":1,"seq":0,"counters":{},"gauges":{},"histograms":{}}"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn same_inputs_emit_identical_streams() {
+        let render = || {
+            let r = Registry::new();
+            let mut s = MetricsStreamer::new();
+            let mut lines = Vec::new();
+            for round in 1..=5u64 {
+                r.counter("serve.requests").add(round * 3);
+                r.gauge("serve.cache.peak_bytes").set(round * 1000);
+                r.histogram("serve.request.latency_ns").record(round * 17);
+                lines.push(s.sample(round * 250, &r.snapshot()));
+            }
+            lines
+        };
+        assert_eq!(render(), render());
+    }
+}

@@ -21,6 +21,12 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use codecomp_core::fault::XorShift64;
 use codecomp_core::telemetry;
+use codecomp_core::telemetry::reconcile::{
+    ReqSpan, SpanLog, SPAN_ATTEMPT, SPAN_CACHE, SPAN_CHANNEL, SPAN_DECODE, SPAN_REQUEST,
+    SPAN_WAIT_BREAKER, SPAN_WAIT_SHED,
+};
+use codecomp_core::telemetry::stream::MetricsStreamer;
+use codecomp_core::telemetry::{LocalHistogram, Registry, Snapshot};
 use codecomp_memsim::Channel;
 use codecomp_wire::demand::DemandImage;
 
@@ -241,6 +247,115 @@ impl SoakReport {
     }
 }
 
+/// Live observation attached to a soak run: an optional interval-
+/// driven metric stream and an optional request-scoped span log.
+///
+/// Both are driven by the soak's *virtual* clock, so the same seed
+/// produces byte-identical stream lines and an identical span log on
+/// every run. The default observer records nothing beyond the
+/// (always-cheap) request-latency histogram.
+#[derive(Debug, Default)]
+pub struct SoakObserver {
+    metrics_interval: Option<Nanos>,
+    collect_spans: bool,
+    streamer: MetricsStreamer,
+    latency: LocalHistogram,
+    /// Delta-encoded JSON-lines metric stream, one line per sample
+    /// tick (see [`codecomp_core::telemetry::stream`] for the schema).
+    pub stream_lines: Vec<String>,
+    /// The request-scoped span log (empty unless spans are enabled).
+    pub spans: SpanLog,
+}
+
+impl SoakObserver {
+    /// An observer that records nothing extra.
+    #[must_use]
+    pub fn new() -> SoakObserver {
+        SoakObserver::default()
+    }
+
+    /// Samples the run's metrics every `interval` virtual nanos into
+    /// [`Self::stream_lines`] (stream timestamps are virtual millis).
+    #[must_use]
+    pub fn with_metrics_interval(mut self, interval: Nanos) -> SoakObserver {
+        self.metrics_interval = Some(interval.max(1));
+        self
+    }
+
+    /// Records a [`ReqSpan`] per request lifecycle edge into
+    /// [`Self::spans`], ready for [`reconcile`](codecomp_core::telemetry::reconcile::reconcile).
+    #[must_use]
+    pub fn with_spans(mut self) -> SoakObserver {
+        self.collect_spans = true;
+        self
+    }
+
+    /// The registry snapshot this run's final report represents —
+    /// exactly what [`SoakReport::publish_telemetry`] would publish,
+    /// plus the request-latency histogram. Feed it to
+    /// [`reconcile`](codecomp_core::telemetry::reconcile::reconcile)
+    /// together with [`Self::spans`].
+    #[must_use]
+    pub fn final_snapshot(&self, report: &SoakReport) -> Snapshot {
+        registry_snapshot(report, &self.latency)
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the ReqSpan field list
+    fn span(
+        &mut self,
+        name: &str,
+        req: u64,
+        attempt: u32,
+        client: u64,
+        start: Nanos,
+        end: Nanos,
+        outcome: &str,
+    ) {
+        if self.collect_spans {
+            self.spans.push(ReqSpan {
+                name: name.to_string(),
+                req,
+                attempt,
+                client,
+                start,
+                end,
+                outcome: outcome.to_string(),
+            });
+        }
+    }
+
+    /// Emits one stream line for the state of the run at `tick`.
+    fn emit_sample(
+        &mut self,
+        tick: Nanos,
+        report: &SoakReport,
+        clients: &[SimClient],
+        server: &ModuleServer,
+        now: Nanos,
+    ) {
+        let mut partial = report.clone();
+        fold_runtime_stats(&mut partial, clients, server);
+        partial.virtual_duration = now;
+        let snap = registry_snapshot(&partial, &self.latency);
+        let line = self.streamer.sample(tick / MILLI, &snap);
+        self.stream_lines.push(line);
+    }
+}
+
+/// Builds the registry snapshot `report` represents: its counter
+/// totals, the peak-cache/virtual-time gauges, and the request-latency
+/// histogram.
+fn registry_snapshot(report: &SoakReport, latency: &LocalHistogram) -> Snapshot {
+    let r = Registry::new();
+    for (name, v) in report.counter_totals() {
+        r.counter(name).add(v);
+    }
+    r.gauge("serve.cache.peak_bytes").set(report.peak_cache_bytes);
+    r.gauge("serve.soak.virtual_millis").set(report.virtual_duration / MILLI);
+    r.histogram("serve.request.latency_ns").merge(latency);
+    r.snapshot()
+}
+
 /// Virtual decode-worker pool with a bounded projected wait.
 struct VirtualQueue {
     worker_free: Vec<Nanos>,
@@ -298,6 +413,17 @@ struct SimClient {
 /// (or provably cannot, which the report flags as stuck).
 #[must_use]
 pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
+    run_soak_observed(image, cfg, &mut SoakObserver::new())
+}
+
+/// [`run_soak`] with live observation: `obs` receives the metric
+/// stream samples and request-scoped spans it was configured for.
+#[must_use]
+pub fn run_soak_observed(
+    image: &DemandImage,
+    cfg: &SoakConfig,
+    obs: &mut SoakObserver,
+) -> SoakReport {
     let names: Vec<String> = image.names().map(str::to_string).collect();
     let server = ModuleServer::new(image.clone(), cfg.server.clone());
     let channels: &[ChannelKind] = if cfg.channels.is_empty() {
@@ -374,12 +500,22 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
         * 4
         + 10_000;
     let mut events: u64 = 0;
+    let mut next_sample: Nanos = 0;
 
     while let Some(Reverse((t, _, ci))) = heap.pop() {
         now = now.max(t);
         events += 1;
         if events > event_cap {
             break;
+        }
+        // Metric stream ticks fire on the virtual clock, before this
+        // event mutates anything: each line is the state as of the
+        // moment the tick was crossed.
+        if let Some(interval) = obs.metrics_interval {
+            while t >= next_sample {
+                obs.emit_sample(next_sample, &report, &clients, &server, now);
+                next_sample = next_sample.saturating_add(interval);
+            }
         }
         let think = think_gap(cfg.think_time, &mut clients[ci].workload);
 
@@ -415,6 +551,7 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
             report.retries += 1;
         }
         report.max_attempts_seen = report.max_attempts_seen.max(attempt_no);
+        let client_id = clients[ci].fetch.id();
 
         // Breaker gate.
         if let Err(AttemptError::BreakerOpen { until }) = clients[ci].fetch.pre_admit(t, &name) {
@@ -429,9 +566,13 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
             let deadline = a.started.saturating_add(cfg.client.retry.deadline);
             let resume = until.max(t + 1);
             if a.waits > MAX_WAITS_PER_REQUEST || resume > deadline {
-                finish_request(&mut clients[ci], &mut report, false);
+                // Zero-length wait span: the request dies here, and a
+                // child span may not outlive its request window.
+                obs.span(SPAN_WAIT_BREAKER, request_id, 0, client_id, t, t, "abandoned");
+                finish_request(&mut clients[ci], &mut report, false, t, obs);
                 push(&mut heap, &mut seq, t.saturating_add(think), ci);
             } else {
+                obs.span(SPAN_WAIT_BREAKER, request_id, 0, client_id, t, resume, "wait");
                 push(&mut heap, &mut seq, resume, ci);
             }
             continue;
@@ -470,6 +611,9 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
             }
             Err(ServeError::Corrupt { what }) => {
                 corrupt_names.insert(name.clone());
+                // The server consumed a cache miss proving the unit
+                // corrupt (see `ModuleServer::request`).
+                obs.span(SPAN_CACHE, request_id, attempt_no, client_id, t_resp, t_resp, "source_corrupt");
                 let e = clients[ci]
                     .fetch
                     .on_attempt(t_resp, &name, WireEvent::SourceCorrupt { what })
@@ -477,6 +621,17 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
                 (t_resp, e)
             }
             Ok(resp) => {
+                // Cache verdict: hit XOR miss for every attempt the
+                // server actually served; raw fallbacks are misses
+                // that degraded to unverified bytes.
+                let verdict = if resp.cache_hit {
+                    "hit"
+                } else if resp.verified {
+                    "miss"
+                } else {
+                    "raw"
+                };
+                obs.span(SPAN_CACHE, request_id, attempt_no, client_id, t_resp, t_resp, verdict);
                 let delivery = clients[ci].channel.deliver(request_id, attempt_no, &resp.bytes);
                 let t_done = t_resp.saturating_add(delivery.elapsed);
                 let event = match &delivery.outcome {
@@ -485,21 +640,67 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
                         WireEvent::Delivered { bytes, verified: resp.verified }
                     }
                 };
+                let delivered_bytes =
+                    matches!(&delivery.outcome, crate::channel::DeliveryOutcome::Delivered(_));
+                obs.span(
+                    SPAN_CHANNEL,
+                    request_id,
+                    attempt_no,
+                    client_id,
+                    t_resp,
+                    t_done,
+                    if delivered_bytes { "delivered" } else { "timeout" },
+                );
                 let e = clients[ci].fetch.on_attempt(t_done, &name, event).err();
+                if delivered_bytes {
+                    // Client-side decode verdict of the delivered bytes.
+                    let ok = !matches!(e, Some(AttemptError::CorruptDelivery { .. }));
+                    obs.span(
+                        SPAN_DECODE,
+                        request_id,
+                        attempt_no,
+                        client_id,
+                        t_done,
+                        t_done,
+                        if ok { "ok" } else { "corrupt" },
+                    );
+                }
                 (t_done, e)
             }
         };
+
+        // One attempt span per wire attempt; sheds are pushback, not
+        // attempts, and get a wait span in the retry arm instead.
+        match &outcome {
+            Some(AttemptError::Shed { .. }) => {}
+            Some(err) => {
+                let label = match err {
+                    AttemptError::Timeout => "timeout",
+                    AttemptError::CorruptDelivery { .. } => "corrupt_delivery",
+                    AttemptError::SourceCorrupt { .. } => "source_corrupt",
+                    AttemptError::Unknown => "unknown",
+                    AttemptError::Shed { .. } | AttemptError::BreakerOpen { .. } => unreachable!(),
+                };
+                obs.span(SPAN_ATTEMPT, request_id, attempt_no, client_id, t, t_done, label);
+            }
+            None => {
+                obs.span(SPAN_ATTEMPT, request_id, attempt_no, client_id, t, t_done, "delivered");
+            }
+        }
 
         match outcome {
             None => {
                 delivered_names.insert(name);
                 report.delivered += 1;
-                finish_request(&mut clients[ci], &mut report, true);
+                finish_request(&mut clients[ci], &mut report, true, t_done, obs);
                 push(&mut heap, &mut seq, t_done.saturating_add(think), ci);
             }
             Some(err) => {
                 match &err {
-                    AttemptError::Shed { .. } => report.sheds += 1,
+                    AttemptError::Shed { .. } => {
+                        report.sheds += 1;
+                        obs.span(SPAN_WAIT_SHED, request_id, 0, client_id, t, t_done, "shed");
+                    }
                     AttemptError::Timeout => report.timeouts += 1,
                     AttemptError::CorruptDelivery { .. } => report.corrupt_deliveries += 1,
                     AttemptError::SourceCorrupt { .. } => report.source_corrupt += 1,
@@ -531,7 +732,7 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
                     || exhausted_waits
                     || next_at > deadline;
                 if abandon {
-                    finish_request(&mut clients[ci], &mut report, false);
+                    finish_request(&mut clients[ci], &mut report, false, t_done, obs);
                     push(&mut heap, &mut seq, t_done.saturating_add(think), ci);
                 } else {
                     push(&mut heap, &mut seq, next_at, ci);
@@ -546,6 +747,37 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
         if c.done < cfg.requests_per_client {
             report.stuck_clients += 1;
         }
+    }
+    fold_runtime_stats(&mut report, &clients, &server);
+    report.virtual_duration = now;
+    report.names_requested = requested.len() as u64;
+    report.names_delivered = delivered_names.len() as u64;
+    report.permanently_corrupt = corrupt_names.iter().cloned().collect();
+    report.undelivered = requested
+        .iter()
+        .filter(|n| !delivered_names.contains(*n) && !corrupt_names.contains(*n))
+        .cloned()
+        .collect();
+    // One closing stream line so the series always ends on the final
+    // totals, even when the run ends mid-interval.
+    if obs.metrics_interval.is_some() {
+        obs.emit_sample(now, &report, &clients, &server, now);
+    }
+    report
+}
+
+/// Folds the live client/server-held stats into `report` by
+/// assignment (not accumulation), so mid-run metric sampling can call
+/// it repeatedly on a clone of the partial report.
+fn fold_runtime_stats(report: &mut SoakReport, clients: &[SimClient], server: &ModuleServer) {
+    report.quarantines = 0;
+    report.quarantine_recoveries = 0;
+    report.quarantined_end = 0;
+    report.breaker_opens = 0;
+    report.breaker_half_opens = 0;
+    report.breaker_recoveries = 0;
+    report.breaker_rejects = 0;
+    for c in clients {
         let s = c.fetch.stats();
         report.quarantines += s.quarantines;
         report.quarantine_recoveries += s.recoveries;
@@ -564,23 +796,29 @@ pub fn run_soak(image: &DemandImage, cfg: &SoakConfig) -> SoakReport {
     report.cache_evictions = ss.evictions;
     report.raw_fallbacks = ss.raw_fallbacks;
     report.peak_cache_bytes = ss.peak_cache_bytes;
-    report.virtual_duration = now;
-    report.names_requested = requested.len() as u64;
-    report.names_delivered = delivered_names.len() as u64;
-    report.permanently_corrupt = corrupt_names.iter().cloned().collect();
-    report.undelivered = requested
-        .iter()
-        .filter(|n| !delivered_names.contains(*n) && !corrupt_names.contains(*n))
-        .cloned()
-        .collect();
-    report
 }
 
-fn finish_request(c: &mut SimClient, report: &mut SoakReport, delivered: bool) {
+fn finish_request(
+    c: &mut SimClient,
+    report: &mut SoakReport,
+    delivered: bool,
+    end: Nanos,
+    obs: &mut SoakObserver,
+) {
     if !delivered {
         report.failed += 1;
     }
-    c.active = None;
+    let a = c.active.take().expect("finished request was active");
+    obs.latency.record(end.saturating_sub(a.started));
+    obs.span(
+        SPAN_REQUEST,
+        a.request_id,
+        0,
+        c.fetch.id(),
+        a.started,
+        end,
+        if delivered { "delivered" } else { "failed" },
+    );
     c.done += 1;
 }
 

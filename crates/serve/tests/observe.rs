@@ -1,0 +1,213 @@
+//! Observability suite for the soak harness: live metric streaming,
+//! request-scoped tracing, and the span ↔ counter reconcile check.
+//!
+//! Everything runs on the soak's virtual clock, so the assertions here
+//! are exact: same-seed runs must produce *byte-identical* metric
+//! streams and span logs, and every `serve.*` counter must equal its
+//! span population with no tolerance.
+
+use std::sync::Arc;
+
+use codecomp_core::telemetry::reconcile::{reconcile, SPAN_ATTEMPT, SPAN_CACHE, SPAN_REQUEST};
+use codecomp_core::telemetry::stream::{validate_stream_line, MetricsStreamer};
+use codecomp_core::telemetry::{LocalHistogram, Registry};
+use codecomp_corpus::benchmarks;
+use codecomp_ir::tree::Module;
+use codecomp_serve::server::{ModuleServer, ServeError, ServerConfig};
+use codecomp_serve::soak::{corrupt_units, run_soak, run_soak_observed, SoakConfig, SoakObserver};
+use codecomp_serve::MILLI;
+use codecomp_wire::demand::DemandImage;
+use codecomp_wire::WireOptions;
+
+fn corpus_image() -> DemandImage {
+    let mut merged = Module::default();
+    for b in benchmarks() {
+        let module = b.compile().expect("corpus programs compile");
+        for mut f in module.functions {
+            f.name = format!("{}__{}", b.name, f.name);
+            merged.functions.push(f);
+        }
+        for mut g in module.globals {
+            g.name = format!("{}__{}", b.name, g.name);
+            merged.globals.push(g);
+        }
+    }
+    DemandImage::build(&merged, WireOptions::default()).expect("demand build")
+}
+
+fn faulty_cfg() -> SoakConfig {
+    SoakConfig {
+        seed: 0x0B5E_7E57,
+        clients: 9,
+        requests_per_client: 96,
+        fault_num: 2,
+        fault_den: 100,
+        ..SoakConfig::default()
+    }
+}
+
+#[test]
+fn observed_soak_streams_deterministically_and_reconciles() {
+    let image = corpus_image();
+    let (broken, corrupted) = corrupt_units(&image, 2, 77);
+    assert!(!corrupted.is_empty(), "corruption took hold");
+    let cfg = faulty_cfg();
+
+    let run = || {
+        let mut obs = SoakObserver::new().with_metrics_interval(20 * MILLI).with_spans();
+        let report = run_soak_observed(&broken, &cfg, &mut obs);
+        (report, obs)
+    };
+    let (report, obs) = run();
+
+    // The run exercises every span-emitting path we reconcile.
+    assert!(report.survived());
+    assert!(report.retries > 0 && report.source_corrupt > 0, "faults bit");
+    assert!(report.cache_hits > 0 && report.cache_misses > 0);
+
+    // Stream: non-empty, schema-valid line by line.
+    assert!(obs.stream_lines.len() >= 2, "interval produced samples");
+    for line in &obs.stream_lines {
+        validate_stream_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    // The closing line carries the final totals, so the request
+    // counter deltas across the stream sum to the report's total.
+    let requests_streamed: u64 = obs
+        .stream_lines
+        .iter()
+        .filter_map(|l| {
+            let key = "\"serve.requests\":";
+            let at = l.find(key)? + key.len();
+            l[at..].split(&[',', '}'][..]).next()?.parse::<u64>().ok()
+        })
+        .sum();
+    assert_eq!(requests_streamed, report.requests, "deltas sum to the total");
+
+    // Spans: the log reconciles exactly against the counters, and each
+    // request's tree is reconstructable.
+    assert!(!obs.spans.is_empty());
+    let snap = obs.final_snapshot(&report);
+    let rec = reconcile(&obs.spans, &snap)
+        .unwrap_or_else(|errs| panic!("reconcile failed:\n{}", errs.join("\n")));
+    assert_eq!(rec.requests, report.requests);
+    assert_eq!(rec.attempts, report.attempts);
+    let tree = obs.spans.request_tree(0);
+    assert!(!tree.is_empty(), "request 0 left a span tree");
+    assert_eq!(tree[0].name, SPAN_REQUEST, "tree is rooted at the request span");
+    assert!(tree.iter().skip(1).all(|s| s.name != SPAN_REQUEST));
+
+    // Determinism: same seed → byte-identical stream AND span log.
+    let (report2, obs2) = run();
+    assert_eq!(report, report2);
+    assert_eq!(obs.stream_lines, obs2.stream_lines, "metric stream is bit-deterministic");
+    assert_eq!(obs.spans, obs2.spans, "span log is bit-deterministic");
+
+    // The observer is pay-for-what-you-use: the plain run is
+    // unaffected by observation (same report), and a bare observer
+    // records nothing.
+    let plain = run_soak(&broken, &cfg);
+    assert_eq!(plain, report, "observation does not perturb the simulation");
+    let mut bare = SoakObserver::new();
+    let _ = run_soak_observed(&broken, &cfg, &mut bare);
+    assert!(bare.stream_lines.is_empty() && bare.spans.is_empty());
+}
+
+#[test]
+fn overloaded_soak_reconciles_shed_and_breaker_waits() {
+    let image = corpus_image();
+    let cfg = SoakConfig {
+        seed: 0x5AED,
+        clients: 24,
+        requests_per_client: 40,
+        fault_num: 0,
+        fault_den: 100,
+        think_time: 1,
+        workers: 1,
+        max_queue_wait: MILLI,
+        decode_rate: 100_000.0,
+        ..SoakConfig::default()
+    };
+    let mut obs = SoakObserver::new().with_spans();
+    let report = run_soak_observed(&image, &cfg, &mut obs);
+    assert!(report.sheds > 0, "overload must shed");
+    let snap = obs.final_snapshot(&report);
+    reconcile(&obs.spans, &snap)
+        .unwrap_or_else(|errs| panic!("reconcile failed:\n{}", errs.join("\n")));
+    // Sheds are waits, not attempts: the attempt population must not
+    // contain them.
+    assert_eq!(obs.spans.count(SPAN_ATTEMPT), report.attempts);
+    assert!(obs.spans.count_outcome(SPAN_CACHE, "hit") == report.cache_hits);
+}
+
+/// Satellite: the registry's atomics must lose nothing under real
+/// thread contention. N threads hammer shared counters + a histogram
+/// (while also driving the thread-safe server for realistic
+/// interleaving) and keep private sums; the registry totals must equal
+/// the per-thread sums exactly.
+#[test]
+fn concurrent_registry_hammer_reconciles_with_per_thread_sums() {
+    let image = corpus_image();
+    let names: Vec<String> = image.names().map(str::to_string).collect();
+    let server = Arc::new(ModuleServer::new(image, ServerConfig::default()));
+    let registry = Arc::new(Registry::new());
+
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 500;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let server = Arc::clone(&server);
+            let registry = Arc::clone(&registry);
+            let names = names.clone();
+            std::thread::spawn(move || {
+                let mut local_count = 0u64;
+                let mut local_sum = 0u64;
+                let mut local_hist = LocalHistogram::default();
+                for i in 0..ITERS {
+                    let name = &names[((tid * 31 + i) as usize) % names.len()];
+                    let bytes = match server.request(tid, name) {
+                        Ok(resp) => resp.bytes.len() as u64,
+                        Err(ServeError::Shed { .. }) => 0,
+                        Err(e) => panic!("unexpected verdict {e:?}"),
+                    };
+                    registry.counter("hammer.requests").add(1);
+                    registry.counter("hammer.bytes").add(bytes);
+                    registry.histogram("hammer.unit_bytes").record(bytes);
+                    local_hist.record(bytes);
+                    local_count += 1;
+                    local_sum += bytes;
+                }
+                // Batched merge path under contention too.
+                registry.histogram("hammer.unit_bytes.batched").merge(&local_hist);
+                (local_count, local_sum)
+            })
+        })
+        .collect();
+
+    let mut expect_count = 0u64;
+    let mut expect_sum = 0u64;
+    for h in handles {
+        let (c, s) = h.join().expect("no panics under contention");
+        expect_count += c;
+        expect_sum += s;
+    }
+    assert_eq!(expect_count, THREADS * ITERS);
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("hammer.requests"), Some(expect_count));
+    assert_eq!(snap.counter("hammer.bytes"), Some(expect_sum));
+    let h = snap.histogram("hammer.unit_bytes").expect("histogram exists");
+    assert_eq!(h.count, expect_count, "no lost histogram records");
+    assert_eq!(h.sum, expect_sum, "no lost histogram sum");
+    let hb = snap.histogram("hammer.unit_bytes.batched").expect("batched histogram");
+    assert_eq!((hb.count, hb.sum), (h.count, h.sum), "merge path agrees with record path");
+    assert_eq!(
+        h.buckets.iter().sum::<u64>(),
+        expect_count,
+        "bucket populations account for every record"
+    );
+
+    // A streamer over the contended registry still emits a valid line.
+    let mut streamer = MetricsStreamer::new();
+    let line = streamer.sample(0, &snap);
+    validate_stream_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+}

@@ -7,6 +7,7 @@ use codecomp_coding::huffman::{cached_decoder, HuffmanEncoder};
 use codecomp_coding::model::AdaptiveModel;
 use codecomp_coding::mtf::{mtf_decode_identity, mtf_encode};
 use codecomp_core::cov_hit;
+use codecomp_core::profile;
 use codecomp_core::streams::SplitStreams;
 use codecomp_core::telemetry;
 use codecomp_core::treepat::TreePattern;
@@ -436,12 +437,14 @@ fn read_section<'a>(
     budget: &Budget,
     stats: &mut DecodeStats,
 ) -> Result<(String, Vec<u8>, u64), WireError> {
+    let _prof = profile::scope("frame");
     let key = c.string()?;
     let len = c.usize_varint()?;
     let payload = c.take(len)?;
     let t = stats.start();
     let raw = if options.deflate {
         cov_hit!("wire.section.deflated");
+        let _prof = profile::scope("inflate");
         inflate_budgeted(payload, budget)?
     } else {
         cov_hit!("wire.section.raw");
@@ -467,6 +470,7 @@ fn read_section<'a>(
 /// `Corrupt`); otherwise as [`decompress`].
 pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, WireError> {
     let _span = telemetry::span("wire.decompress");
+    let _prof = profile::scope("wire.decode");
     telemetry::counter_add("wire.decode.modules", 1);
     telemetry::counter_add("wire.decode.input_bytes", bytes.len() as u64);
     let mut stats = DecodeStats::new();
@@ -559,6 +563,7 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
     }
 
     // Rebuild trees against the (possibly shared) pattern table.
+    let _prof_join = profile::scope("join");
     let t_join = stats.start();
     let trees: Vec<Tree> = if options.split_streams {
         cov_hit!("wire.join.split");
@@ -590,6 +595,7 @@ pub fn decompress_budgeted(bytes: &[u8], budget: &Budget) -> Result<Module, Wire
         trees
     };
     stats.ns_join += DecodeStats::elapsed(t_join);
+    drop(_prof_join);
 
     // Slice trees into functions.
     let mut module = Module {
@@ -791,8 +797,11 @@ fn decode_symbol_stream<T>(
     budget.charge_fuel(table_len as u64)?;
     let t_table = stats.start();
     let mut table = Vec::with_capacity(table_len.min(c.remaining()));
-    for _ in 0..table_len {
-        table.push(read_entry(c)?);
+    {
+        let _prof = profile::scope("tables");
+        for _ in 0..table_len {
+            table.push(read_entry(c)?);
+        }
     }
     stats.ns_entry_table += DecodeStats::elapsed(t_table);
     let alphabet = if options.mtf {
@@ -801,8 +810,12 @@ fn decode_symbol_stream<T>(
         table_len
     };
     let t_idx = stats.start();
-    let indices = decode_indices(c, alphabet.max(1), options.coder, budget, stats)?;
+    let indices = {
+        let _prof = profile::scope("huffman");
+        decode_indices(c, alphabet.max(1), options.coder, budget, stats)?
+    };
     stats.ns_indices += DecodeStats::elapsed(t_idx);
+    let _prof_mtf = profile::scope("mtf");
     let t_mtf = stats.start();
     let occurrences = if options.mtf {
         cov_hit!("wire.stream.mtf");
@@ -819,6 +832,7 @@ fn decode_symbol_stream<T>(
         indices
     };
     stats.ns_mtf += DecodeStats::elapsed(t_mtf);
+    drop(_prof_mtf);
     if occurrences.iter().any(|&o| o as usize >= table_len) && !occurrences.is_empty() {
         cov_hit!("wire.stream.occurrence_overflow");
         return Err(WireError::Corrupt("occurrence beyond table".into()));

@@ -84,6 +84,33 @@ grep -q "survived" "$tdir/soak.out"
 "$bin" telemetry check "$tdir/soak.jsonl"
 echo "==> soak smoke took $((SECONDS - soak_start))s"
 
+# Metrics-stream smoke: the same soak with live sampling on. serve-sim
+# exits nonzero if the span/counter reconcile fails; the stream must
+# pass the schema checker and be byte-identical across same-seed runs.
+echo "==> metrics-stream smoke (delta encoding, determinism, reconcile)"
+"$bin" serve-sim --clients 9 --requests 120 --seed 7 --fault-rate 2 \
+    --corrupt 2 --metrics-interval 25 --metrics-stream "$tdir/m1.jsonl" \
+    > "$tdir/m1.out"
+grep -q "reconcile: ok" "$tdir/m1.out"
+"$bin" telemetry check --stream "$tdir/m1.jsonl"
+"$bin" serve-sim --clients 9 --requests 120 --seed 7 --fault-rate 2 \
+    --corrupt 2 --metrics-interval 25 --metrics-stream "$tdir/m2.jsonl" \
+    > /dev/null
+cmp "$tdir/m1.jsonl" "$tdir/m2.jsonl"
+
+# Self-profiler smoke: build with the `profile` feature, profile a wire
+# unpack, and validate the collapsed-stack output. The profiled decode
+# must attribute samples to the decode stages (frame/huffman/mtf/join).
+echo "==> self-profiler smoke (collapsed stacks + schema check)"
+prof_start=$SECONDS
+cargo build --release --offline -q --features profile
+pbin=target/release/code-compression
+"$pbin" profile --out "$tdir/wire.folded" --passes 50 --period 500 \
+    wire unpack "$tdir/smoke.ccwf" -o /dev/null > /dev/null
+"$pbin" telemetry check --collapsed "$tdir/wire.folded"
+grep -q "wire.decode" "$tdir/wire.folded"
+echo "==> profiler smoke took $((SECONDS - prof_start))s"
+
 # Coverage-guided fuzz smoke: a budgeted campaign over every decoder
 # with the `coverage` feature on. `codecomp fuzz` exits nonzero on any
 # panic or limit violation and writes reproducers for the regression

@@ -11,6 +11,7 @@
 //! codecomp brisc run <in.ccbr> [-- args]     interpret the image in place
 //! codecomp brisc info <in.ccbr>              dictionary / model statistics
 //! codecomp fuzz [--target T] [--cases N]     coverage-guided fuzzing campaign
+//! codecomp profile <subcommand...>           collapsed-stack self-profile of a command
 //! codecomp serve-sim [--clients N] [...]     demand-paging server soak simulation
 //! ```
 
@@ -28,9 +29,12 @@ use code_compression::front::compile;
 use code_compression::ir::binary::{decode_module, encode_module};
 use code_compression::ir::eval::Evaluator;
 use code_compression::ir::Module;
+use code_compression::core::profile;
+use code_compression::core::telemetry::reconcile::reconcile;
 use code_compression::serve::soak::{
-    channel_mix, corrupt_units, run_soak, ChannelKind, SoakConfig,
+    channel_mix, corrupt_units, run_soak_observed, ChannelKind, SoakConfig, SoakObserver,
 };
+use code_compression::serve::MILLI;
 use code_compression::vm::codegen::compile_module;
 use code_compression::vm::interp::Machine;
 use code_compression::vm::isa::IsaConfig;
@@ -276,11 +280,25 @@ fn print_stage_counters(snap: &telemetry::Snapshot) {
     }
 }
 
+/// Flushes the buffered `--trace=PATH` writer on every exit path —
+/// normal return, `?`-error unwinding out of `dispatch`, and panics
+/// (the binary unwinds) — so truncated runs still leave a parseable
+/// JSON-lines trace. The global collector is a `'static` that is never
+/// dropped; without this guard a buffered tail would simply be lost.
+struct TraceFlushGuard;
+
+impl Drop for TraceFlushGuard {
+    fn drop(&mut self) {
+        telemetry::flush_trace();
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut run = || -> Result<ExitCode, AnyError> {
         let tflags = extract_telemetry(&mut args)?;
         install_telemetry(&tflags)?;
+        let _flush = TraceFlushGuard;
         let code = dispatch(&args)?;
         report_telemetry(&tflags)?;
         Ok(code)
@@ -319,6 +337,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, AnyError> {
             _ => usage(),
         },
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("serve-sim") => cmd_serve_sim(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => usage(),
         Some(other) => Err(format!("unknown command {other:?} (try `codecomp help`)").into()),
@@ -338,12 +357,15 @@ fn usage() -> Result<ExitCode, AnyError> {
   codecomp brisc pack <src.c|.ccir> [-o out.ccbr]
   codecomp brisc run <in.ccbr> [--fuel N] [--max-output N] [-- args...]
   codecomp brisc info <in.ccbr>
-  codecomp telemetry check <trace.jsonl>...
+  codecomp telemetry check [--trace|--stream|--collapsed] <file.jsonl>...
   codecomp fuzz [--target wire|gzip|demand|brisc|all] [--cases N] [--seed N]
                 [--rounds N] [--blind] [--max-input N] [--save-repros]
+  codecomp profile [--out PATH] [--passes N] [--period NANOS] <subcommand...>
+                   (needs a `--features profile` build)
   codecomp serve-sim [<src.c|.ccir>] [--clients N] [--requests N] [--seed N]
                      [--fault-rate N|N/D] [--corrupt N] [--workers N]
                      [--cache SIZE] [--channels modem,lan,disk]
+                     [--metrics-interval MS] [--metrics-stream PATH]
 
 global telemetry flags (any command, before `--`):
   --stats              per-stage stream breakdown table (stderr)
@@ -660,24 +682,103 @@ fn cmd_brisc_run(args: &[String]) -> Result<ExitCode, AnyError> {
 }
 
 fn cmd_telemetry_check(args: &[String]) -> Result<ExitCode, AnyError> {
-    let p = parse(args)?;
-    if p.positional.is_empty() {
+    // Three line schemas share this checker: trace events (default),
+    // delta-encoded metric streams, and collapsed profiler stacks.
+    let mut kind = "trace";
+    let mut inputs = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--trace" => kind = "trace",
+            "--stream" => kind = "stream",
+            "--collapsed" => kind = "collapsed",
+            other if other.starts_with('-') => {
+                return Err(format!("telemetry check: unknown flag {other:?}").into());
+            }
+            other => inputs.push(other),
+        }
+    }
+    if inputs.is_empty() {
         return usage();
     }
-    for input in &p.positional {
+    let validate: fn(&str) -> Result<(), String> = match kind {
+        "stream" => telemetry::stream::validate_stream_line,
+        "collapsed" => profile::validate_collapsed_line,
+        _ => telemetry::validate_trace_line,
+    };
+    for input in &inputs {
         let text = std::fs::read_to_string(input)?;
         let mut checked = 0usize;
         for (i, line) in text.lines().enumerate() {
             if line.is_empty() {
                 continue;
             }
-            telemetry::validate_trace_line(line)
-                .map_err(|e| format!("{input}:{}: {e}", i + 1))?;
+            validate(line).map_err(|e| format!("{input}:{}: {e}", i + 1))?;
             checked += 1;
         }
-        outln!("{input}: {checked} trace lines ok")?;
+        outln!("{input}: {checked} {kind} lines ok")?;
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `codecomp profile <subcommand...>`: runs the subcommand under the
+/// in-tree sampling self-profiler and writes its collapsed-stack
+/// profile. Requires a build with `--features profile`; in a normal
+/// build the instrumentation is compiled out and there is nothing to
+/// sample.
+fn cmd_profile(args: &[String]) -> Result<ExitCode, AnyError> {
+    let mut out_path = "profile.folded".to_string();
+    let mut passes: u64 = 1;
+    let mut period: u64 = 10_000;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().ok_or("--out needs a path")?.clone(),
+            "--passes" => {
+                let v = it.next().ok_or("--passes needs a value")?;
+                passes = parse_size("--passes", v)?.max(1);
+            }
+            "--period" => {
+                let v = it.next().ok_or("--period needs a value")?;
+                period = parse_size("--period", v)?;
+            }
+            other => {
+                rest.push(other.to_string());
+                rest.extend(it.by_ref().cloned());
+            }
+        }
+    }
+    if rest.is_empty() {
+        return usage();
+    }
+    if rest[0] == "profile" {
+        return Err("profile: cannot profile itself".into());
+    }
+    if !profile::enabled() {
+        return Err(
+            "profile: this build carries no profiler instrumentation \
+             (rebuild with `cargo build --release --features profile`)"
+                .into(),
+        );
+    }
+    profile::set_wall_period_nanos(period.max(1));
+    profile::reset();
+    // The root frame names the profiled subcommand, so multi-command
+    // sessions stay distinguishable in the merged flamegraph.
+    let root: &'static str = Box::leak(format!("cmd.{}", rest[0]).into_boxed_str());
+    let mut code = ExitCode::SUCCESS;
+    for _ in 0..passes {
+        let _root = profile::scope(root);
+        code = dispatch(&rest)?;
+    }
+    let rendered = profile::render_collapsed();
+    let samples: u64 = profile::collapsed().iter().map(|&(_, n)| n).sum();
+    std::fs::write(&out_path, &rendered)?;
+    outln!(
+        "wrote profile: {out_path} ({} stacks, {samples} samples, {passes} pass(es), period {period} ns)",
+        rendered.lines().count(),
+    )?;
+    Ok(code)
 }
 
 fn cmd_brisc_info(args: &[String]) -> Result<ExitCode, AnyError> {
@@ -1006,9 +1107,18 @@ fn cmd_serve_sim(args: &[String]) -> Result<ExitCode, AnyError> {
     let mut cfg = SoakConfig::default();
     let mut corrupt: usize = 0;
     let mut input: Option<&str> = None;
+    let mut metrics_interval: Option<u64> = None;
+    let mut metrics_stream: Option<&str> = None;
     let mut it = args.iter().map(String::as_str);
     while let Some(a) = it.next() {
         match a {
+            "--metrics-interval" => {
+                let v = it.next().ok_or("--metrics-interval needs a value (virtual ms)")?;
+                metrics_interval = Some(parse_size("--metrics-interval", v)?.max(1));
+            }
+            "--metrics-stream" => {
+                metrics_stream = Some(it.next().ok_or("--metrics-stream needs a path")?);
+            }
             "--clients" => {
                 let v = it.next().ok_or("--clients needs a value")?;
                 cfg.clients = parse_size("--clients", v)? as usize;
@@ -1090,8 +1200,42 @@ fn cmd_serve_sim(args: &[String]) -> Result<ExitCode, AnyError> {
         outln!("  source-corrupt injected: {}", injected.join(", "))?;
     }
 
-    let report = run_soak(&image, &cfg);
+    // With live metrics enabled, the run also collects request-scoped
+    // spans and must pass the span ↔ counter reconcile check: the
+    // stream is only trustworthy if the two accounting paths agree.
+    let mut obs = match metrics_interval {
+        Some(ms) => SoakObserver::new().with_metrics_interval(ms * MILLI).with_spans(),
+        None => SoakObserver::new(),
+    };
+    let report = run_soak_observed(&image, &cfg, &mut obs);
     report.publish_telemetry();
+
+    if metrics_interval.is_some() {
+        let stream = obs.stream_lines.join("\n") + "\n";
+        match metrics_stream {
+            Some(path) => {
+                std::fs::write(path, &stream)?;
+                outln!("wrote metric stream: {path} ({} samples)", obs.stream_lines.len())?;
+            }
+            None => out!("{stream}")?,
+        }
+        match reconcile(&obs.spans, &obs.final_snapshot(&report)) {
+            Ok(rec) => outln!(
+                "reconcile: ok ({} spans, {} requests, {} attempts, {} checks)",
+                rec.spans, rec.requests, rec.attempts, rec.checks,
+            )?,
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("reconcile: {e}");
+                }
+                return Err(format!(
+                    "serve-sim: span/counter reconcile failed ({} mismatches)",
+                    errors.len()
+                )
+                .into());
+            }
+        }
+    }
 
     outln!(
         "soak: {} requests over {:.3} virtual s",
